@@ -1,0 +1,59 @@
+//! Extension study: redundant (silent) store elimination — the future
+//! work the paper sketches in §6 ("Relaxing compatibility could lead to
+//! removing some spill stores, but we have not yet pursued this
+//! approach"). Compares the late-commit OOOVA, SLE+VLE, and
+//! SLE+VLE+SSE.
+//!
+//! ```text
+//! cargo run -p oov-bench --release --bin extension
+//! ```
+
+use oov_core::OooSim;
+use oov_isa::{CommitMode, LoadElimMode, OooConfig};
+use oov_kernels::{Program, Scale};
+use oov_stats::Table;
+
+fn main() {
+    let mut t = Table::new(&[
+        "program",
+        "base requests",
+        "SLE+VLE",
+        "SLE+VLE+SSE",
+        "stores elided (words)",
+        "extra speedup",
+    ]);
+    for p in Program::ALL {
+        let prog = p.compile(Scale::Paper);
+        let base = OooSim::new(
+            OooConfig::default().with_commit(CommitMode::Late),
+            &prog.trace,
+        )
+        .run()
+        .stats;
+        let vle = OooSim::new(
+            OooConfig::default().with_load_elim(LoadElimMode::SleVle),
+            &prog.trace,
+        )
+        .run()
+        .stats;
+        let sse = OooSim::new(
+            OooConfig::default().with_load_elim(LoadElimMode::SleVleSse),
+            &prog.trace,
+        )
+        .run()
+        .stats;
+        t.row_owned(vec![
+            p.name().into(),
+            base.mem_requests.to_string(),
+            vle.mem_requests.to_string(),
+            sse.mem_requests.to_string(),
+            format!("{} ({})", sse.eliminated_stores, sse.eliminated_store_words),
+            format!("{:.3}x", vle.cycles as f64 / sse.cycles as f64),
+        ]);
+    }
+    println!("Silent-store extension on top of SLE+VLE (latency 50, 16 registers)\n{t}");
+    println!(
+        "Every elision is value-verified in the test suite: the store's data\n\
+         must equal the bytes memory already holds at its exact target range."
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's figure5.
+use oov_bench::{experiments, Suite};
+use oov_kernels::Scale;
+
+fn main() {
+    let suite = Suite::compile(Scale::Paper);
+    println!("{}", experiments::figure5(&suite));
+}

@@ -1,0 +1,181 @@
+//! Ad-hoc simulation driver: run any benchmark program on either
+//! machine with any configuration from the command line.
+//!
+//! ```text
+//! cargo run -p oov-bench --release --bin simulate -- \
+//!     --program trfd --machine ooo --regs 32 --latency 100 \
+//!     --commit late --elim sle+vle --queues 128
+//! ```
+//!
+//! Flags (all optional except `--program`):
+//!
+//! * `--program <name>`  one of the ten benchmark names, or `all`
+//! * `--machine <ref|ooo>`            default `ooo`
+//! * `--regs <9..64>`                 physical V registers, default 16
+//! * `--queues <n>`                   issue-queue slots, default 16
+//! * `--latency <cycles>`             memory latency, default 50
+//! * `--commit <early|late>`          default `early`
+//! * `--elim <off|sle|sle+vle|sle+vle+sse>`  default `off`
+//! * `--scale <smoke|paper>`          default `paper`
+//! * `--breakdown`                    print the 8-state cycle breakdown
+
+use oov_core::OooSim;
+use oov_isa::{CommitMode, LoadElimMode, OooConfig, RefConfig};
+use oov_kernels::{Program, Scale};
+use oov_ref::RefSim;
+use oov_stats::SimStats;
+
+struct Args {
+    programs: Vec<Program>,
+    machine: String,
+    regs: usize,
+    queues: usize,
+    latency: u32,
+    commit: CommitMode,
+    elim: LoadElimMode,
+    scale: Scale,
+    breakdown: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        programs: vec![],
+        machine: "ooo".into(),
+        regs: 16,
+        queues: 16,
+        latency: 50,
+        commit: CommitMode::Early,
+        elim: LoadElimMode::Off,
+        scale: Scale::Paper,
+        breakdown: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value for {}", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--program" => {
+                let v = value(&mut i)?;
+                if v == "all" {
+                    args.programs = Program::ALL.to_vec();
+                } else {
+                    args.programs.push(
+                        Program::from_name(&v).ok_or_else(|| format!("unknown program {v}"))?,
+                    );
+                }
+            }
+            "--machine" => args.machine = value(&mut i)?,
+            "--regs" => {
+                args.regs = value(&mut i)?.parse().map_err(|e| format!("--regs: {e}"))?;
+            }
+            "--queues" => {
+                args.queues = value(&mut i)?.parse().map_err(|e| format!("--queues: {e}"))?;
+            }
+            "--latency" => {
+                args.latency = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--latency: {e}"))?;
+            }
+            "--commit" => {
+                args.commit = match value(&mut i)?.as_str() {
+                    "early" => CommitMode::Early,
+                    "late" => CommitMode::Late,
+                    other => return Err(format!("unknown commit mode {other}")),
+                };
+            }
+            "--elim" => {
+                args.elim = match value(&mut i)?.as_str() {
+                    "off" => LoadElimMode::Off,
+                    "sle" => LoadElimMode::Sle,
+                    "sle+vle" => LoadElimMode::SleVle,
+                    "sle+vle+sse" => LoadElimMode::SleVleSse,
+                    other => return Err(format!("unknown elimination mode {other}")),
+                };
+            }
+            "--scale" => {
+                args.scale = match value(&mut i)?.as_str() {
+                    "smoke" => Scale::Smoke,
+                    "paper" => Scale::Paper,
+                    other => return Err(format!("unknown scale {other}")),
+                };
+            }
+            "--breakdown" => args.breakdown = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    if args.programs.is_empty() {
+        return Err("--program is required (a benchmark name, or `all`)".into());
+    }
+    Ok(args)
+}
+
+fn report(name: &str, stats: &SimStats, ideal: u64, breakdown: bool) {
+    println!("{name}: {stats}");
+    println!(
+        "  ideal {ideal} cycles ({:.2}x away), {} spill requests, \
+         {} mispredicts / {} branches",
+        stats.cycles as f64 / ideal as f64,
+        stats.spill_requests,
+        stats.mispredicts,
+        stats.branches
+    );
+    if stats.eliminated_scalar_loads + stats.eliminated_vector_loads + stats.eliminated_stores > 0
+    {
+        println!(
+            "  eliminated: {} scalar loads, {} vector loads ({} words), {} stores ({} words)",
+            stats.eliminated_scalar_loads,
+            stats.eliminated_vector_loads,
+            stats.eliminated_vector_words,
+            stats.eliminated_stores,
+            stats.eliminated_store_words
+        );
+    }
+    if breakdown {
+        for (state, cycles) in stats.breakdown.iter() {
+            println!("  {state}  {cycles}");
+        }
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n(see the doc comment at the top of simulate.rs for usage)");
+            std::process::exit(2);
+        }
+    };
+    for p in &args.programs {
+        let prog = p.compile(args.scale);
+        let ideal = prog.trace.ideal_cycles();
+        match args.machine.as_str() {
+            "ref" => {
+                let cfg = RefConfig::default().with_memory_latency(args.latency);
+                let stats = RefSim::new(cfg).run(&prog.trace);
+                report(p.name(), &stats, ideal, args.breakdown);
+            }
+            "ooo" => {
+                let mut cfg = OooConfig::default()
+                    .with_phys_v_regs(args.regs)
+                    .with_queue_slots(args.queues)
+                    .with_memory_latency(args.latency)
+                    .with_commit(args.commit);
+                if args.elim != LoadElimMode::Off {
+                    cfg = cfg.with_load_elim(args.elim);
+                }
+                let r = OooSim::new(cfg, &prog.trace).run();
+                report(p.name(), &r.stats, ideal, args.breakdown);
+            }
+            other => {
+                eprintln!("error: unknown machine {other} (use ref|ooo)");
+                std::process::exit(2);
+            }
+        }
+    }
+}

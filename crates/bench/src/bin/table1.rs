@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table 1 (machine parameters).
+use oov_bench::experiments;
+
+fn main() {
+    println!("{}", experiments::table1());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's table3.
+use oov_bench::{experiments, Suite};
+use oov_kernels::Scale;
+
+fn main() {
+    let suite = Suite::compile(Scale::Paper);
+    println!("{}", experiments::table3(&suite));
+}

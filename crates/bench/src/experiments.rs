@@ -1,0 +1,415 @@
+//! One function per paper exhibit.
+//!
+//! Every function takes the compiled [`Suite`] and returns the rendered
+//! exhibit as text (tables and ASCII charts). The binaries print them;
+//! the `all` binary also assembles `EXPERIMENTS.md`.
+
+use oov_core::OooSim;
+use oov_isa::{CommitMode, LatencyModel, LoadElimMode, OooConfig, RefConfig};
+use oov_ref::RefSim;
+use oov_stats::{BarChart, SimStats, Table};
+
+use crate::Suite;
+
+/// Memory latencies swept by Figures 3 and 4.
+pub const REF_LATENCIES: [u32; 4] = [1, 20, 70, 100];
+/// Physical-register sweep of Figures 5 and 9 (the paper plots 9–64;
+/// 12 appears in the text discussion).
+pub const REG_SWEEP: [usize; 5] = [9, 12, 16, 32, 64];
+/// Default memory latency (paper §2.2).
+pub const DEFAULT_LATENCY: u32 = 50;
+
+fn ref_run(prog: &oov_vcc::CompiledProgram, latency: u32) -> SimStats {
+    RefSim::new(RefConfig::default().with_memory_latency(latency)).run(&prog.trace)
+}
+
+fn ooo_run(prog: &oov_vcc::CompiledProgram, cfg: OooConfig) -> SimStats {
+    OooSim::new(cfg, &prog.trace).run().stats
+}
+
+fn base_cfg() -> OooConfig {
+    OooConfig::default().with_memory_latency(DEFAULT_LATENCY)
+}
+
+/// Table 1: functional-unit latencies of both machines.
+#[must_use]
+pub fn table1() -> String {
+    let r = LatencyModel::reference();
+    let o = LatencyModel::ooo();
+    let mut t = Table::new(&["parameter", "REF", "OOOVA"]);
+    let row = |t: &mut Table, name: &str, a: u32, b: u32| {
+        t.row_owned(vec![name.into(), a.to_string(), b.to_string()]);
+    };
+    row(&mut t, "read crossbar", r.read_xbar, o.read_xbar);
+    row(&mut t, "write crossbar", r.write_xbar, o.write_xbar);
+    row(&mut t, "vector startup (*)", r.vstartup, o.vstartup);
+    row(&mut t, "scalar add/logic/shift", r.scalar_simple, o.scalar_simple);
+    row(&mut t, "vector add/logic/shift", r.vector_simple, o.vector_simple);
+    row(&mut t, "multiply", r.mul, o.mul);
+    row(&mut t, "divide / sqrt", r.div_sqrt, o.div_sqrt);
+    row(&mut t, "branch", r.branch, o.branch);
+    row(&mut t, "mispredict penalty", r.mispredict_penalty, o.mispredict_penalty);
+    row(&mut t, "memory (default)", r.memory, o.memory);
+    format!(
+        "Table 1: functional unit latencies (cycles)\n{t}\
+         (*) 0 in OOOVA, 1 in REF — as in the paper's footnote.\n"
+    )
+}
+
+/// Table 2: per-program operation counts.
+#[must_use]
+pub fn table2(suite: &Suite) -> String {
+    let mut t = Table::new(&[
+        "program", "suite", "scalar", "vector", "vec ops", "%vect", "avg VL",
+    ]);
+    for (p, prog) in suite.iter() {
+        let s = prog.trace.stats();
+        t.row_owned(vec![
+            p.name().into(),
+            p.suite().into(),
+            s.scalar_insts.to_string(),
+            s.vector_insts.to_string(),
+            s.vector_ops.to_string(),
+            format!("{:.1}", s.vectorization_pct()),
+            format!("{:.0}", s.avg_vl()),
+        ]);
+    }
+    format!("Table 2: basic operation counts (dynamic, this reproduction's scale)\n{t}")
+}
+
+/// Figure 3: REF execution-state breakdown across memory latencies.
+#[must_use]
+pub fn figure3(suite: &Suite) -> String {
+    let mut out = String::from(
+        "Figure 3: reference-architecture cycle breakdown by (FU2,FU1,MEM) occupancy\n",
+    );
+    for (p, prog) in suite.iter() {
+        out.push_str(&format!("\n{}:\n", p.name()));
+        let mut t = Table::new(&["state", "lat 1", "lat 20", "lat 70", "lat 100"]);
+        let runs: Vec<SimStats> = REF_LATENCIES
+            .iter()
+            .map(|&l| ref_run(prog, l))
+            .collect();
+        for state in oov_stats::UnitState::ALL {
+            t.row_owned(
+                std::iter::once(state.to_string())
+                    .chain(runs.iter().map(|r| r.breakdown.get(state).to_string()))
+                    .collect(),
+            );
+        }
+        t.row_owned(
+            std::iter::once("total".to_string())
+                .chain(runs.iter().map(|r| r.cycles.to_string()))
+                .collect(),
+        );
+        out.push_str(&t.to_string());
+    }
+    out
+}
+
+/// Figure 4: percentage of cycles the memory port is idle on REF.
+#[must_use]
+pub fn figure4(suite: &Suite) -> String {
+    let mut t = Table::new(&["program", "lat 1", "lat 20", "lat 70", "lat 100"]);
+    for (p, prog) in suite.iter() {
+        t.row_owned(
+            std::iter::once(p.name().to_string())
+                .chain(
+                    REF_LATENCIES
+                        .iter()
+                        .map(|&l| format!("{:.1}%", ref_run(prog, l).mem_port_idle_pct())),
+                )
+                .collect(),
+        );
+    }
+    format!("Figure 4: memory-port idle cycles on the reference architecture\n{t}")
+}
+
+/// Figure 5: OOOVA speedup over REF vs physical vector registers, for
+/// 16- and 128-entry queues, with the IDEAL bound.
+#[must_use]
+pub fn figure5(suite: &Suite) -> String {
+    let mut header = vec!["program".to_string()];
+    for r in REG_SWEEP {
+        header.push(format!("q16 r{r}"));
+    }
+    for r in REG_SWEEP {
+        header.push(format!("q128 r{r}"));
+    }
+    header.push("IDEAL".into());
+    let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
+    for (p, prog) in suite.iter() {
+        let refc = ref_run(prog, DEFAULT_LATENCY).cycles;
+        let mut cells = vec![p.name().to_string()];
+        for qs in [16usize, 128] {
+            for regs in REG_SWEEP {
+                let cfg = base_cfg().with_phys_v_regs(regs).with_queue_slots(qs);
+                let c = ooo_run(prog, cfg).cycles;
+                cells.push(format!("{:.2}", refc as f64 / c as f64));
+            }
+        }
+        cells.push(format!(
+            "{:.2}",
+            refc as f64 / prog.trace.ideal_cycles() as f64
+        ));
+        t.row_owned(cells);
+    }
+    format!("Figure 5: OOOVA speedup over REF (latency 50) vs physical vector registers\n{t}")
+}
+
+/// Figure 6: memory-port idle cycles, REF vs OOOVA (16 registers).
+#[must_use]
+pub fn figure6(suite: &Suite) -> String {
+    let mut chart = BarChart::new(
+        "Figure 6: % idle memory-port cycles (latency 50, 16 physical V registers)",
+        40,
+    );
+    let mut t = Table::new(&["program", "REF", "OOOVA"]);
+    for (p, prog) in suite.iter() {
+        let r = ref_run(prog, DEFAULT_LATENCY);
+        let o = ooo_run(prog, base_cfg());
+        t.row_owned(vec![
+            p.name().into(),
+            format!("{:.1}%", r.mem_port_idle_pct()),
+            format!("{:.1}%", o.mem_port_idle_pct()),
+        ]);
+        chart.bar(format!("{} REF", p.name()), r.mem_port_idle_pct());
+        chart.bar(format!("{} OOO", p.name()), o.mem_port_idle_pct());
+    }
+    format!("{t}\n{chart}")
+}
+
+/// Figure 7: cycle breakdown, REF vs OOOVA (16 registers, latency 50).
+#[must_use]
+pub fn figure7(suite: &Suite) -> String {
+    let mut out =
+        String::from("Figure 7: cycle breakdown REF vs OOOVA (16 registers, latency 50)\n");
+    for (p, prog) in suite.iter() {
+        let r = ref_run(prog, DEFAULT_LATENCY);
+        let o = ooo_run(prog, base_cfg());
+        let mut t = Table::new(&["state", "REF", "OOOVA"]);
+        for state in oov_stats::UnitState::ALL {
+            t.row_owned(vec![
+                state.to_string(),
+                r.breakdown.get(state).to_string(),
+                o.breakdown.get(state).to_string(),
+            ]);
+        }
+        t.row_owned(vec![
+            "total".into(),
+            r.cycles.to_string(),
+            o.cycles.to_string(),
+        ]);
+        out.push_str(&format!("\n{}:\n{t}", p.name()));
+    }
+    out
+}
+
+/// Figure 8: execution time vs main-memory latency.
+#[must_use]
+pub fn figure8(suite: &Suite) -> String {
+    let lats = [1u32, 50, 100];
+    let mut t = Table::new(&[
+        "program", "REF@1", "REF@50", "REF@100", "OOO@1", "OOO@50", "OOO@100", "IDEAL",
+        "OOO deg 1→100",
+    ]);
+    for (p, prog) in suite.iter() {
+        let refs: Vec<u64> = lats.iter().map(|&l| ref_run(prog, l).cycles).collect();
+        let ooos: Vec<u64> = lats
+            .iter()
+            .map(|&l| ooo_run(prog, OooConfig::default().with_memory_latency(l)).cycles)
+            .collect();
+        let deg = 100.0 * (ooos[2] as f64 / ooos[0] as f64 - 1.0);
+        t.row_owned(vec![
+            p.name().into(),
+            refs[0].to_string(),
+            refs[1].to_string(),
+            refs[2].to_string(),
+            ooos[0].to_string(),
+            ooos[1].to_string(),
+            ooos[2].to_string(),
+            prog.trace.ideal_cycles().to_string(),
+            format!("{deg:.1}%"),
+        ]);
+    }
+    format!("Figure 8: execution cycles vs main-memory latency (16 registers)\n{t}")
+}
+
+/// Figure 9: early vs late commit speedups over REF.
+#[must_use]
+pub fn figure9(suite: &Suite) -> String {
+    let mut header = vec!["program".to_string()];
+    for r in REG_SWEEP {
+        header.push(format!("early r{r}"));
+    }
+    for r in REG_SWEEP {
+        header.push(format!("late r{r}"));
+    }
+    header.push("late deg @16".into());
+    let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
+    for (p, prog) in suite.iter() {
+        let refc = ref_run(prog, DEFAULT_LATENCY).cycles;
+        let mut cells = vec![p.name().to_string()];
+        let mut early16 = 0u64;
+        let mut late16 = 0u64;
+        for mode in [CommitMode::Early, CommitMode::Late] {
+            for regs in REG_SWEEP {
+                let cfg = base_cfg().with_phys_v_regs(regs).with_commit(mode);
+                let c = ooo_run(prog, cfg).cycles;
+                if regs == 16 {
+                    match mode {
+                        CommitMode::Early => early16 = c,
+                        CommitMode::Late => late16 = c,
+                    }
+                }
+                cells.push(format!("{:.2}", refc as f64 / c as f64));
+            }
+        }
+        cells.push(format!(
+            "{:.1}%",
+            100.0 * (late16 as f64 / early16 as f64 - 1.0)
+        ));
+        t.row_owned(cells);
+    }
+    format!("Figure 9: early vs late commit — speedup over REF (latency 50)\n{t}")
+}
+
+/// Table 3: vector memory operations vs spill operations.
+#[must_use]
+pub fn table3(suite: &Suite) -> String {
+    let mut t = Table::new(&[
+        "program", "vload words", "vload spill", "%", "vstore words", "vstore spill", "%",
+        "scalar spills",
+    ]);
+    for (p, prog) in suite.iter() {
+        let s = prog.trace.stats();
+        let pct = |a: u64, b: u64| {
+            if b == 0 {
+                "0.0".to_string()
+            } else {
+                format!("{:.1}", 100.0 * a as f64 / b as f64)
+            }
+        };
+        t.row_owned(vec![
+            p.name().into(),
+            s.vload_words.to_string(),
+            s.vload_spill_words.to_string(),
+            pct(s.vload_spill_words, s.vload_words),
+            s.vstore_words.to_string(),
+            s.vstore_spill_words.to_string(),
+            pct(s.vstore_spill_words, s.vstore_words),
+            (s.sload_spill_count + s.sstore_spill_count).to_string(),
+        ]);
+    }
+    format!("Table 3: vector memory operations and spill traffic (words moved)\n{t}")
+}
+
+/// Shared machinery for Figures 11 and 12.
+fn elim_speedups(suite: &Suite, mode: LoadElimMode, title: &str) -> String {
+    let regs = [16usize, 32, 64];
+    let mut header = vec!["program".to_string()];
+    for r in regs {
+        header.push(format!("r{r}"));
+    }
+    let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
+    for (p, prog) in suite.iter() {
+        let mut cells = vec![p.name().to_string()];
+        for r in regs {
+            let base = base_cfg().with_phys_v_regs(r).with_commit(CommitMode::Late);
+            let elim = base_cfg().with_phys_v_regs(r).with_load_elim(mode);
+            let bc = ooo_run(prog, base).cycles;
+            let ec = ooo_run(prog, elim).cycles;
+            cells.push(format!("{:.2}", bc as f64 / ec as f64));
+        }
+        t.row_owned(cells);
+    }
+    format!("{title}\n{t}")
+}
+
+/// Figure 11: SLE speedup over the late-commit OOOVA.
+#[must_use]
+pub fn figure11(suite: &Suite) -> String {
+    elim_speedups(
+        suite,
+        LoadElimMode::Sle,
+        "Figure 11: scalar load elimination (SLE) speedup over late-commit OOOVA",
+    )
+}
+
+/// Figure 12: SLE+VLE speedup over the late-commit OOOVA.
+#[must_use]
+pub fn figure12(suite: &Suite) -> String {
+    elim_speedups(
+        suite,
+        LoadElimMode::SleVle,
+        "Figure 12: SLE+VLE speedup over late-commit OOOVA",
+    )
+}
+
+/// Figure 13: memory-traffic reduction under load elimination (32 regs).
+#[must_use]
+pub fn figure13(suite: &Suite) -> String {
+    let mut t = Table::new(&["program", "SLE", "SLE+VLE"]);
+    for (p, prog) in suite.iter() {
+        let base = base_cfg().with_phys_v_regs(32).with_commit(CommitMode::Late);
+        let breq = ooo_run(prog, base).mem_requests;
+        let mut cells = vec![p.name().to_string()];
+        for mode in [LoadElimMode::Sle, LoadElimMode::SleVle] {
+            let cfg = base_cfg().with_phys_v_regs(32).with_load_elim(mode);
+            let req = ooo_run(prog, cfg).mem_requests;
+            cells.push(format!(
+                "{:.1}% fewer requests",
+                100.0 * (1.0 - req as f64 / breq as f64)
+            ));
+        }
+        t.row_owned(cells);
+    }
+    format!("Figure 13: address-bus traffic reduction at 32 physical registers\n{t}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oov_kernels::Scale;
+
+    fn smoke_suite() -> Suite {
+        Suite::compile(Scale::Smoke)
+    }
+
+    #[test]
+    fn table1_renders() {
+        let s = table1();
+        assert!(s.contains("memory (default)"));
+        assert!(s.contains("50"));
+    }
+
+    #[test]
+    fn table2_covers_all_programs() {
+        let s = table2(&smoke_suite());
+        for p in oov_kernels::Program::ALL {
+            assert!(s.contains(p.name()), "missing {p}");
+        }
+    }
+
+    #[test]
+    fn figure4_idle_grows_with_latency() {
+        let suite = smoke_suite();
+        let s = figure4(&suite);
+        assert!(s.contains("%"));
+    }
+
+    #[test]
+    fn figure5_speedups_above_one() {
+        let suite = smoke_suite();
+        let s = figure5(&suite);
+        // Every program should show a speedup over REF at 16 registers.
+        assert!(s.contains("swm256"));
+    }
+
+    #[test]
+    fn figure13_reports_reduction() {
+        let suite = smoke_suite();
+        let s = figure13(&suite);
+        assert!(s.contains("fewer requests"));
+    }
+}

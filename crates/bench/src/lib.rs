@@ -1,0 +1,42 @@
+//! Experiment harness: regenerates every table and figure of the
+//! paper's evaluation.
+//!
+//! Each `figure*` / `table*` function in [`experiments`] renders one
+//! exhibit from live simulation; the `all` binary runs the full set and
+//! rewrites `EXPERIMENTS.md`. Run with `--release`:
+//!
+//! ```text
+//! cargo run -p oov-bench --release --bin all
+//! cargo run -p oov-bench --release --bin figure5
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+use oov_kernels::{Program, Scale};
+use oov_vcc::CompiledProgram;
+
+/// The compiled benchmark suite, built once and shared by experiments.
+pub struct Suite {
+    programs: Vec<(Program, CompiledProgram)>,
+}
+
+impl Suite {
+    /// Compiles all ten programs at the given scale.
+    #[must_use]
+    pub fn compile(scale: Scale) -> Self {
+        Suite {
+            programs: Program::ALL
+                .iter()
+                .map(|&p| (p, p.compile(scale)))
+                .collect(),
+        }
+    }
+
+    /// Iterates `(program, compiled)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Program, &CompiledProgram)> {
+        self.programs.iter().map(|(p, c)| (*p, c))
+    }
+}

@@ -1,0 +1,514 @@
+//! **OOOVA** — the out-of-order, register-renaming vector architecture of
+//! *Out-of-Order Vector Architectures* (Espasa, Valero, Smith; MICRO-30,
+//! 1997). This crate is the paper's primary contribution, built on the
+//! substrate crates:
+//!
+//! * R10000-style renaming with four independent map tables and free
+//!   lists, extended with reference counts so dynamic load elimination
+//!   can alias two architectural registers to one physical register;
+//! * four 16-entry issue queues (A, S, V, M) with out-of-order issue;
+//! * a 64-entry reorder buffer committing up to 4 instructions/cycle,
+//!   with the paper's **early** (aggressive) and **late** (precise-trap)
+//!   commit models — see [`oov_isa::CommitMode`];
+//! * a three-stage in-order memory pipeline (Issue/RF → Range →
+//!   Dependence) followed by out-of-order memory issue under range-based
+//!   disambiguation;
+//! * a 64-entry BTB with 2-bit counters and an 8-deep return stack;
+//! * dynamic load elimination (SLE / SLE+VLE) driven by per-physical-
+//!   register memory tags, including the modified pipeline that renames
+//!   vector registers at the Dependence stage (paper Figure 10);
+//! * precise-trap injection and recovery ([`OooSim::with_fault_at`]).
+//!
+//! # Example
+//!
+//! ```
+//! use oov_core::OooSim;
+//! use oov_isa::{ArchReg, Instruction, MemRef, Opcode, OooConfig, Trace};
+//!
+//! let mut t = Trace::new("tiny");
+//! let m = MemRef::strided(0x1000, 8, 64);
+//! t.push(Instruction::load(Opcode::VLoad, ArchReg::V(0), &[], m, 64));
+//! t.push(Instruction::vector(Opcode::VAdd, ArchReg::V(1), &[ArchReg::V(0)], 64, 1));
+//!
+//! let result = OooSim::new(OooConfig::default(), &t).run();
+//! assert!(result.stats.cycles > 0);
+//! assert!(result.ideal_cycles <= result.stats.cycles);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod btb;
+mod rename;
+mod rob;
+mod sim;
+mod tags;
+mod verify;
+
+pub use btb::{Btb, ReturnStack};
+pub use rename::{PhysReg, RenameTable, RenameUnit};
+pub use rob::{DstInfo, EntryState, MemStage, Rob, RobEntry};
+pub use sim::{OooSim, RunResult};
+pub use tags::{Tag, TagTable, TagUnit};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oov_isa::{
+        ArchReg, BranchInfo, CommitMode, Instruction, LoadElimMode, MemRef, Opcode, OooConfig,
+        Trace,
+    };
+
+    fn vload(dst: u8, base: u64, vl: u16) -> Instruction {
+        Instruction::load(
+            Opcode::VLoad,
+            ArchReg::V(dst),
+            &[],
+            MemRef::strided(base, 8, vl),
+            vl,
+        )
+    }
+
+    fn vstore(src: u8, base: u64, vl: u16) -> Instruction {
+        Instruction::store(
+            Opcode::VStore,
+            &[ArchReg::V(src)],
+            MemRef::strided(base, 8, vl),
+            vl,
+        )
+    }
+
+    fn vadd(dst: u8, a: u8, b: u8, vl: u16) -> Instruction {
+        Instruction::vector(
+            Opcode::VAdd,
+            ArchReg::V(dst),
+            &[ArchReg::V(a), ArchReg::V(b)],
+            vl,
+            1,
+        )
+    }
+
+    fn trace(insts: Vec<Instruction>) -> Trace {
+        let mut t = Trace::new("t");
+        t.extend(insts);
+        t
+    }
+
+    fn run(insts: Vec<Instruction>, cfg: OooConfig) -> RunResult {
+        OooSim::new(cfg, &trace(insts)).run()
+    }
+
+    #[test]
+    fn empty_machine_handles_single_instruction() {
+        let r = run(vec![vload(0, 0x1000, 64)], OooConfig::default());
+        assert_eq!(r.stats.committed, 1);
+        assert!(r.stats.cycles >= 50 + 64);
+    }
+
+    #[test]
+    fn chaining_overlaps_load_and_add() {
+        // OOOVA chains loads into functional units: the dependent add
+        // starts once the first element lands, not after the last.
+        let r = run(
+            vec![vload(0, 0x1000, 128), vadd(1, 0, 0, 128)],
+            OooConfig::default(),
+        );
+        // Load: ~5 (front end) + 128 addr + 50 latency; add chains ~1
+        // cycle behind the element stream + pipeline depth.
+        assert!(
+            r.stats.cycles < 64 + 50 + 128 + 40,
+            "no chaining? {} cycles",
+            r.stats.cycles
+        );
+    }
+
+    #[test]
+    fn renaming_removes_waw_stalls() {
+        // Four independent loads all writing V0: with renaming they
+        // pipeline back-to-back on the address bus.
+        let insts: Vec<Instruction> = (0..4).map(|i| vload(0, 0x1000 + i * 0x4000, 128)).collect();
+        let r = run(insts, OooConfig::default());
+        // 4 × 128 address cycles back-to-back plus latency tail.
+        assert!(
+            r.stats.cycles < 4 * 128 + 50 + 60,
+            "WAW stalled: {}",
+            r.stats.cycles
+        );
+        assert!(r.stats.mem_port_idle_pct() < 35.0);
+    }
+
+    #[test]
+    fn rename_stalls_when_physical_registers_run_out() {
+        // Loads interleaved with FU2-bound divide chains: with only 9
+        // physical registers, dispatch serialises behind commit and the
+        // memory port cannot run ahead.
+        let mk = || {
+            let mut v = Vec::new();
+            for i in 0..8u64 {
+                v.push(vload(0, 0x1000 + i * 0x4000, 128));
+                v.push(Instruction::vector(
+                    Opcode::VDiv,
+                    ArchReg::V(1),
+                    &[ArchReg::V(0)],
+                    128,
+                    1,
+                ));
+                v.push(Instruction::vector(
+                    Opcode::VDiv,
+                    ArchReg::V(2),
+                    &[ArchReg::V(1)],
+                    128,
+                    1,
+                ));
+            }
+            v
+        };
+        let nine = run(mk(), OooConfig::default().with_phys_v_regs(9));
+        let many = run(mk(), OooConfig::default().with_phys_v_regs(32));
+        assert!(nine.stats.rename_stall_cycles > 0);
+        assert!(nine.stats.cycles >= many.stats.cycles);
+        assert!(
+            nine.stats.mem_port_idle_pct() >= many.stats.mem_port_idle_pct(),
+            "more registers should keep the port at least as busy"
+        );
+    }
+
+    #[test]
+    fn disambiguation_lets_disjoint_load_pass_store() {
+        // A short load feeds a divide whose result is stored; the store's
+        // data arrives long after the bus is free. A disjoint long load
+        // can use the idle bus meanwhile; an overlapping one cannot.
+        let mk = |load3_base: u64| {
+            vec![
+                vload(1, 0x1000, 8), // quick: bus free early
+                Instruction::vector(Opcode::VDiv, ArchReg::V(2), &[ArchReg::V(1)], 8, 1),
+                vstore(2, 0x20000, 128), // waits on the divide's data
+                vload(3, load3_base, 128),
+            ]
+        };
+        let disjoint = run(mk(0x40000), OooConfig::default());
+        let blocked = run(mk(0x20000), OooConfig::default());
+        assert!(
+            disjoint.stats.cycles < blocked.stats.cycles,
+            "disjoint {} vs overlapping {}",
+            disjoint.stats.cycles,
+            blocked.stats.cycles
+        );
+    }
+
+    #[test]
+    fn overlapping_store_load_is_ordered() {
+        // RAW through memory: the load must not issue before the store.
+        let insts = vec![
+            vload(1, 0x1000, 64),
+            vstore(1, 0x8000, 64),
+            vload(2, 0x8000, 64),
+        ];
+        let r = run(insts, OooConfig::default());
+        assert_eq!(r.stats.committed, 3);
+        // Store waits for load data (~50+64), then load 2.
+        assert!(r.stats.cycles > 64 + 50 + 64);
+    }
+
+    #[test]
+    fn late_commit_store_at_head_slows_dependent_chains() {
+        // The paper's trfd/dyfesm pathology: store feeds a later load to
+        // the same address across "iterations".
+        let mk = || {
+            let mut v = Vec::new();
+            for i in 0..6 {
+                let base = 0x8000;
+                v.push(vload(1, 0x1000 + i * 0x2000, 64));
+                v.push(vadd(2, 1, 1, 64));
+                v.push(vstore(2, base, 64));
+                v.push(vload(3, base, 64));
+                v.push(vadd(4, 3, 3, 64));
+            }
+            v
+        };
+        let early = run(mk(), OooConfig::default().with_commit(CommitMode::Early));
+        let late = run(mk(), OooConfig::default().with_commit(CommitMode::Late));
+        assert!(
+            late.stats.cycles > early.stats.cycles,
+            "late {} should exceed early {}",
+            late.stats.cycles,
+            early.stats.cycles
+        );
+    }
+
+    #[test]
+    fn loop_branches_predicted_after_warmup() {
+        // A 20-iteration loop: cold BTB mispredicts at most a couple of
+        // times, then the exit mispredicts once.
+        let mut insts = Vec::new();
+        for i in 0..20 {
+            insts.push(vload(0, 0x1000 + i * 0x400, 64).at(0x100));
+            insts.push(
+                Instruction::control(
+                    Opcode::Branch,
+                    &[ArchReg::A(7)],
+                    BranchInfo {
+                        taken: i != 19,
+                        target: 0x100,
+                    },
+                )
+                .at(0x104),
+            );
+        }
+        let r = run(insts, OooConfig::default());
+        assert_eq!(r.stats.branches, 20);
+        assert!(
+            r.stats.mispredicts <= 3,
+            "too many mispredicts: {}",
+            r.stats.mispredicts
+        );
+    }
+
+    #[test]
+    fn queue_depth_128_accepted() {
+        let insts: Vec<Instruction> =
+            (0..40).map(|i| vload(0, 0x1000 + i * 0x4000, 32)).collect();
+        let q16 = run(insts.clone(), OooConfig::default());
+        let q128 = run(insts, OooConfig::default().with_queue_slots(128));
+        assert!(q128.stats.cycles <= q16.stats.cycles);
+    }
+
+    #[test]
+    fn ideal_bound_is_a_lower_bound() {
+        let insts = vec![
+            vload(0, 0x1000, 128),
+            vload(1, 0x2000, 128),
+            vadd(2, 0, 1, 128),
+            vstore(2, 0x40000, 128),
+        ];
+        let r = run(insts, OooConfig::default());
+        assert!(r.ideal_cycles <= r.stats.cycles);
+        assert_eq!(r.ideal_cycles, 3 * 128); // memory-bound: 3 mem ops
+    }
+
+    #[test]
+    fn sle_eliminates_scalar_spill_reload() {
+        let slot = 0x9000;
+        let insts = vec![
+            Instruction::scalar(Opcode::SLui, ArchReg::S(1), &[]).with_imm(42),
+            Instruction::store(Opcode::SStore, &[ArchReg::S(1)], MemRef::scalar(slot), 1),
+            Instruction::load(Opcode::SLoad, ArchReg::S(2), &[], MemRef::scalar(slot), 1),
+        ];
+        let cfg = OooConfig::default().with_load_elim(LoadElimMode::Sle);
+        let r = OooSim::new(cfg, &trace(insts)).with_checker().run();
+        assert_eq!(r.stats.eliminated_scalar_loads, 1);
+    }
+
+    #[test]
+    fn vle_eliminates_vector_spill_reload() {
+        let insts = vec![
+            vload(1, 0x1000, 64),
+            vstore(1, 0x9000, 64), // spill store
+            vadd(1, 1, 1, 64),     // V1 overwritten
+            vload(2, 0x9000, 64),  // spill reload: matches the store tag
+        ];
+        let cfg = OooConfig::default().with_load_elim(LoadElimMode::SleVle);
+        let r = OooSim::new(cfg, &trace(insts)).with_checker().run();
+        assert_eq!(r.stats.eliminated_vector_loads, 1);
+        assert_eq!(r.stats.eliminated_vector_words, 64);
+        // The eliminated load sent no requests.
+        assert_eq!(r.stats.mem_requests, 64 + 64);
+    }
+
+    #[test]
+    fn vle_redundant_load_same_address() {
+        // Two identical loads: the second is redundant.
+        let insts = vec![vload(1, 0x1000, 64), vload(2, 0x1000, 64)];
+        let cfg = OooConfig::default().with_load_elim(LoadElimMode::SleVle);
+        let r = OooSim::new(cfg, &trace(insts)).with_checker().run();
+        assert_eq!(r.stats.eliminated_vector_loads, 1);
+    }
+
+    #[test]
+    fn vle_store_invalidates_tags() {
+        // A store overlapping (but not exactly matching) the first
+        // load's region kills its tag, and the store's own tag has a
+        // different shape — so the reload must NOT be eliminated.
+        let insts = vec![
+            vload(1, 0x1000, 64),
+            vload(3, 0x5000, 64),
+            vstore(3, 0x1008, 64), // overlaps [0x1000, ...], shifted by 8
+            vload(2, 0x1000, 64),  // no exact tag match remains
+        ];
+        let cfg = OooConfig::default().with_load_elim(LoadElimMode::SleVle);
+        let r = OooSim::new(cfg, &trace(insts)).with_checker().run();
+        assert_eq!(r.stats.eliminated_vector_loads, 0);
+    }
+
+    #[test]
+    fn vle_store_to_load_forwarding() {
+        // A load of exactly the range a store just wrote matches the
+        // store's data-register tag: store-to-load forwarding. The value
+        // checker proves the forwarded data is what memory would return.
+        let insts = vec![
+            vload(1, 0x1000, 64),
+            vstore(1, 0x20000, 64),
+            vload(2, 0x20000, 64),
+        ];
+        let cfg = OooConfig::default().with_load_elim(LoadElimMode::SleVle);
+        let r = OooSim::new(cfg, &trace(insts)).with_checker().run();
+        assert_eq!(r.stats.eliminated_vector_loads, 1);
+    }
+
+    #[test]
+    fn vle_mismatched_shapes_not_eliminated() {
+        // Same base, different vector length: tags must not match.
+        let insts = vec![vload(1, 0x1000, 64), vload(2, 0x1000, 32)];
+        let cfg = OooConfig::default().with_load_elim(LoadElimMode::SleVle);
+        let r = OooSim::new(cfg, &trace(insts)).with_checker().run();
+        assert_eq!(r.stats.eliminated_vector_loads, 0);
+    }
+
+    #[test]
+    fn vle_reduces_traffic() {
+        let mk = |n: u64| {
+            let mut v = Vec::new();
+            for i in 0..n {
+                v.push(vload(1, 0x1000, 128)); // same address every time
+                v.push(vadd(2, 1, 1, 128));
+                v.push(vstore(2, 0x40000 + i * 0x1000, 128));
+            }
+            v
+        };
+        let base_cfg = OooConfig::default().with_commit(CommitMode::Late);
+        let vle_cfg = OooConfig::default().with_load_elim(LoadElimMode::SleVle);
+        let base = run(mk(8), base_cfg);
+        let vle = run(mk(8), vle_cfg);
+        assert!(vle.stats.mem_requests < base.stats.mem_requests);
+        assert!(vle.stats.cycles <= base.stats.cycles);
+    }
+
+    #[test]
+    fn silent_store_eliminated() {
+        // Load a range, then store the unmodified value straight back:
+        // the store writes what memory already holds and is elided.
+        let insts = vec![
+            vload(1, 0x1000, 64),
+            vstore(1, 0x1000, 64), // write-back, unchanged
+        ];
+        let cfg = OooConfig::default().with_load_elim(LoadElimMode::SleVleSse);
+        let r = OooSim::new(cfg, &trace(insts)).with_checker().run();
+        assert_eq!(r.stats.eliminated_stores, 1);
+        assert_eq!(r.stats.eliminated_store_words, 64);
+        assert_eq!(r.stats.mem_requests, 64, "only the load hit the bus");
+    }
+
+    #[test]
+    fn modified_value_store_not_eliminated() {
+        let insts = vec![
+            vload(1, 0x1000, 64),
+            vadd(2, 1, 1, 64),     // modified
+            vstore(2, 0x1000, 64), // must be performed
+        ];
+        let cfg = OooConfig::default().with_load_elim(LoadElimMode::SleVleSse);
+        let r = OooSim::new(cfg, &trace(insts)).with_checker().run();
+        assert_eq!(r.stats.eliminated_stores, 0);
+        assert_eq!(r.stats.mem_requests, 128);
+    }
+
+    #[test]
+    fn store_to_different_address_not_eliminated() {
+        // Same data, different location: the copy must be performed.
+        let insts = vec![vload(1, 0x1000, 64), vstore(1, 0x9000, 64)];
+        let cfg = OooConfig::default().with_load_elim(LoadElimMode::SleVleSse);
+        let r = OooSim::new(cfg, &trace(insts)).with_checker().run();
+        assert_eq!(r.stats.eliminated_stores, 0);
+    }
+
+    #[test]
+    fn silent_store_after_intervening_clobber_not_eliminated() {
+        // Another store overwrites the range in between: the write-back
+        // is no longer silent and must execute.
+        let insts = vec![
+            vload(1, 0x1000, 64),
+            vload(2, 0x5000, 64),
+            vstore(2, 0x1000, 64), // clobber
+            vstore(1, 0x1000, 64), // NOT silent any more
+        ];
+        let cfg = OooConfig::default().with_load_elim(LoadElimMode::SleVleSse);
+        let r = OooSim::new(cfg, &trace(insts)).with_checker().run();
+        assert_eq!(r.stats.eliminated_stores, 0);
+    }
+
+    #[test]
+    fn sse_mode_is_superset_of_slevle() {
+        let insts = vec![
+            vload(1, 0x1000, 64),
+            vstore(1, 0x9000, 64),
+            vload(2, 0x9000, 64), // VLE forwarding still works
+            vstore(2, 0x9000, 64), // and the write-back is silent
+        ];
+        let cfg = OooConfig::default().with_load_elim(LoadElimMode::SleVleSse);
+        let r = OooSim::new(cfg, &trace(insts)).with_checker().run();
+        assert_eq!(r.stats.eliminated_vector_loads, 1);
+        assert_eq!(r.stats.eliminated_stores, 1);
+    }
+
+    #[test]
+    fn precise_trap_recovers_and_completes() {
+        let insts = vec![
+            vload(0, 0x1000, 64),
+            vadd(1, 0, 0, 64),
+            vload(2, 0x3000, 64),
+            vadd(3, 2, 0, 64),
+            vstore(3, 0x8000, 64),
+        ];
+        let cfg = OooConfig::default().with_commit(CommitMode::Late);
+        let t = trace(insts);
+        let sim = OooSim::new(cfg, &t).with_fault_at(2);
+        let r = sim.run();
+        assert_eq!(r.stats.committed, 5, "all instructions commit after recovery");
+    }
+
+    #[test]
+    fn precise_trap_mid_pressure_completes() {
+        let insts: Vec<Instruction> = (0..10)
+            .map(|i| vload((i % 8) as u8, 0x1000 + i * 0x2000, 32))
+            .collect();
+        let cfg = OooConfig::default().with_commit(CommitMode::Late);
+        let t = trace(insts);
+        let sim = OooSim::new(cfg, &t).with_fault_at(5);
+        let r = sim.run();
+        assert_eq!(r.stats.committed, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "late-commit")]
+    fn fault_requires_late_commit() {
+        let t = trace(vec![vload(0, 0x1000, 8)]);
+        let _ = OooSim::new(OooConfig::default(), &t).with_fault_at(0);
+    }
+
+    #[test]
+    fn conservation_holds_before_run() {
+        let t = trace(vec![vload(0, 0x1000, 8)]);
+        let sim = OooSim::new(OooConfig::default(), &t);
+        assert!(sim.check_conservation());
+    }
+
+    #[test]
+    fn latency_tolerance_much_better_than_growth() {
+        // Streaming loads: raising memory latency from 1 to 100 should
+        // cost far less than 99 extra cycles per load.
+        let insts: Vec<Instruction> =
+            (0..16).map(|i| vload(0, 0x1000 + i * 0x4000, 128)).collect();
+        let lat1 = run(insts.clone(), OooConfig::default().with_memory_latency(1));
+        let lat100 = run(insts, OooConfig::default().with_memory_latency(100));
+        let growth = lat100.stats.cycles as f64 / lat1.stats.cycles as f64;
+        assert!(growth < 1.15, "latency not tolerated: growth {growth}");
+    }
+
+    #[test]
+    fn breakdown_total_matches_cycles() {
+        let r = run(
+            vec![vload(0, 0x1000, 64), vadd(1, 0, 0, 64), vstore(1, 0x9000, 64)],
+            OooConfig::default(),
+        );
+        assert_eq!(r.stats.breakdown.total(), r.stats.cycles);
+    }
+}

@@ -1,0 +1,337 @@
+//! Register renaming: mapping tables, free lists and reference counts.
+//!
+//! Paper §2.2: *"At the rename stage, a mapping table translates each
+//! virtual register into a physical register. There are 4 independent
+//! mapping tables ... Each mapping table has its own associated list of
+//! free registers."*
+//!
+//! Reference counts extend the paper's scheme for dynamic load
+//! elimination (§6): a vector load that matches a register tag makes a
+//! *second* architectural register point at the same physical register
+//! ("the destination register of the vector load is renamed to the
+//! physical register it matches"), so a physical register returns to the
+//! free list only when its last mapping is released.
+
+use oov_isa::RegClass;
+
+/// A physical register number within one class.
+pub type PhysReg = u16;
+
+/// Sentinel for "no register".
+const NONE: PhysReg = PhysReg::MAX;
+
+/// Rename state of one register class.
+#[derive(Debug, Clone)]
+pub struct RenameTable {
+    class: RegClass,
+    /// Architectural → physical.
+    map: Vec<PhysReg>,
+    /// LIFO of candidate free registers (may contain stale entries; a
+    /// register is actually free iff `refcount == 0`).
+    free: Vec<PhysReg>,
+    refcount: Vec<u16>,
+    n_phys: usize,
+}
+
+impl RenameTable {
+    /// Builds the table for `class` with `n_phys` physical registers.
+    /// The architectural registers are mapped to physicals `0..n_arch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_phys` is smaller than the architectural count + 1
+    /// (rename could never proceed).
+    #[must_use]
+    pub fn new(class: RegClass, n_phys: usize) -> Self {
+        let n_arch = usize::from(class.arch_count());
+        assert!(
+            n_phys > n_arch,
+            "{class}: need more than {n_arch} physical registers, got {n_phys}"
+        );
+        let map: Vec<PhysReg> = (0..n_arch as PhysReg).collect();
+        let mut refcount = vec![0u16; n_phys];
+        for &p in &map {
+            refcount[p as usize] = 1;
+        }
+        let free: Vec<PhysReg> = ((n_arch as PhysReg)..(n_phys as PhysReg)).rev().collect();
+        RenameTable {
+            class,
+            map,
+            free,
+            refcount,
+            n_phys,
+        }
+    }
+
+    /// The class this table renames.
+    #[must_use]
+    pub fn class(&self) -> RegClass {
+        self.class
+    }
+
+    /// Total physical registers.
+    #[must_use]
+    pub fn n_phys(&self) -> usize {
+        self.n_phys
+    }
+
+    /// Current physical register of an architectural register.
+    #[must_use]
+    pub fn lookup(&self, arch: u8) -> PhysReg {
+        self.map[usize::from(arch)]
+    }
+
+    /// `true` if a destination allocation would succeed.
+    #[must_use]
+    pub fn can_alloc(&self) -> bool {
+        self.free.iter().any(|&p| self.refcount[p as usize] == 0)
+    }
+
+    /// Number of actually free physical registers.
+    #[must_use]
+    pub fn free_count(&self) -> usize {
+        let mut seen = vec![false; self.n_phys];
+        self.free
+            .iter()
+            .filter(|&&p| {
+                let fresh = self.refcount[p as usize] == 0 && !seen[p as usize];
+                seen[p as usize] = true;
+                fresh
+            })
+            .count()
+    }
+
+    /// Allocates a new physical register for a write to `arch`.
+    /// Returns `(new_phys, old_phys)`; the old mapping must be released
+    /// via [`RenameTable::release`] when the instruction commits, or
+    /// undone via [`RenameTable::rollback_alloc`] on a squash.
+    pub fn alloc(&mut self, arch: u8) -> Option<(PhysReg, PhysReg)> {
+        let new = loop {
+            let p = self.free.pop()?;
+            if self.refcount[p as usize] == 0 {
+                break p;
+            }
+            // Stale entry (resurrected by a tag match); drop it.
+        };
+        let old = self.map[usize::from(arch)];
+        self.map[usize::from(arch)] = new;
+        self.refcount[new as usize] = 1;
+        Some((new, old))
+    }
+
+    /// Points `arch` at an *existing* physical register (dynamic load
+    /// elimination): increments its reference count, resurrecting it from
+    /// the free list if needed. Returns `(phys, old_phys)`.
+    pub fn alias(&mut self, arch: u8, phys: PhysReg) -> (PhysReg, PhysReg) {
+        assert!((phys as usize) < self.n_phys, "bogus physical register");
+        let old = self.map[usize::from(arch)];
+        self.map[usize::from(arch)] = phys;
+        self.refcount[phys as usize] += 1;
+        (phys, old)
+    }
+
+    /// Releases one reference to `phys` (an old mapping leaving the ROB
+    /// at commit). When the last reference drops, the register returns to
+    /// the free list.
+    pub fn release(&mut self, phys: PhysReg) {
+        let rc = &mut self.refcount[phys as usize];
+        assert!(*rc > 0, "double release of p{phys}");
+        *rc -= 1;
+        if *rc == 0 {
+            self.free.push(phys);
+        }
+    }
+
+    /// Undoes an [`RenameTable::alloc`] or [`RenameTable::alias`] during
+    /// a squash: restores `arch → old_phys` and drops the reference the
+    /// allocation took on `new_phys`.
+    pub fn rollback_alloc(&mut self, arch: u8, new_phys: PhysReg, old_phys: PhysReg) {
+        debug_assert_eq!(self.map[usize::from(arch)], new_phys, "rollback out of order");
+        self.map[usize::from(arch)] = old_phys;
+        self.release(new_phys);
+    }
+
+    /// Consistency check: every physical register is accounted for —
+    /// reference counts match the mapping table (plus any outstanding ROB
+    /// references given in `rob_refs`), and exactly the zero-refcount
+    /// registers are obtainable from the free list.
+    #[must_use]
+    pub fn check_conservation(&self, rob_refs: &[PhysReg]) -> bool {
+        let mut expect = vec![0u16; self.n_phys];
+        for &p in &self.map {
+            expect[p as usize] += 1;
+        }
+        for &p in rob_refs {
+            expect[p as usize] += 1;
+        }
+        if expect != self.refcount {
+            return false;
+        }
+        // Every zero-refcount register must appear in the free list.
+        (0..self.n_phys as PhysReg)
+            .filter(|&p| self.refcount[p as usize] == 0)
+            .all(|p| self.free.contains(&p))
+    }
+}
+
+/// The four rename tables of the OOOVA.
+#[derive(Debug, Clone)]
+pub struct RenameUnit {
+    tables: [RenameTable; 4],
+}
+
+fn class_index(class: RegClass) -> usize {
+    match class {
+        RegClass::A => 0,
+        RegClass::S => 1,
+        RegClass::V => 2,
+        RegClass::Mask => 3,
+    }
+}
+
+impl RenameUnit {
+    /// Builds the rename unit with the configured physical counts.
+    #[must_use]
+    pub fn new(phys_a: usize, phys_s: usize, phys_v: usize, phys_mask: usize) -> Self {
+        RenameUnit {
+            tables: [
+                RenameTable::new(RegClass::A, phys_a),
+                RenameTable::new(RegClass::S, phys_s),
+                RenameTable::new(RegClass::V, phys_v),
+                RenameTable::new(RegClass::Mask, phys_mask.max(9)),
+            ],
+        }
+    }
+
+    /// The table for `class`.
+    #[must_use]
+    pub fn table(&self, class: RegClass) -> &RenameTable {
+        &self.tables[class_index(class)]
+    }
+
+    /// Mutable table for `class`.
+    pub fn table_mut(&mut self, class: RegClass) -> &mut RenameTable {
+        &mut self.tables[class_index(class)]
+    }
+
+    /// A sentinel physical register value meaning "none".
+    #[must_use]
+    pub fn none() -> PhysReg {
+        NONE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_mapping_is_identity() {
+        let t = RenameTable::new(RegClass::V, 16);
+        for a in 0..8 {
+            assert_eq!(t.lookup(a), PhysReg::from(a));
+        }
+        assert_eq!(t.free_count(), 8);
+    }
+
+    #[test]
+    fn alloc_release_cycle() {
+        let mut t = RenameTable::new(RegClass::V, 9);
+        let (new, old) = t.alloc(3).unwrap();
+        assert_eq!(old, 3);
+        assert_eq!(t.lookup(3), new);
+        assert!(!t.can_alloc(), "9 phys, 8 mapped + 1 pending old");
+        t.release(old); // commit
+        assert!(t.can_alloc());
+        let (new2, old2) = t.alloc(3).unwrap();
+        assert_eq!(old2, new);
+        assert_eq!(new2, old, "freed register is reused");
+    }
+
+    #[test]
+    fn rollback_restores_mapping() {
+        let mut t = RenameTable::new(RegClass::V, 12);
+        let before = t.lookup(2);
+        let (new, old) = t.alloc(2).unwrap();
+        t.rollback_alloc(2, new, old);
+        assert_eq!(t.lookup(2), before);
+        assert!(t.check_conservation(&[]));
+    }
+
+    #[test]
+    fn alias_shares_a_physical_register() {
+        let mut t = RenameTable::new(RegClass::V, 16);
+        let p = t.lookup(0);
+        let (shared, old5) = t.alias(5, p);
+        assert_eq!(shared, p);
+        assert_eq!(t.lookup(5), p);
+        assert_eq!(t.lookup(0), p);
+        // Commit of the aliasing instruction releases arch 5's previous
+        // mapping; `p` now carries two references (arch 0 and arch 5).
+        t.release(old5);
+        assert!(t.check_conservation(&[]));
+        // Overwriting arch 5 drops one reference; `p` must stay live
+        // because arch 0 still maps to it.
+        let (_, old) = t.alloc(5).unwrap();
+        assert_eq!(old, p);
+        t.release(old);
+        assert_eq!(t.lookup(0), p);
+        assert!(t.check_conservation(&[]));
+    }
+
+    #[test]
+    fn resurrection_from_free_list() {
+        let mut t = RenameTable::new(RegClass::V, 12);
+        let (new, old) = t.alloc(1).unwrap();
+        t.release(old); // old now free
+        // A tag match resurrects `old` for arch 6.
+        let (p, prev6) = t.alias(6, old);
+        assert_eq!(p, old);
+        // The stale free-list entry must not be handed out again.
+        let mut allocated = vec![new];
+        while let Some((n, _)) = t.alloc(0) {
+            assert!(!allocated.contains(&n), "p{n} double-allocated");
+            assert_ne!(n, old, "resurrected register re-allocated");
+            allocated.push(n);
+            assert!(allocated.len() <= 12, "allocated more registers than exist");
+        }
+        t.release(prev6);
+    }
+
+    #[test]
+    fn conservation_detects_leaks() {
+        let mut t = RenameTable::new(RegClass::S, 10);
+        assert!(t.check_conservation(&[]));
+        let (_, old) = t.alloc(0).unwrap();
+        // Old mapping is held by the "ROB".
+        assert!(t.check_conservation(&[old]));
+        assert!(!t.check_conservation(&[]), "old reference unaccounted");
+        t.release(old);
+        assert!(t.check_conservation(&[]));
+    }
+
+    #[test]
+    #[should_panic(expected = "double release")]
+    fn double_release_panics() {
+        let mut t = RenameTable::new(RegClass::S, 10);
+        let (_, old) = t.alloc(0).unwrap();
+        t.release(old);
+        t.release(old);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut t = RenameTable::new(RegClass::Mask, 9);
+        assert!(t.alloc(0).is_some());
+        assert!(t.alloc(1).is_none(), "free list exhausted");
+    }
+
+    #[test]
+    fn rename_unit_routes_classes() {
+        let u = RenameUnit::new(64, 64, 16, 8);
+        assert_eq!(u.table(RegClass::V).n_phys(), 16);
+        assert_eq!(u.table(RegClass::A).n_phys(), 64);
+        // Mask tables are bumped to the minimum workable size.
+        assert!(u.table(RegClass::Mask).n_phys() >= 9);
+    }
+}

@@ -1,0 +1,305 @@
+//! The reorder buffer.
+//!
+//! Paper §2.2: *"When instructions are accepted into the decode stage, a
+//! slot in the reorder buffer is also allocated. Instructions enter and
+//! exit the reorder buffer in strict program order. ... Note that the
+//! reorder buffer only holds a few bits to identify instructions and
+//! register names; it never holds register values."*
+
+use std::collections::VecDeque;
+
+use oov_isa::{BranchInfo, MemRef, Opcode, RegClass};
+
+use crate::rename::PhysReg;
+
+/// Destination bookkeeping of one ROB entry: enough to commit (release
+/// the old mapping) or squash (restore it).
+#[derive(Debug, Clone, Copy)]
+pub struct DstInfo {
+    /// Register class.
+    pub class: RegClass,
+    /// Architectural register number.
+    pub arch: u8,
+    /// Physical register now mapped.
+    pub new: PhysReg,
+    /// Previous mapping, released at commit.
+    pub old: PhysReg,
+}
+
+/// Progress of an instruction through the memory pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemStage {
+    /// Not a memory-pipe instruction (or not yet entered).
+    None,
+    /// Issue/RF stage.
+    S1,
+    /// Range stage (address range computation).
+    S2,
+    /// Dependence stage (disambiguation + late vector rename).
+    S3,
+    /// Past the pipe, waiting to issue requests out of order.
+    WaitDisamb,
+    /// Requests issued (or load eliminated).
+    Done,
+}
+
+/// Execution state of a ROB entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryState {
+    /// Waiting in an issue queue (or the memory pipe).
+    Waiting,
+    /// Execution started (vector first element flowing).
+    Issued,
+}
+
+/// One reorder-buffer entry.
+#[derive(Debug, Clone)]
+pub struct RobEntry {
+    /// Global sequence number (program order).
+    pub seq: u64,
+    /// Index into the trace.
+    pub trace_idx: usize,
+    /// Opcode.
+    pub op: Opcode,
+    /// Vector length.
+    pub vl: u16,
+    /// Spill marker (traffic accounting).
+    pub is_spill: bool,
+    /// Memory reference, if any.
+    pub mem: Option<MemRef>,
+    /// Branch outcome, if any.
+    pub branch: Option<BranchInfo>,
+    /// Static PC.
+    pub pc: u64,
+    /// Renamed sources `(class, phys)`; vector sources may be deferred
+    /// under the VLE pipeline, in which case they appear in
+    /// `deferred_srcs` until stage 3.
+    pub srcs: Vec<(RegClass, PhysReg)>,
+    /// Architectural vector sources awaiting late rename (VLE mode).
+    pub deferred_srcs: Vec<u8>,
+    /// Destination bookkeeping (populated at rename, or stage 3 for
+    /// vector destinations under VLE).
+    pub dst: Option<DstInfo>,
+    /// Architectural vector destination awaiting late rename (VLE mode).
+    pub deferred_dst: Option<u8>,
+    /// Execution state.
+    pub state: EntryState,
+    /// Cycle execution started (valid once `state == Issued`).
+    pub issue_time: u64,
+    /// Scheduled completion cycle (valid once `state == Issued`).
+    pub complete_time: u64,
+    /// Memory-pipe progress.
+    pub mem_stage: MemStage,
+    /// Load satisfied by dynamic load elimination.
+    pub eliminated: bool,
+    /// Fetch-time misprediction flag (front end stalled on this branch).
+    pub mispredicted: bool,
+}
+
+impl RobEntry {
+    /// `true` once execution has started.
+    #[must_use]
+    pub fn issued(&self) -> bool {
+        self.state == EntryState::Issued
+    }
+
+    /// `true` if this entry writes memory.
+    #[must_use]
+    pub fn is_store(&self) -> bool {
+        self.op.is_store()
+    }
+}
+
+/// The reorder buffer: a bounded FIFO of in-flight instructions.
+#[derive(Debug)]
+pub struct Rob {
+    entries: VecDeque<RobEntry>,
+    capacity: usize,
+    next_seq: u64,
+}
+
+impl Rob {
+    /// An empty ROB with `capacity` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ROB needs at least one slot");
+        Rob {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            next_seq: 0,
+        }
+    }
+
+    /// `true` if no slot is available.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// `true` if empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Occupied slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Sequence number the next allocated entry will get.
+    #[must_use]
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Allocates an entry at the tail, assigning its sequence number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if full — callers must check [`Rob::is_full`] first.
+    pub fn push(&mut self, mut entry: RobEntry) -> u64 {
+        assert!(!self.is_full(), "ROB overflow");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        entry.seq = seq;
+        self.entries.push_back(entry);
+        seq
+    }
+
+    /// The head (oldest) entry.
+    #[must_use]
+    pub fn head(&self) -> Option<&RobEntry> {
+        self.entries.front()
+    }
+
+    /// Sequence number of the head entry.
+    #[must_use]
+    pub fn head_seq(&self) -> Option<u64> {
+        self.entries.front().map(|e| e.seq)
+    }
+
+    /// Removes and returns the head entry (commit).
+    pub fn pop(&mut self) -> Option<RobEntry> {
+        self.entries.pop_front()
+    }
+
+    /// Removes and returns the tail entry (squash walk).
+    pub fn pop_tail(&mut self) -> Option<RobEntry> {
+        self.entries.pop_back()
+    }
+
+    /// Looks up an entry by sequence number.
+    #[must_use]
+    pub fn get(&self, seq: u64) -> Option<&RobEntry> {
+        let head = self.head_seq()?;
+        let off = seq.checked_sub(head)? as usize;
+        self.entries.get(off)
+    }
+
+    /// Mutable lookup by sequence number.
+    pub fn get_mut(&mut self, seq: u64) -> Option<&mut RobEntry> {
+        let head = self.head_seq()?;
+        let off = seq.checked_sub(head)? as usize;
+        self.entries.get_mut(off)
+    }
+
+    /// Iterates entries in program order.
+    pub fn iter(&self) -> impl Iterator<Item = &RobEntry> {
+        self.entries.iter()
+    }
+
+    /// Iterates entries mutably in program order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut RobEntry> {
+        self.entries.iter_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(trace_idx: usize) -> RobEntry {
+        RobEntry {
+            seq: 0,
+            trace_idx,
+            op: Opcode::SAdd,
+            vl: 1,
+            is_spill: false,
+            mem: None,
+            branch: None,
+            pc: 0,
+            srcs: Vec::new(),
+            deferred_srcs: Vec::new(),
+            dst: None,
+            deferred_dst: None,
+            state: EntryState::Waiting,
+            issue_time: 0,
+            complete_time: 0,
+            mem_stage: MemStage::None,
+            eliminated: false,
+            mispredicted: false,
+        }
+    }
+
+    #[test]
+    fn fifo_order_and_sequence_numbers() {
+        let mut r = Rob::new(4);
+        let s0 = r.push(entry(10));
+        let s1 = r.push(entry(11));
+        assert_eq!((s0, s1), (0, 1));
+        assert_eq!(r.head().unwrap().trace_idx, 10);
+        assert_eq!(r.pop().unwrap().seq, 0);
+        assert_eq!(r.head_seq(), Some(1));
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut r = Rob::new(2);
+        r.push(entry(0));
+        r.push(entry(1));
+        assert!(r.is_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "ROB overflow")]
+    fn overflow_panics() {
+        let mut r = Rob::new(1);
+        r.push(entry(0));
+        r.push(entry(1));
+    }
+
+    #[test]
+    fn lookup_by_seq_after_commits() {
+        let mut r = Rob::new(8);
+        for i in 0..5 {
+            r.push(entry(i));
+        }
+        r.pop();
+        r.pop();
+        assert_eq!(r.get(2).unwrap().trace_idx, 2);
+        assert_eq!(r.get(4).unwrap().trace_idx, 4);
+        assert!(r.get(1).is_none(), "committed entries are gone");
+        r.get_mut(3).unwrap().state = EntryState::Issued;
+        assert!(r.get(3).unwrap().issued());
+    }
+
+    #[test]
+    fn squash_walk_from_tail() {
+        let mut r = Rob::new(8);
+        for i in 0..4 {
+            r.push(entry(i));
+        }
+        assert_eq!(r.pop_tail().unwrap().trace_idx, 3);
+        assert_eq!(r.pop_tail().unwrap().trace_idx, 2);
+        assert_eq!(r.len(), 2);
+        // Sequence numbers keep increasing even after a squash.
+        let s = r.push(entry(9));
+        assert_eq!(s, 4);
+    }
+}

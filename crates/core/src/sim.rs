@@ -1,0 +1,1211 @@
+//! The cycle-stepped OOOVA engine.
+//!
+//! Pipeline per paper §2.2 (Figure 1/2): in-order fetch (with BTB +
+//! return stack) and decode/rename, four issue queues (A, S, V, M), a
+//! three-stage in-order memory pipeline (Issue/RF → Range → Dependence)
+//! followed by out-of-order memory issue under range-based
+//! disambiguation, a 64-entry reorder buffer committing up to 4
+//! instructions per cycle, and early/late commit modes (§5).
+//! Dynamic load elimination (§6) runs at the Dependence stage, where the
+//! modified pipeline (Figure 10) also renames vector registers.
+
+use std::collections::VecDeque;
+
+use oov_isa::{
+    ArchReg, CommitMode, FuClass, Instruction, LoadElimMode, MemKind, Opcode, OooConfig, RegClass,
+    Trace,
+};
+use oov_mem::{AddressBus, ScalarCache, TrafficCounter};
+use oov_stats::{OccupancyTracker, SimStats, VectorUnit};
+
+use crate::btb::{Btb, ReturnStack};
+use crate::rename::{PhysReg, RenameUnit};
+use crate::rob::{DstInfo, EntryState, MemStage, Rob, RobEntry};
+use crate::tags::{Tag, TagUnit};
+use crate::verify::Checker;
+
+const FETCH_BUF_DEPTH: usize = 8;
+/// Commits per watchdog window before declaring deadlock.
+const WATCHDOG_CYCLES: u64 = 2_000_000;
+
+fn class_ix(c: RegClass) -> usize {
+    match c {
+        RegClass::A => 0,
+        RegClass::S => 1,
+        RegClass::V => 2,
+        RegClass::Mask => 3,
+    }
+}
+
+/// Timing state of the physical register files.
+#[derive(Debug)]
+struct RegTiming {
+    /// Cycle the first element is readable by a chained consumer.
+    avail_first: [Vec<u64>; 4],
+    /// Cycle the last element is written.
+    avail_last: [Vec<u64>; 4],
+    /// Whether the producing instruction has issued (times valid).
+    produced: [Vec<bool>; 4],
+    /// Dedicated per-register read port (V class only).
+    read_port_free: Vec<u64>,
+}
+
+impl RegTiming {
+    fn new(n: [usize; 4]) -> Self {
+        let mk = |len: usize| vec![0u64; len];
+        let mut produced: [Vec<bool>; 4] = [
+            vec![false; n[0]],
+            vec![false; n[1]],
+            vec![false; n[2]],
+            vec![false; n[3]],
+        ];
+        // The initial architectural mappings (phys 0..8) hold valid data.
+        for p in produced.iter_mut() {
+            for b in p.iter_mut().take(8) {
+                *b = true;
+            }
+        }
+        RegTiming {
+            avail_first: [mk(n[0]), mk(n[1]), mk(n[2]), mk(n[3])],
+            avail_last: [mk(n[0]), mk(n[1]), mk(n[2]), mk(n[3])],
+            produced,
+            read_port_free: vec![0; n[2]],
+        }
+    }
+
+    fn set_avail(&mut self, class: RegClass, phys: PhysReg, first: u64, last: u64) {
+        let ci = class_ix(class);
+        self.avail_first[ci][phys as usize] = first;
+        self.avail_last[ci][phys as usize] = last;
+        self.produced[ci][phys as usize] = true;
+    }
+
+    fn clear(&mut self, class: RegClass, phys: PhysReg) {
+        self.produced[class_ix(class)][phys as usize] = false;
+    }
+
+    fn is_produced(&self, class: RegClass, phys: PhysReg) -> bool {
+        self.produced[class_ix(class)][phys as usize]
+    }
+
+    fn first(&self, class: RegClass, phys: PhysReg) -> u64 {
+        self.avail_first[class_ix(class)][phys as usize]
+    }
+
+    fn last(&self, class: RegClass, phys: PhysReg) -> u64 {
+        self.avail_last[class_ix(class)][phys as usize]
+    }
+}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Aggregate counters.
+    pub stats: SimStats,
+    /// The trace's IDEAL lower bound (paper §4.2).
+    pub ideal_cycles: u64,
+}
+
+/// The out-of-order vector architecture simulator.
+#[derive(Debug)]
+pub struct OooSim<'t> {
+    cfg: OooConfig,
+    trace: &'t Trace,
+    now: u64,
+    rename: RenameUnit,
+    rob: Rob,
+    timing: RegTiming,
+    q_a: VecDeque<u64>,
+    q_s: VecDeque<u64>,
+    q_v: VecDeque<u64>,
+    q_m: VecDeque<u64>,
+    /// The three memory-pipe stage registers (ROB sequence numbers).
+    stage: [Option<u64>; 3],
+    fetch_idx: usize,
+    fetch_buf: VecDeque<usize>,
+    /// Trace index of the unresolved mispredicted control transfer.
+    fetch_blocked: Option<usize>,
+    /// Cycle at which fetch resumes after the blocking branch resolves.
+    fetch_resume_at: Option<u64>,
+    btb: Btb,
+    ras: ReturnStack,
+    /// Deferred BTB updates applied at branch resolution.
+    btb_updates: Vec<(u64, u64, bool, u64)>,
+    fu1_free: u64,
+    fu2_free: u64,
+    bus: AddressBus,
+    traffic: TrafficCounter,
+    occ: OccupancyTracker,
+    cache: Option<ScalarCache>,
+    tags: TagUnit,
+    /// Eliminated scalar loads waiting for their provider's value:
+    /// `(class, dst_phys, provider_class, provider_phys, min_time)`.
+    pending_copies: Vec<(RegClass, PhysReg, RegClass, PhysReg, u64)>,
+    committed: u64,
+    max_complete: u64,
+    stats: SimStats,
+    /// Optional value-level checker for load elimination.
+    checker: Option<Checker>,
+    /// Inject a precise trap at this trace index (late commit only).
+    fault_at: Option<usize>,
+    faults_taken: u64,
+}
+
+impl<'t> OooSim<'t> {
+    /// Builds a simulator for one run over `trace`.
+    #[must_use]
+    pub fn new(cfg: OooConfig, trace: &'t Trace) -> Self {
+        let rename = RenameUnit::new(
+            cfg.phys_a_regs,
+            cfg.phys_s_regs,
+            cfg.phys_v_regs,
+            cfg.phys_mask_regs,
+        );
+        let n = [
+            rename.table(RegClass::A).n_phys(),
+            rename.table(RegClass::S).n_phys(),
+            rename.table(RegClass::V).n_phys(),
+            rename.table(RegClass::Mask).n_phys(),
+        ];
+        OooSim {
+            timing: RegTiming::new(n),
+            tags: TagUnit::new(n[0], n[1], n[2]),
+            rename,
+            cfg,
+            trace,
+            now: 0,
+            rob: Rob::new(cfg.rob_entries),
+            q_a: VecDeque::new(),
+            q_s: VecDeque::new(),
+            q_v: VecDeque::new(),
+            q_m: VecDeque::new(),
+            stage: [None; 3],
+            fetch_idx: 0,
+            fetch_buf: VecDeque::new(),
+            fetch_blocked: None,
+            fetch_resume_at: None,
+            btb: Btb::new(cfg.btb_entries),
+            ras: ReturnStack::new(cfg.ras_depth),
+            btb_updates: Vec::new(),
+            fu1_free: 0,
+            fu2_free: 0,
+            bus: AddressBus::new(),
+            traffic: TrafficCounter::new(),
+            occ: OccupancyTracker::new(),
+            cache: cfg
+                .scalar_cache
+                .map(|c| ScalarCache::new(c.size_bytes, c.line_bytes)),
+            pending_copies: Vec::new(),
+            committed: 0,
+            max_complete: 0,
+            stats: SimStats::new(),
+            checker: None,
+            fault_at: None,
+            faults_taken: 0,
+        }
+    }
+
+    /// Enables value-level verification of dynamic load elimination
+    /// against the architectural executor. Only use on small traces.
+    #[must_use]
+    pub fn with_checker(mut self) -> Self {
+        self.checker = Some(Checker::new(self.trace));
+        self
+    }
+
+    /// As [`OooSim::with_checker`], but seeds the checker's memory image
+    /// with a compiled program's initial contents.
+    #[must_use]
+    pub fn with_checker_seeded(mut self, init: &[(u64, u64)]) -> Self {
+        let mut c = Checker::new(self.trace);
+        c.seed(init);
+        self.checker = Some(c);
+        self
+    }
+
+    /// Injects a precise trap: when the instruction at `trace_idx` first
+    /// reaches the commit point, the pipeline squashes back to it and
+    /// re-executes — exercising the paper's §5 recovery mechanism.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the configuration uses late commit (precise traps
+    /// require it).
+    #[must_use]
+    pub fn with_fault_at(mut self, trace_idx: usize) -> Self {
+        assert!(
+            self.cfg.commit == CommitMode::Late,
+            "precise traps require the late-commit model"
+        );
+        self.fault_at = Some(trace_idx);
+        self
+    }
+
+    /// Precise traps taken during the run.
+    #[must_use]
+    pub fn faults_taken(&self) -> u64 {
+        self.faults_taken
+    }
+
+    /// Runs to completion and returns the results.
+    #[must_use]
+    pub fn run(mut self) -> RunResult {
+        let total = self.trace.len() as u64;
+        let mut last_commit_cycle = 0;
+        let mut last_committed = 0;
+        while self.committed < total {
+            self.apply_btb_updates();
+            self.resolve_pending_copies();
+            self.commit();
+            self.advance_mem_pipe();
+            self.issue_mem();
+            self.issue_vector();
+            self.issue_scalar_queue(true);
+            self.issue_scalar_queue(false);
+            self.dispatch();
+            self.fetch();
+            self.now += 1;
+            if self.committed != last_committed {
+                last_committed = self.committed;
+                last_commit_cycle = self.now;
+            } else if self.now - last_commit_cycle > WATCHDOG_CYCLES {
+                panic!(
+                    "OOOVA deadlock at cycle {}: committed {}/{}, rob len {}, head {:?}",
+                    self.now,
+                    self.committed,
+                    total,
+                    self.rob.len(),
+                    self.rob.head().map(|e| (e.trace_idx, e.op, e.state, e.mem_stage))
+                );
+            }
+        }
+        let cycles = self.now.max(self.max_complete + 1);
+        self.stats.cycles = cycles;
+        self.stats.committed = self.committed;
+        self.stats.addr_bus_busy_cycles = self.bus.busy_cycles();
+        self.stats.mem_requests = self.traffic.total();
+        self.stats.load_requests = self.traffic.loads();
+        self.stats.store_requests = self.traffic.stores();
+        self.stats.spill_requests = self.traffic.spill_loads() + self.traffic.spill_stores();
+        self.stats.breakdown = self.occ.into_breakdown(cycles);
+        RunResult {
+            stats: self.stats,
+            ideal_cycles: self.trace.ideal_cycles(),
+        }
+    }
+
+    // ----- helpers ----------------------------------------------------
+
+    fn elim_on(&self) -> bool {
+        self.cfg.load_elim != LoadElimMode::Off
+    }
+
+    fn vle_on(&self) -> bool {
+        matches!(
+            self.cfg.load_elim,
+            LoadElimMode::SleVle | LoadElimMode::SleVleSse
+        )
+    }
+
+    fn sse_on(&self) -> bool {
+        self.cfg.load_elim == LoadElimMode::SleVleSse
+    }
+
+    /// Does this instruction pass through the memory pipe?
+    fn uses_mem_pipe(&self, inst: &Instruction) -> bool {
+        if inst.op.is_mem() {
+            return true;
+        }
+        // VLE pipeline: every instruction touching a vector register.
+        self.vle_on() && self.touches_vector(inst)
+    }
+
+    fn touches_vector(&self, inst: &Instruction) -> bool {
+        inst.op.is_vector()
+            || inst.dst.map(|d| d.is_vector()).unwrap_or(false)
+            || inst.sources().any(|s| s.is_vector())
+    }
+
+    /// Earliest cycle a source operand can feed this consumer, or `None`
+    /// if its producer has not issued yet.
+    fn src_ready_time(&self, class: RegClass, phys: PhysReg, chained: bool) -> Option<u64> {
+        if !self.timing.is_produced(class, phys) {
+            return None;
+        }
+        let t = if chained && !class.is_scalar() {
+            self.timing.first(class, phys) + 1
+        } else {
+            self.timing.last(class, phys)
+        };
+        Some(t)
+    }
+
+    /// Readiness of all sources of an entry for vector-rate consumption.
+    fn sources_ready(&self, e: &RobEntry, chained: bool) -> bool {
+        for &(class, phys) in &e.srcs {
+            match self.src_ready_time(class, phys, chained && !class.is_scalar()) {
+                Some(t) if t <= self.now => {
+                    // Vector reads also need the dedicated read port.
+                    if class == RegClass::V
+                        && chained
+                        && self.timing.read_port_free[phys as usize] > self.now
+                    {
+                        return false;
+                    }
+                }
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    // ----- cycle phases -----------------------------------------------
+
+    fn apply_btb_updates(&mut self) {
+        let now = self.now;
+        let mut i = 0;
+        while i < self.btb_updates.len() {
+            if self.btb_updates[i].0 <= now {
+                let (_, pc, taken, target) = self.btb_updates.swap_remove(i);
+                self.btb.update(pc, taken, target);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn resolve_pending_copies(&mut self) {
+        let mut i = 0;
+        while i < self.pending_copies.len() {
+            let (dc, dp, pc_, pp, min_t) = self.pending_copies[i];
+            if self.timing.is_produced(pc_, pp) {
+                let t = self.timing.last(pc_, pp).max(min_t) + 1;
+                self.timing.set_avail(dc, dp, t, t);
+                self.max_complete = self.max_complete.max(t);
+                self.pending_copies.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn ready_to_commit(&self, e: &RobEntry) -> bool {
+        if !e.issued() {
+            return false;
+        }
+        if e.eliminated {
+            // Complete when the provider's data is fully available.
+            if let Some(d) = e.dst {
+                return self.timing.is_produced(d.class, d.new)
+                    && self.timing.last(d.class, d.new) <= self.now;
+            }
+            return true;
+        }
+        match self.cfg.commit {
+            CommitMode::Early => {
+                // Vector instructions release state once execution begins.
+                if e.op.is_vector() || e.is_store() {
+                    true
+                } else {
+                    e.complete_time <= self.now
+                }
+            }
+            CommitMode::Late => e.complete_time <= self.now,
+        }
+    }
+
+    fn commit(&mut self) {
+        for _ in 0..self.cfg.commit_width {
+            let Some(head) = self.rob.head() else { return };
+            if let (Some(fault_idx), true) = (self.fault_at, head.issued()) {
+                if head.trace_idx == fault_idx && self.ready_to_commit(head) {
+                    self.take_fault();
+                    return;
+                }
+            }
+            if !self.ready_to_commit(head) {
+                return;
+            }
+            let e = self.rob.pop().expect("head vanished");
+            if let Some(d) = e.dst {
+                self.rename.table_mut(d.class).release(d.old);
+            }
+            if let Some(c) = &mut self.checker {
+                c.on_commit(e.trace_idx);
+            }
+            self.committed += 1;
+        }
+    }
+
+    /// Precise-trap recovery (paper §5): squash everything from the tail
+    /// back to and including the faulting instruction, restoring rename
+    /// state, then restart fetch at the fault point.
+    fn take_fault(&mut self) {
+        let fault_idx = self.fault_at.take().expect("no fault pending");
+        self.faults_taken += 1;
+        while let Some(e) = self.rob.pop_tail() {
+            if let Some(d) = e.dst {
+                self.rename
+                    .table_mut(d.class)
+                    .rollback_alloc(d.arch, d.new, d.old);
+            }
+            let done = e.trace_idx == fault_idx;
+            if done {
+                break;
+            }
+        }
+        self.q_a.clear();
+        self.q_s.clear();
+        self.q_v.clear();
+        self.q_m.clear();
+        self.stage = [None; 3];
+        self.fetch_buf.clear();
+        self.fetch_blocked = None;
+        self.fetch_resume_at = None;
+        self.pending_copies.clear();
+        // Conservative: forget all register memory tags.
+        self.tags.clear();
+        self.fetch_idx = fault_idx;
+        if let Some(c) = &mut self.checker {
+            c.on_squash();
+        }
+    }
+
+    fn advance_mem_pipe(&mut self) {
+        // Stage 3 → out.
+        if let Some(seq) = self.stage[2] {
+            if self.stage3_exit(seq) {
+                self.stage[2] = None;
+            }
+        }
+        // Stage 2 → 3 (range computed here; nothing blocks).
+        if self.stage[2].is_none() {
+            if let Some(seq) = self.stage[1].take() {
+                if let Some(e) = self.rob.get_mut(seq) {
+                    e.mem_stage = MemStage::S3;
+                }
+                self.stage[2] = Some(seq);
+            }
+        }
+        // Stage 1 → 2.
+        if self.stage[1].is_none() {
+            if let Some(seq) = self.stage[0].take() {
+                if let Some(e) = self.rob.get_mut(seq) {
+                    e.mem_stage = MemStage::S2;
+                }
+                self.stage[1] = Some(seq);
+            }
+        }
+        // Queue head (not yet in the pipe) → stage 1.
+        if self.stage[0].is_none() {
+            let candidate = self
+                .q_m
+                .iter()
+                .copied()
+                .find(|&s| self.rob.get(s).map(|e| e.mem_stage == MemStage::None) == Some(true));
+            if let Some(seq) = candidate {
+                if let Some(e) = self.rob.get_mut(seq) {
+                    e.mem_stage = MemStage::S1;
+                }
+                self.stage[0] = Some(seq);
+            }
+        }
+    }
+
+    /// Processes an entry leaving the Dependence stage. Returns `false`
+    /// if it must stall in stage 3 this cycle.
+    fn stage3_exit(&mut self, seq: u64) -> bool {
+        let Some(e) = self.rob.get(seq) else {
+            return true; // squashed
+        };
+        let is_mem = e.op.is_mem();
+        let is_vec_compute = !is_mem;
+        let needs_rename = !e.deferred_srcs.is_empty() || e.deferred_dst.is_some();
+
+        if needs_rename {
+            // Late vector rename (VLE pipeline, paper Figure 10).
+            let elim = self.try_vector_eliminate(seq);
+            if elim == Stage3Rename::Stalled {
+                self.stats.rename_stall_cycles += 1;
+                return false;
+            }
+            if elim == Stage3Rename::Eliminated {
+                // Entry fully handled; leaves the M queue.
+                self.q_m.retain(|&s| s != seq);
+                return true;
+            }
+        }
+        if is_vec_compute {
+            // Vector compute under VLE: move to the V queue.
+            if self.q_v.len() >= self.cfg.queue_slots {
+                self.stats.queue_stall_cycles += 1;
+                return false;
+            }
+            if let Some(e) = self.rob.get_mut(seq) {
+                e.mem_stage = MemStage::Done;
+            }
+            self.q_m.retain(|&s| s != seq);
+            self.q_v.push_back(seq);
+            return true;
+        }
+        // Memory instruction: tag bookkeeping in program order.
+        if self.elim_on() {
+            if self.try_scalar_eliminate(seq) {
+                self.q_m.retain(|&s| s != seq);
+                return true;
+            }
+            if self.sse_on() && self.try_store_eliminate(seq) {
+                self.q_m.retain(|&s| s != seq);
+                return true;
+            }
+            self.stage3_tag_update(seq);
+        }
+        if let Some(e) = self.rob.get_mut(seq) {
+            e.mem_stage = MemStage::WaitDisamb;
+        }
+        true
+    }
+
+    /// Tag maintenance for a (non-eliminated) memory instruction at the
+    /// Dependence stage: loads tag their destination, stores invalidate
+    /// overlapping tags and tag their data register.
+    fn stage3_tag_update(&mut self, seq: u64) {
+        let Some(e) = self.rob.get(seq) else { return };
+        let Some(mem) = e.mem else { return };
+        let tag = Tag::from_mem(&mem, if e.op.is_vector() { e.vl } else { 1 });
+        if e.op.is_load() {
+            if let Some(d) = e.dst {
+                if d.class != RegClass::Mask {
+                    // Indexed gathers cover a range, not an exact shape;
+                    // never tag them (no exact match is possible anyway).
+                    if mem.kind != MemKind::Indexed {
+                        self.tags.table_mut(d.class).set(d.new, tag);
+                        if let Some(c) = &mut self.checker {
+                            c.on_tag_set(d.class, d.new, e.trace_idx);
+                        }
+                    }
+                }
+            }
+        } else {
+            self.tags.store_invalidate(mem.range_lo, mem.range_hi);
+            if mem.kind != MemKind::Indexed {
+                if let Some(&(class, phys)) = e.srcs.first() {
+                    if class != RegClass::Mask {
+                        self.tags.table_mut(class).set(phys, tag);
+                        if let Some(c) = &mut self.checker {
+                            c.on_store_tag(class, phys, e.trace_idx);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Redundant (silent) store elimination — the extension the paper
+    /// leaves as future work. If the data register's tag shows it
+    /// mirrors *exactly* the bytes the store would write, memory already
+    /// holds the data and the store is elided. Sound because tags are
+    /// invalidated whenever the mirrored memory is overwritten or the
+    /// register reallocated; the lock-step checker verifies every
+    /// elision against real values.
+    fn try_store_eliminate(&mut self, seq: u64) -> bool {
+        let Some(e) = self.rob.get(seq) else {
+            return false;
+        };
+        if !e.is_store() || e.eliminated {
+            return false;
+        }
+        let Some(mem) = e.mem else { return false };
+        if mem.kind == MemKind::Indexed {
+            return false;
+        }
+        let Some(&(class, phys)) = e.srcs.first() else {
+            return false;
+        };
+        if class == RegClass::Mask {
+            return false;
+        }
+        let vl = if e.op.is_vector() { e.vl } else { 1 };
+        let probe = Tag::from_mem(&mem, vl);
+        if self.tags.table(class).get(phys) != Some(probe) {
+            return false;
+        }
+        let now = self.now;
+        let trace_idx = e.trace_idx;
+        let entry = self.rob.get_mut(seq).expect("entry vanished");
+        entry.eliminated = true;
+        entry.state = EntryState::Issued;
+        entry.issue_time = now;
+        entry.complete_time = now + 1;
+        entry.mem_stage = MemStage::Done;
+        self.stats.eliminated_stores += 1;
+        self.stats.eliminated_store_words += u64::from(vl);
+        if let Some(c) = &mut self.checker {
+            c.on_store_elimination(trace_idx, class, phys);
+        }
+        true
+    }
+
+    /// Attempts scalar load elimination (SLE). Returns `true` if the
+    /// load was satisfied by a register copy.
+    fn try_scalar_eliminate(&mut self, seq: u64) -> bool {
+        let Some(e) = self.rob.get(seq) else {
+            return false;
+        };
+        if e.op != Opcode::SLoad || e.eliminated {
+            return false;
+        }
+        let Some(mem) = e.mem else { return false };
+        let Some(d) = e.dst else { return false };
+        let probe = Tag::from_mem(&mem, 1);
+        let Some(provider) = self.tags.table(d.class).find_match(&probe) else {
+            return false;
+        };
+        if provider == d.new {
+            return false;
+        }
+        let now = self.now;
+        let (trace_idx, is_spill) = (e.trace_idx, e.is_spill);
+        // The value is copied between physical registers; the rename
+        // table is untouched (paper §6.1).
+        if self.timing.is_produced(d.class, provider) {
+            let t = self.timing.last(d.class, provider).max(now) + 1;
+            self.timing.set_avail(d.class, d.new, t, t);
+            self.max_complete = self.max_complete.max(t);
+        } else {
+            self.pending_copies.push((d.class, d.new, d.class, provider, now));
+        }
+        self.tags.table_mut(d.class).set(d.new, probe);
+        let entry = self.rob.get_mut(seq).expect("entry vanished");
+        entry.eliminated = true;
+        entry.state = EntryState::Issued;
+        entry.issue_time = now;
+        entry.complete_time = now + 1;
+        entry.mem_stage = MemStage::Done;
+        self.stats.eliminated_scalar_loads += 1;
+        let _ = is_spill;
+        if let Some(c) = &mut self.checker {
+            c.on_scalar_elimination(trace_idx, d.class, provider);
+            c.on_tag_set(d.class, d.new, trace_idx);
+        }
+        true
+    }
+
+    /// Outcome of the stage-3 vector rename.
+    fn try_vector_eliminate(&mut self, seq: u64) -> Stage3Rename {
+        let Some(e) = self.rob.get(seq) else {
+            return Stage3Rename::Renamed;
+        };
+        // Resolve deferred sources against the current map.
+        let deferred: Vec<u8> = e.deferred_srcs.clone();
+        let ddst = e.deferred_dst;
+        let op = e.op;
+        let vl = e.vl;
+        let mem = e.mem;
+        let trace_idx = e.trace_idx;
+        let mut resolved: Vec<(RegClass, PhysReg)> = Vec::with_capacity(deferred.len());
+        for arch in &deferred {
+            resolved.push((RegClass::V, self.rename.table(RegClass::V).lookup(*arch)));
+        }
+        // Vector load elimination: probe before allocating.
+        if let Some(arch) = ddst {
+            let probe_hit = if self.vle_on() && op == Opcode::VLoad {
+                mem.filter(|m| m.kind != MemKind::Indexed).and_then(|m| {
+                    let probe = Tag::from_mem(&m, vl);
+                    self.tags.table(RegClass::V).find_match(&probe)
+                })
+            } else {
+                None
+            };
+            if let Some(provider) = probe_hit {
+                let (new, old) = self.rename.table_mut(RegClass::V).alias(arch, provider);
+                let entry = self.rob.get_mut(seq).expect("entry vanished");
+                entry.srcs.extend(resolved);
+                entry.deferred_srcs.clear();
+                entry.deferred_dst = None;
+                entry.dst = Some(DstInfo {
+                    class: RegClass::V,
+                    arch,
+                    new,
+                    old,
+                });
+                entry.eliminated = true;
+                entry.state = EntryState::Issued;
+                entry.issue_time = self.now;
+                entry.complete_time = self.now + 1;
+                entry.mem_stage = MemStage::Done;
+                self.stats.eliminated_vector_loads += 1;
+                self.stats.eliminated_vector_words += u64::from(vl);
+                if let Some(c) = &mut self.checker {
+                    c.on_vector_elimination(trace_idx, provider);
+                }
+                return Stage3Rename::Eliminated;
+            }
+            // Ordinary allocation.
+            let Some((new, old)) = self.rename.table_mut(RegClass::V).alloc(arch) else {
+                return Stage3Rename::Stalled;
+            };
+            self.tags.table_mut(RegClass::V).invalidate_reg(new);
+            self.timing.clear(RegClass::V, new);
+            let entry = self.rob.get_mut(seq).expect("entry vanished");
+            entry.srcs.extend(resolved);
+            entry.deferred_srcs.clear();
+            entry.deferred_dst = None;
+            entry.dst = Some(DstInfo {
+                class: RegClass::V,
+                arch,
+                new,
+                old,
+            });
+            if let Some(c) = &mut self.checker {
+                c.on_dst_renamed(trace_idx, RegClass::V, new);
+            }
+            return Stage3Rename::Renamed;
+        }
+        let entry = self.rob.get_mut(seq).expect("entry vanished");
+        entry.srcs.extend(resolved);
+        entry.deferred_srcs.clear();
+        Stage3Rename::Renamed
+    }
+
+    fn issue_mem(&mut self) {
+        'outer: for pos in 0..self.q_m.len() {
+            let seq = self.q_m[pos];
+            let Some(e) = self.rob.get(seq) else { continue };
+            if e.mem_stage != MemStage::WaitDisamb {
+                // Entries before stage 3 (and vector computes in the VLE
+                // pipe) cannot issue; they also block later conflicting
+                // accesses via the overlap check below.
+                continue;
+            }
+            let mem = e.mem.expect("memory entry without memref");
+            let is_store = e.is_store();
+            // Disambiguation: check every earlier, unissued memory entry.
+            for ppos in 0..pos {
+                let prev = self.q_m[ppos];
+                let Some(p) = self.rob.get(prev) else { continue };
+                if p.mem_stage == MemStage::Done {
+                    continue;
+                }
+                if !p.op.is_mem() {
+                    continue; // vector compute in the VLE pipe
+                }
+                let both_loads = p.op.is_load() && !is_store;
+                if both_loads {
+                    continue;
+                }
+                match p.mem {
+                    Some(pm) if pm.ranges_overlap(&mem) => continue 'outer,
+                    // Range not yet known (still in early stages): since
+                    // ours is known and theirs is not, be conservative.
+                    None => continue 'outer,
+                    _ => {}
+                }
+            }
+            // Indexed accesses need their index vector fully available.
+            if mem.kind == MemKind::Indexed {
+                let idx_pos = if e.op == Opcode::VScatter { 1 } else { 0 };
+                let Some(&(c, p)) = e.srcs.get(idx_pos) else {
+                    continue;
+                };
+                if !self.timing.is_produced(c, p) || self.timing.last(c, p) + 1 > self.now {
+                    continue;
+                }
+            }
+            if is_store {
+                // Data must chain into the store unit.
+                let Some(&(c, p)) = e.srcs.first() else { continue };
+                match self.src_ready_time(c, p, true) {
+                    Some(t) if t <= self.now => {}
+                    _ => continue,
+                }
+                // Late commit: stores execute only at the ROB head.
+                if self.cfg.commit == CommitMode::Late && self.rob.head_seq() != Some(seq) {
+                    continue;
+                }
+            }
+            // Scalar-cache hits bypass the shared address bus; everything
+            // else must wait for it.
+            let cache_hit = e.op == Opcode::SLoad
+                && self
+                    .cache
+                    .as_ref()
+                    .map(|c| c.peek_load(mem.base))
+                    .unwrap_or(false);
+            if !cache_hit && !self.bus.is_free(self.now) {
+                continue;
+            }
+            self.do_issue_mem(seq, cache_hit);
+            return;
+        }
+    }
+
+    fn do_issue_mem(&mut self, seq: u64, cache_hit: bool) {
+        let e = self.rob.get(seq).expect("entry vanished");
+        let vl = if e.op.is_vector() { e.vl } else { 1 };
+        let is_load = e.op.is_load();
+        let is_vector = e.op.is_vector();
+        let is_spill = e.is_spill;
+        let dst = e.dst;
+        let op = e.op;
+        let mem = e.mem;
+        let data_src = if e.is_store() { e.srcs.first().copied() } else { None };
+        let latency = u64::from(self.cfg.lat.memory);
+        // Cache maintenance (timing-only).
+        if let (Some(cache), Some(m)) = (&mut self.cache, &mem) {
+            match op {
+                Opcode::SLoad => {
+                    let hit = cache.access_load(m.base);
+                    debug_assert_eq!(hit, cache_hit, "peek/access divergence");
+                    if hit {
+                        let hit_lat = u64::from(
+                            self.cfg.scalar_cache.expect("cache without config").hit_latency,
+                        );
+                        let done = self.now + hit_lat;
+                        if let Some(d) = dst {
+                            self.timing.set_avail(d.class, d.new, done, done);
+                        }
+                        self.max_complete = self.max_complete.max(done);
+                        let entry = self.rob.get_mut(seq).expect("entry vanished");
+                        entry.state = EntryState::Issued;
+                        entry.issue_time = self.now;
+                        entry.complete_time = done;
+                        entry.mem_stage = MemStage::Done;
+                        self.q_m.retain(|&s| s != seq);
+                        return;
+                    }
+                }
+                Opcode::SStore => {
+                    cache.access_store(m.base);
+                }
+                _ => {
+                    cache.invalidate_range(m.range_lo, m.range_hi);
+                }
+            }
+        }
+        let grant = self.bus.reserve(self.now, u64::from(vl));
+        debug_assert_eq!(grant.start, self.now);
+        self.occ.busy(VectorUnit::Mem, grant.start, grant.last);
+        if is_load {
+            self.traffic.record_load(u64::from(vl), is_spill, is_vector);
+        } else {
+            self.traffic.record_store(u64::from(vl), is_spill, is_vector);
+        }
+        let complete = if is_load {
+            let first = grant.start + latency;
+            let last = grant.last + latency;
+            if let Some(d) = dst {
+                self.timing.set_avail(d.class, d.new, first, last);
+            }
+            last
+        } else {
+            // Store data streams from its register: occupy the read port.
+            if let Some((c, p)) = data_src {
+                if c == RegClass::V {
+                    self.timing.read_port_free[p as usize] = grant.last + 1;
+                }
+            }
+            grant.last
+        };
+        self.max_complete = self.max_complete.max(complete);
+        let entry = self.rob.get_mut(seq).expect("entry vanished");
+        entry.state = EntryState::Issued;
+        entry.issue_time = grant.start;
+        entry.complete_time = complete;
+        entry.mem_stage = MemStage::Done;
+        self.q_m.retain(|&s| s != seq);
+    }
+
+    fn issue_vector(&mut self) {
+        let lat = self.cfg.lat;
+        for pos in 0..self.q_v.len() {
+            let seq = self.q_v[pos];
+            let Some(e) = self.rob.get(seq) else { continue };
+            if !self.sources_ready(e, true) {
+                continue;
+            }
+            let fu2_only = e.op.fu_class() == FuClass::VecFu2Only;
+            let use_fu2 = if fu2_only {
+                if self.fu2_free > self.now {
+                    continue;
+                }
+                true
+            } else if self.fu1_free <= self.now {
+                false
+            } else if self.fu2_free <= self.now {
+                true
+            } else {
+                continue;
+            };
+            // Issue.
+            let vl = u64::from(e.vl);
+            let leff = u64::from(lat.first_result(e.op));
+            let srcs = e.srcs.clone();
+            let dst = e.dst;
+            let now = self.now;
+            let busy_until = now + vl.max(1);
+            if use_fu2 {
+                self.fu2_free = busy_until;
+                self.occ.busy(VectorUnit::Fu2, now, busy_until - 1);
+            } else {
+                self.fu1_free = busy_until;
+                self.occ.busy(VectorUnit::Fu1, now, busy_until - 1);
+            }
+            for (c, p) in srcs {
+                if c == RegClass::V {
+                    self.timing.read_port_free[p as usize] = busy_until;
+                }
+            }
+            let complete = if let Some(d) = dst {
+                let (first, last) = if d.class.is_scalar() {
+                    // Reductions deliver after draining the vector.
+                    let done = now + leff + vl;
+                    (done, done)
+                } else {
+                    (now + leff, now + leff + vl - 1)
+                };
+                self.timing.set_avail(d.class, d.new, first, last);
+                last
+            } else {
+                now + leff + vl - 1
+            };
+            self.max_complete = self.max_complete.max(complete);
+            let entry = self.rob.get_mut(seq).expect("entry vanished");
+            entry.state = EntryState::Issued;
+            entry.issue_time = now;
+            entry.complete_time = complete;
+            self.q_v.retain(|&s| s != seq);
+            return;
+        }
+    }
+
+    fn issue_scalar_queue(&mut self, a_queue: bool) {
+        let qlen = if a_queue { self.q_a.len() } else { self.q_s.len() };
+        for pos in 0..qlen {
+            let seq = if a_queue { self.q_a[pos] } else { self.q_s[pos] };
+            let Some(e) = self.rob.get(seq) else { continue };
+            if !self.sources_ready(e, false) {
+                continue;
+            }
+            let exec = u64::from(self.cfg.lat.exec(e.op));
+            let now = self.now;
+            let complete = now + exec;
+            let dst = e.dst;
+            let (is_control, pc, branch, mispredicted) =
+                (e.op.is_control(), e.pc, e.branch, e.mispredicted);
+            if let Some(d) = dst {
+                self.timing.set_avail(d.class, d.new, complete, complete);
+            }
+            self.max_complete = self.max_complete.max(complete);
+            let entry = self.rob.get_mut(seq).expect("entry vanished");
+            entry.state = EntryState::Issued;
+            entry.issue_time = now;
+            entry.complete_time = complete;
+            if is_control {
+                if let Some(b) = branch {
+                    self.btb_updates.push((complete, pc, b.taken, b.target));
+                }
+                if mispredicted {
+                    self.fetch_resume_at =
+                        Some(complete + u64::from(self.cfg.lat.mispredict_penalty));
+                }
+            }
+            if a_queue {
+                self.q_a.retain(|&s| s != seq);
+            } else {
+                self.q_s.retain(|&s| s != seq);
+            }
+            return;
+        }
+    }
+
+    fn route_queue(&self, inst: &Instruction) -> QueueKind {
+        if self.uses_mem_pipe(inst) {
+            return QueueKind::M;
+        }
+        if inst.op.is_vector() {
+            return QueueKind::V;
+        }
+        match inst.op {
+            Opcode::SAddA | Opcode::SetVl | Opcode::SetVs => QueueKind::A,
+            Opcode::SLui if matches!(inst.dst, Some(ArchReg::A(_))) => QueueKind::A,
+            _ => QueueKind::S,
+        }
+    }
+
+    fn queue_of(&mut self, kind: QueueKind) -> &mut VecDeque<u64> {
+        match kind {
+            QueueKind::A => &mut self.q_a,
+            QueueKind::S => &mut self.q_s,
+            QueueKind::V => &mut self.q_v,
+            QueueKind::M => &mut self.q_m,
+        }
+    }
+
+    fn dispatch(&mut self) {
+        let Some(&idx) = self.fetch_buf.front() else {
+            return;
+        };
+        let inst = &self.trace.instructions()[idx];
+        if self.rob.is_full() {
+            self.stats.rob_stall_cycles += 1;
+            return;
+        }
+        let kind = self.route_queue(inst);
+        if self.queue_of(kind).len() >= self.cfg.queue_slots {
+            self.stats.queue_stall_cycles += 1;
+            return;
+        }
+        let defer_vector = kind == QueueKind::M && self.vle_on();
+        // Rename sources.
+        let mut srcs: Vec<(RegClass, PhysReg)> = Vec::with_capacity(3);
+        let mut deferred_srcs: Vec<u8> = Vec::new();
+        for s in inst.sources() {
+            let class = s.class();
+            if defer_vector && class == RegClass::V {
+                deferred_srcs.push(s.index());
+            } else {
+                srcs.push((class, self.rename.table(class).lookup(s.index())));
+            }
+        }
+        // Rename destination.
+        let mut dst: Option<DstInfo> = None;
+        let mut deferred_dst: Option<u8> = None;
+        if let Some(d) = inst.dst {
+            let class = d.class();
+            if defer_vector && class == RegClass::V {
+                deferred_dst = Some(d.index());
+            } else {
+                if !self.rename.table(class).can_alloc() {
+                    self.stats.rename_stall_cycles += 1;
+                    return;
+                }
+                let (new, old) = self
+                    .rename
+                    .table_mut(class)
+                    .alloc(d.index())
+                    .expect("can_alloc lied");
+                if class != RegClass::Mask && self.elim_on() {
+                    self.tags.table_mut(class).invalidate_reg(new);
+                }
+                self.timing.clear(class, new);
+                dst = Some(DstInfo {
+                    class,
+                    arch: d.index(),
+                    new,
+                    old,
+                });
+            }
+        }
+        let mispredicted = self.fetch_blocked == Some(idx);
+        let entry = RobEntry {
+            seq: 0,
+            trace_idx: idx,
+            op: inst.op,
+            vl: inst.vl,
+            is_spill: inst.is_spill,
+            mem: inst.mem,
+            branch: inst.branch,
+            pc: inst.pc,
+            srcs,
+            deferred_srcs,
+            dst,
+            deferred_dst,
+            state: EntryState::Waiting,
+            issue_time: 0,
+            complete_time: 0,
+            mem_stage: MemStage::None,
+            eliminated: false,
+            mispredicted,
+        };
+        if let Some(c) = &mut self.checker {
+            c.on_dispatch(idx);
+            if let Some(d) = entry.dst {
+                c.on_dst_renamed(idx, d.class, d.new);
+            }
+        }
+        let seq = self.rob.push(entry);
+        self.queue_of(kind).push_back(seq);
+        self.fetch_buf.pop_front();
+        if inst.op == Opcode::Branch {
+            self.stats.branches += 1;
+        }
+    }
+
+    fn fetch(&mut self) {
+        if let Some(t) = self.fetch_resume_at {
+            if t <= self.now {
+                self.fetch_blocked = None;
+                self.fetch_resume_at = None;
+            }
+        }
+        if self.fetch_blocked.is_some() {
+            return;
+        }
+        if self.fetch_buf.len() >= FETCH_BUF_DEPTH || self.fetch_idx >= self.trace.len() {
+            return;
+        }
+        let idx = self.fetch_idx;
+        let inst = &self.trace.instructions()[idx];
+        self.fetch_idx += 1;
+        if inst.op.is_control() {
+            let actual = inst.branch.expect("control without outcome");
+            let mispredict = match inst.op {
+                Opcode::Branch => {
+                    let (pred_taken, pred_target) = self.btb.predict(inst.pc);
+                    pred_taken != actual.taken
+                        || (actual.taken && pred_target != Some(actual.target))
+                }
+                Opcode::Jump | Opcode::Call => {
+                    if inst.op == Opcode::Call {
+                        self.ras.push(inst.pc + 4);
+                    }
+                    let (_, pred_target) = self.btb.predict(inst.pc);
+                    pred_target != Some(actual.target)
+                }
+                Opcode::Ret => self.ras.pop() != Some(actual.target),
+                _ => unreachable!(),
+            };
+            if mispredict {
+                self.stats.mispredicts += 1;
+                self.fetch_blocked = Some(idx);
+            }
+        }
+        self.fetch_buf.push_back(idx);
+    }
+
+    /// Consistency check used by tests: every physical register is
+    /// accounted for between the map, the ROB and the free lists.
+    #[must_use]
+    pub fn check_conservation(&self) -> bool {
+        for class in RegClass::ALL {
+            let rob_refs: Vec<PhysReg> = self
+                .rob
+                .iter()
+                .filter_map(|e| e.dst)
+                .filter(|d| d.class == class)
+                .map(|d| d.old)
+                .collect();
+            if !self.rename.table(class).check_conservation(&rob_refs) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Outcome of the stage-3 vector rename.
+#[derive(Debug, PartialEq, Eq)]
+enum Stage3Rename {
+    Renamed,
+    Eliminated,
+    Stalled,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QueueKind {
+    A,
+    S,
+    V,
+    M,
+}

@@ -1,0 +1,35 @@
+//! Architectural (functional) executor — the golden model of the
+//! reproduction.
+//!
+//! The paper's simulators are *timing* models: they never carry data
+//! values. Correctness of register allocation (`oov-vcc`), register
+//! renaming and dynamic load elimination (`oov-core`) is instead verified
+//! against this executor, which runs the same [`oov_isa::Trace`] with real
+//! 64-bit values over a sparse memory image.
+//!
+//! All operations are defined over `u64` with wrapping arithmetic, which is
+//! sufficient for dataflow-equivalence checking (the experiments never
+//! depend on floating-point rounding).
+//!
+//! # Example
+//!
+//! ```
+//! use oov_exec::Machine;
+//! use oov_isa::{ArchReg, Instruction, MemRef, Opcode};
+//!
+//! let mut m = Machine::new();
+//! m.memory_mut().store(0x1000, 7);
+//! let load = Instruction::load(
+//!     Opcode::SLoad, ArchReg::S(1), &[], MemRef::scalar(0x1000), 1);
+//! m.execute(&load);
+//! assert_eq!(m.scalar(ArchReg::S(1)), 7);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod machine;
+mod memory;
+
+pub use machine::Machine;
+pub use memory::MemImage;

@@ -1,0 +1,587 @@
+//! The architectural machine: register state plus memory image, with a
+//! deterministic functional semantics for every opcode.
+
+use oov_isa::{ArchReg, Instruction, MemKind, Opcode, RegClass, Trace, MAX_VL};
+
+use crate::MemImage;
+
+const VLEN: usize = MAX_VL as usize;
+
+/// Architectural register and memory state, with an `execute` step.
+///
+/// Operand conventions (shared with `oov-vcc` lowering):
+///
+/// * binary ops: `dst = srcs[0] ⊕ srcs[1]`, with a missing second source
+///   replaced by the immediate;
+/// * `VStore`: `srcs[0]` is the data register;
+/// * `VGather`: `srcs[0]` is the index vector; element addresses are
+///   `mem.base + V[index][i]`;
+/// * `VScatter`: `srcs[0]` is the data vector, `srcs[1]` the index vector;
+/// * `VMerge`: `srcs[0]`/`srcs[1]` are the two inputs, `srcs[2]` the mask.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    a: [u64; 8],
+    s: [u64; 8],
+    v: Vec<[u64; VLEN]>,
+    masks: [u128; 8],
+    mem: MemImage,
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Machine {
+            a: [0; 8],
+            s: [0; 8],
+            v: vec![[0; VLEN]; 8],
+            masks: [0; 8],
+            mem: MemImage::new(),
+        }
+    }
+}
+
+impl Machine {
+    /// A machine with zeroed registers and empty memory.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read-only view of memory.
+    #[must_use]
+    pub fn memory(&self) -> &MemImage {
+        &self.mem
+    }
+
+    /// Mutable view of memory (for initialising workloads).
+    #[must_use]
+    pub fn memory_mut(&mut self) -> &mut MemImage {
+        &mut self.mem
+    }
+
+    /// Value of a scalar (`A` or `S`) register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not a scalar register.
+    #[must_use]
+    pub fn scalar(&self, r: ArchReg) -> u64 {
+        match r {
+            ArchReg::A(i) => self.a[i as usize],
+            ArchReg::S(i) => self.s[i as usize],
+            _ => panic!("{r} is not a scalar register"),
+        }
+    }
+
+    /// Sets a scalar register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not a scalar register.
+    pub fn set_scalar(&mut self, r: ArchReg, v: u64) {
+        match r {
+            ArchReg::A(i) => self.a[i as usize] = v,
+            ArchReg::S(i) => self.s[i as usize] = v,
+            _ => panic!("{r} is not a scalar register"),
+        }
+    }
+
+    /// Full contents of a vector register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not a vector register.
+    #[must_use]
+    pub fn vector(&self, r: ArchReg) -> &[u64; VLEN] {
+        match r {
+            ArchReg::V(i) => &self.v[i as usize],
+            _ => panic!("{r} is not a vector register"),
+        }
+    }
+
+    /// The first `vl` elements of a vector register.
+    #[must_use]
+    pub fn vector_prefix(&self, r: ArchReg, vl: u16) -> &[u64] {
+        &self.vector(r)[..vl as usize]
+    }
+
+    /// Sets element `i` of a vector register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not a vector register or `i` is out of range.
+    pub fn set_vector_element(&mut self, r: ArchReg, i: u16, v: u64) {
+        match r {
+            ArchReg::V(idx) => self.v[idx as usize][i as usize] = v,
+            _ => panic!("{r} is not a vector register"),
+        }
+    }
+
+    /// Contents of a mask register as a bit set (bit *i* = element *i*).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not a mask register.
+    #[must_use]
+    pub fn mask(&self, r: ArchReg) -> u128 {
+        match r {
+            ArchReg::Mask(i) => self.masks[i as usize],
+            _ => panic!("{r} is not a mask register"),
+        }
+    }
+
+    fn read(&self, r: ArchReg) -> u64 {
+        self.scalar(r)
+    }
+
+    fn src(&self, inst: &Instruction, n: usize) -> Option<ArchReg> {
+        inst.srcs.get(n).copied().flatten()
+    }
+
+    /// Scalar operand `n`, falling back to the immediate when absent.
+    fn scalar_operand(&self, inst: &Instruction, n: usize) -> u64 {
+        match self.src(inst, n) {
+            Some(r) => self.read(r),
+            None => inst.imm as u64,
+        }
+    }
+
+    /// Second operand of a vector op: a vector register's prefix, a scalar
+    /// register broadcast across `vl` elements (vector-scalar forms), or
+    /// the immediate when absent.
+    fn vector_or_broadcast(&self, inst: &Instruction, n: usize, vl: usize) -> Vec<u64> {
+        match self.src(inst, n) {
+            Some(r @ ArchReg::V(_)) => self.vector_prefix(r, inst.vl).to_vec(),
+            Some(r @ (ArchReg::A(_) | ArchReg::S(_))) => vec![self.read(r); vl],
+            Some(other) => panic!("{other} cannot be a vector operand"),
+            None => vec![inst.imm as u64; vl],
+        }
+    }
+
+    /// The concrete element addresses a memory instruction touches, in
+    /// element order. Used both for execution and by tests that check the
+    /// Range stage is conservative.
+    #[must_use]
+    pub fn element_addresses(&self, inst: &Instruction) -> Vec<u64> {
+        let m = inst.mem.expect("not a memory instruction");
+        match m.kind {
+            MemKind::Scalar => vec![m.base],
+            MemKind::Strided => (0..inst.vl).map(|i| m.element_addr(i)).collect(),
+            MemKind::Indexed => {
+                let idx_reg = match inst.op {
+                    Opcode::VGather => self.src(inst, 0),
+                    Opcode::VScatter => self.src(inst, 1),
+                    _ => panic!("{} is not indexed", inst.op),
+                }
+                .expect("indexed access needs an index register");
+                let idx = self.vector(idx_reg);
+                (0..inst.vl as usize)
+                    .map(|i| m.base.wrapping_add(idx[i]))
+                    .collect()
+            }
+        }
+    }
+
+    /// Executes one instruction, updating registers and memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed instructions (e.g. a vector op missing its
+    /// sources), which indicates a bug in the trace generator.
+    pub fn execute(&mut self, inst: &Instruction) {
+        use Opcode::*;
+        let vl = inst.vl as usize;
+        match inst.op {
+            SAddA | SAdd => {
+                let v = self
+                    .scalar_operand(inst, 0)
+                    .wrapping_add(self.scalar_operand(inst, 1))
+                    .wrapping_add_signed(if self.src(inst, 1).is_some() {
+                        inst.imm
+                    } else {
+                        0
+                    });
+                self.set_scalar(inst.dst.expect("scalar op needs dst"), v);
+            }
+            SMul => {
+                let v = self
+                    .scalar_operand(inst, 0)
+                    .wrapping_mul(self.scalar_operand(inst, 1).max(1));
+                self.set_scalar(inst.dst.expect("scalar op needs dst"), v);
+            }
+            SDiv => {
+                let v = self.scalar_operand(inst, 0) / self.scalar_operand(inst, 1).max(1);
+                self.set_scalar(inst.dst.expect("scalar op needs dst"), v);
+            }
+            SMove => {
+                let v = self.scalar_operand(inst, 0);
+                self.set_scalar(inst.dst.expect("scalar op needs dst"), v);
+            }
+            SLui => {
+                self.set_scalar(inst.dst.expect("lui needs dst"), inst.imm as u64);
+            }
+            SetVl | SetVs | Branch | Jump | Call | Ret => {
+                // Control state is carried per-instruction in the trace.
+            }
+            SLoad => {
+                let addr = inst.mem.expect("load needs memref").base;
+                let v = self.mem.load(addr);
+                self.set_scalar(inst.dst.expect("load needs dst"), v);
+            }
+            SStore => {
+                let addr = inst.mem.expect("store needs memref").base;
+                let v = self.scalar_operand(inst, 0);
+                self.mem.store(addr, v);
+            }
+            VLoad | VGather => {
+                let addrs = self.element_addresses(inst);
+                let dst = inst.dst.expect("vector load needs dst");
+                for (i, &a) in addrs.iter().enumerate().take(vl) {
+                    let v = self.mem.load(a);
+                    self.set_vector_element(dst, i as u16, v);
+                }
+            }
+            VStore | VScatter => {
+                let addrs = self.element_addresses(inst);
+                let data = self.src(inst, 0).expect("vector store needs data");
+                let vals: Vec<u64> = self.vector_prefix(data, inst.vl).to_vec();
+                for (a, v) in addrs.into_iter().zip(vals) {
+                    self.mem.store(a, v);
+                }
+            }
+            VAdd | VMul | VDiv | VLogic | VShift => {
+                let a = self.src(inst, 0).expect("vector op needs src");
+                let av: Vec<u64> = self.vector_prefix(a, inst.vl).to_vec();
+                let bv: Vec<u64> = self.vector_or_broadcast(inst, 1, vl);
+                let dst = inst.dst.expect("vector op needs dst");
+                for i in 0..vl {
+                    let r = match inst.op {
+                        VAdd => av[i].wrapping_add(bv[i]),
+                        VMul => av[i].wrapping_mul(bv[i].max(1)),
+                        VDiv => av[i] / bv[i].max(1),
+                        VLogic => av[i] ^ bv[i],
+                        VShift => av[i].rotate_left(1) ^ bv[i],
+                        _ => unreachable!(),
+                    };
+                    self.set_vector_element(dst, i as u16, r);
+                }
+            }
+            VSqrt => {
+                let a = self.src(inst, 0).expect("vsqrt needs src");
+                let av: Vec<u64> = self.vector_prefix(a, inst.vl).to_vec();
+                let dst = inst.dst.expect("vsqrt needs dst");
+                for (i, x) in av.into_iter().enumerate() {
+                    self.set_vector_element(dst, i as u16, x.isqrt());
+                }
+            }
+            VCmp => {
+                let a = self.src(inst, 0).expect("vcmp needs src");
+                let av: Vec<u64> = self.vector_prefix(a, inst.vl).to_vec();
+                let bv: Vec<u64> = self.vector_or_broadcast(inst, 1, vl);
+                let mut m = 0u128;
+                for i in 0..vl {
+                    if av[i] > bv[i] {
+                        m |= 1 << i;
+                    }
+                }
+                match inst.dst.expect("vcmp needs mask dst") {
+                    ArchReg::Mask(i) => self.masks[i as usize] = m,
+                    other => panic!("vcmp destination {other} is not a mask"),
+                }
+            }
+            VMerge => {
+                let a = self.src(inst, 0).expect("vmerge needs src a");
+                let b = self.src(inst, 1).expect("vmerge needs src b");
+                let mreg = self.src(inst, 2).expect("vmerge needs mask");
+                let av: Vec<u64> = self.vector_prefix(a, inst.vl).to_vec();
+                let bv: Vec<u64> = self.vector_prefix(b, inst.vl).to_vec();
+                let m = self.mask(mreg);
+                let dst = inst.dst.expect("vmerge needs dst");
+                for i in 0..vl {
+                    let r = if m & (1 << i) != 0 { av[i] } else { bv[i] };
+                    self.set_vector_element(dst, i as u16, r);
+                }
+            }
+            VReduce => {
+                let a = self.src(inst, 0).expect("vreduce needs src");
+                let sum = self
+                    .vector_prefix(a, inst.vl)
+                    .iter()
+                    .fold(0u64, |acc, &x| acc.wrapping_add(x));
+                self.set_scalar(inst.dst.expect("vreduce needs scalar dst"), sum);
+            }
+            VMaskOp => {
+                let a = self.src(inst, 0).expect("vmaskop needs src");
+                let b = self.src(inst, 1).unwrap_or(a);
+                let m = self.mask(a) ^ self.mask(b);
+                match inst.dst.expect("vmaskop needs mask dst") {
+                    ArchReg::Mask(i) => self.masks[i as usize] = m,
+                    other => panic!("vmaskop destination {other} is not a mask"),
+                }
+            }
+        }
+    }
+
+    /// Executes a whole trace in program order.
+    pub fn run(&mut self, trace: &Trace) {
+        for inst in trace {
+            self.execute(inst);
+        }
+    }
+
+    /// A digest of the architectural register state, for equivalence
+    /// checks between two executions (ignores memory; compare images with
+    /// [`MemImage::same_contents`]).
+    #[must_use]
+    pub fn register_digest(&self) -> u64 {
+        // FNV-1a over the full register state.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        };
+        for &x in &self.a {
+            eat(x);
+        }
+        for &x in &self.s {
+            eat(x);
+        }
+        for v in &self.v {
+            for &x in v.iter() {
+                eat(x);
+            }
+        }
+        for &m in &self.masks {
+            eat(m as u64);
+            eat((m >> 64) as u64);
+        }
+        h
+    }
+
+    /// `true` if a register class is modelled with values (all are).
+    #[must_use]
+    pub fn models_class(_class: RegClass) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oov_isa::MemRef;
+
+    fn vadd(dst: u8, a: u8, b: u8, vl: u16) -> Instruction {
+        Instruction::vector(
+            Opcode::VAdd,
+            ArchReg::V(dst),
+            &[ArchReg::V(a), ArchReg::V(b)],
+            vl,
+            1,
+        )
+    }
+
+    #[test]
+    fn scalar_arith() {
+        let mut m = Machine::new();
+        m.set_scalar(ArchReg::S(0), 5);
+        m.set_scalar(ArchReg::S(1), 7);
+        m.execute(&Instruction::scalar(
+            Opcode::SAdd,
+            ArchReg::S(2),
+            &[ArchReg::S(0), ArchReg::S(1)],
+        ));
+        assert_eq!(m.scalar(ArchReg::S(2)), 12);
+        m.execute(&Instruction::scalar(Opcode::SLui, ArchReg::A(0), &[]).with_imm(0x1000));
+        assert_eq!(m.scalar(ArchReg::A(0)), 0x1000);
+    }
+
+    #[test]
+    fn vector_add_only_touches_vl_prefix() {
+        let mut m = Machine::new();
+        for i in 0..128 {
+            m.set_vector_element(ArchReg::V(0), i, 1);
+            m.set_vector_element(ArchReg::V(1), i, 2);
+            m.set_vector_element(ArchReg::V(2), i, 99);
+        }
+        m.execute(&vadd(2, 0, 1, 64));
+        assert_eq!(m.vector(ArchReg::V(2))[0], 3);
+        assert_eq!(m.vector(ArchReg::V(2))[63], 3);
+        assert_eq!(m.vector(ArchReg::V(2))[64], 99, "beyond VL unchanged");
+    }
+
+    #[test]
+    fn vload_vstore_round_trip() {
+        let mut m = Machine::new();
+        for i in 0..16u64 {
+            m.memory_mut().store(0x1000 + i * 8, i * 10);
+        }
+        let ld = Instruction::load(
+            Opcode::VLoad,
+            ArchReg::V(0),
+            &[],
+            MemRef::strided(0x1000, 8, 16),
+            16,
+        );
+        m.execute(&ld);
+        assert_eq!(m.vector(ArchReg::V(0))[5], 50);
+        let st = Instruction::store(
+            Opcode::VStore,
+            &[ArchReg::V(0)],
+            MemRef::strided(0x2000, 8, 16),
+            16,
+        );
+        m.execute(&st);
+        assert_eq!(m.memory().load(0x2000 + 9 * 8), 90);
+    }
+
+    #[test]
+    fn strided_negative_store() {
+        let mut m = Machine::new();
+        m.set_vector_element(ArchReg::V(1), 0, 111);
+        m.set_vector_element(ArchReg::V(1), 1, 222);
+        let st = Instruction::store(
+            Opcode::VStore,
+            &[ArchReg::V(1)],
+            MemRef::strided(0x3000, -8, 2),
+            2,
+        );
+        m.execute(&st);
+        assert_eq!(m.memory().load(0x3000), 111);
+        assert_eq!(m.memory().load(0x2ff8), 222);
+    }
+
+    #[test]
+    fn gather_uses_index_register() {
+        let mut m = Machine::new();
+        m.memory_mut().store(0x1000, 7);
+        m.memory_mut().store(0x1010, 9);
+        m.set_vector_element(ArchReg::V(3), 0, 0x10); // byte offsets
+        m.set_vector_element(ArchReg::V(3), 1, 0x0);
+        let g = Instruction::load(
+            Opcode::VGather,
+            ArchReg::V(0),
+            &[ArchReg::V(3)],
+            MemRef::indexed(0x1000, 0x1000, 0x1010),
+            2,
+        );
+        m.execute(&g);
+        assert_eq!(m.vector(ArchReg::V(0))[0], 9);
+        assert_eq!(m.vector(ArchReg::V(0))[1], 7);
+    }
+
+    #[test]
+    fn scatter_writes_indexed() {
+        let mut m = Machine::new();
+        m.set_vector_element(ArchReg::V(0), 0, 5);
+        m.set_vector_element(ArchReg::V(0), 1, 6);
+        m.set_vector_element(ArchReg::V(1), 0, 0);
+        m.set_vector_element(ArchReg::V(1), 1, 0x20);
+        let s = Instruction::store(
+            Opcode::VScatter,
+            &[ArchReg::V(0), ArchReg::V(1)],
+            MemRef::indexed(0x4000, 0x4000, 0x4020),
+            2,
+        );
+        m.execute(&s);
+        assert_eq!(m.memory().load(0x4000), 5);
+        assert_eq!(m.memory().load(0x4020), 6);
+    }
+
+    #[test]
+    fn cmp_and_merge() {
+        let mut m = Machine::new();
+        for i in 0..4 {
+            m.set_vector_element(ArchReg::V(0), i, u64::from(i) * 10); // 0,10,20,30
+            m.set_vector_element(ArchReg::V(1), i, 15);
+            m.set_vector_element(ArchReg::V(2), i, 1000 + u64::from(i));
+        }
+        m.execute(&Instruction::vector(
+            Opcode::VCmp,
+            ArchReg::Mask(0),
+            &[ArchReg::V(0), ArchReg::V(1)],
+            4,
+            1,
+        ));
+        assert_eq!(m.mask(ArchReg::Mask(0)), 0b1100);
+        m.execute(&Instruction::vector(
+            Opcode::VMerge,
+            ArchReg::V(3),
+            &[ArchReg::V(0), ArchReg::V(2), ArchReg::Mask(0)],
+            4,
+            1,
+        ));
+        assert_eq!(m.vector(ArchReg::V(3))[0], 1000);
+        assert_eq!(m.vector(ArchReg::V(3))[3], 30);
+    }
+
+    #[test]
+    fn reduce_sums_prefix() {
+        let mut m = Machine::new();
+        for i in 0..8 {
+            m.set_vector_element(ArchReg::V(0), i, 2);
+        }
+        m.execute(&Instruction::vector(
+            Opcode::VReduce,
+            ArchReg::S(3),
+            &[ArchReg::V(0)],
+            8,
+            1,
+        ));
+        assert_eq!(m.scalar(ArchReg::S(3)), 16);
+    }
+
+    #[test]
+    fn vector_scalar_broadcast() {
+        let mut m = Machine::new();
+        m.set_scalar(ArchReg::S(0), 100);
+        for i in 0..4 {
+            m.set_vector_element(ArchReg::V(0), i, u64::from(i));
+        }
+        m.execute(&Instruction::vector(
+            Opcode::VMul,
+            ArchReg::V(1),
+            &[ArchReg::V(0), ArchReg::S(0)],
+            4,
+            1,
+        ));
+        assert_eq!(m.vector(ArchReg::V(1))[3], 300);
+    }
+
+    #[test]
+    fn digest_changes_with_state() {
+        let mut m = Machine::new();
+        let d0 = m.register_digest();
+        m.set_scalar(ArchReg::S(0), 1);
+        assert_ne!(m.register_digest(), d0);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let mut t = Trace::new("replay");
+        t.push(Instruction::scalar(Opcode::SLui, ArchReg::A(0), &[]).with_imm(0x100));
+        t.push(Instruction::load(
+            Opcode::VLoad,
+            ArchReg::V(0),
+            &[ArchReg::A(0)],
+            MemRef::strided(0x100, 8, 8),
+            8,
+        ));
+        t.push(vadd(1, 0, 0, 8));
+        t.push(Instruction::store(
+            Opcode::VStore,
+            &[ArchReg::V(1)],
+            MemRef::strided(0x800, 8, 8),
+            8,
+        ));
+        let mut m1 = Machine::new();
+        let mut m2 = Machine::new();
+        for i in 0..8u64 {
+            m1.memory_mut().store(0x100 + 8 * i, i);
+            m2.memory_mut().store(0x100 + 8 * i, i);
+        }
+        m1.run(&t);
+        m2.run(&t);
+        assert_eq!(m1.register_digest(), m2.register_digest());
+        assert!(m1.memory().same_contents(m2.memory()));
+        assert_eq!(m1.memory().load(0x800 + 8 * 3), 6);
+    }
+}

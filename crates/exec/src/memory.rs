@@ -1,0 +1,99 @@
+//! Sparse word-addressed memory image.
+
+use std::collections::HashMap;
+
+/// A sparse memory image of 64-bit words.
+///
+/// Addresses are byte addresses; accesses are 8-byte aligned words (the
+/// study's access granularity — paper §6.1 tags carry `sz`, which is
+/// always 8 here). Uninitialised words read as zero.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemImage {
+    words: HashMap<u64, u64>,
+}
+
+impl MemImage {
+    /// An empty image (all zeros).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the word at byte address `addr` (rounded down to 8 bytes).
+    #[must_use]
+    pub fn load(&self, addr: u64) -> u64 {
+        self.words.get(&(addr & !7)).copied().unwrap_or(0)
+    }
+
+    /// Writes the word at byte address `addr` (rounded down to 8 bytes).
+    pub fn store(&mut self, addr: u64, value: u64) {
+        self.words.insert(addr & !7, value);
+    }
+
+    /// Number of words ever written.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// `true` if nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Iterates `(address, value)` over all written words, unordered.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.words.iter().map(|(a, v)| (*a, *v))
+    }
+
+    /// `true` if the written (non-zero-default) state of `self` and
+    /// `other` is observationally equal: every word written in either
+    /// image reads the same in both.
+    #[must_use]
+    pub fn same_contents(&self, other: &MemImage) -> bool {
+        self.words.iter().all(|(a, v)| other.load(*a) == *v)
+            && other.words.iter().all(|(a, v)| self.load(*a) == *v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_reads_zero() {
+        let m = MemImage::new();
+        assert_eq!(m.load(0x1234), 0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn store_then_load() {
+        let mut m = MemImage::new();
+        m.store(0x1000, 42);
+        assert_eq!(m.load(0x1000), 42);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn unaligned_access_rounds_down() {
+        let mut m = MemImage::new();
+        m.store(0x1003, 9);
+        assert_eq!(m.load(0x1000), 9);
+        assert_eq!(m.load(0x1007), 9);
+        assert_eq!(m.load(0x1008), 0);
+    }
+
+    #[test]
+    fn same_contents_ignores_explicit_zeros() {
+        let mut a = MemImage::new();
+        let mut b = MemImage::new();
+        a.store(0x10, 0); // explicit zero equals missing word
+        assert!(a.same_contents(&b));
+        b.store(0x20, 5);
+        assert!(!a.same_contents(&b));
+        a.store(0x20, 5);
+        assert!(a.same_contents(&b));
+    }
+}

@@ -1,0 +1,272 @@
+//! Machine parameter blocks for the two simulated implementations.
+
+use crate::LatencyModel;
+
+/// Which machine a configuration describes (used in reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MachineKind {
+    /// The in-order Convex C3400-like reference architecture.
+    Reference,
+    /// The out-of-order, register-renaming OOOVA.
+    OutOfOrder,
+}
+
+/// Commit strategy of the OOOVA (paper §2.2 "Commit Strategy" and §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CommitMode {
+    /// Aggressive model: a vector instruction's reorder-buffer slot is
+    /// marked ready to commit as soon as the instruction *begins*
+    /// execution, so old physical registers are released early. Precise
+    /// exceptions are impossible.
+    #[default]
+    Early,
+    /// Conservative model enabling precise traps: instructions commit only
+    /// after full completion, and stores execute only at the head of the
+    /// reorder buffer.
+    Late,
+}
+
+/// Dynamic load elimination configuration (paper §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LoadElimMode {
+    /// No register tagging.
+    #[default]
+    Off,
+    /// Scalar load elimination only (SLE).
+    Sle,
+    /// Scalar and vector load elimination (SLE+VLE). Implies the modified
+    /// pipeline that renames vector registers at the disambiguation stage.
+    SleVle,
+    /// SLE+VLE plus redundant (silent) store elimination — the extension
+    /// the paper leaves as future work ("Relaxing compatibility could
+    /// lead to removing some spill stores"): a store whose data register
+    /// carries a valid tag exactly matching the target range would write
+    /// back bytes memory already holds, and is elided.
+    SleVleSse,
+}
+
+/// Scalar data-cache parameters.
+///
+/// Both machines cache *scalar* data only (the paper: data caches "have
+/// not been put into widespread use in vector processors (except to
+/// cache scalar data)"). The cache is write-through and no-write-
+/// allocate, and stores invalidate a hit line — so register-spill
+/// reloads (which always follow a store to the same slot) miss and
+/// travel to main memory, preserving the paper's §6 premise that spill
+/// loads are expensive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScalarCacheCfg {
+    /// Total size in bytes (power of two).
+    pub size_bytes: u64,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Hit latency in cycles (hits bypass the shared address bus).
+    pub hit_latency: u32,
+}
+
+impl Default for ScalarCacheCfg {
+    fn default() -> Self {
+        ScalarCacheCfg {
+            size_bytes: 16 * 1024,
+            line_bytes: 32,
+            hit_latency: 2,
+        }
+    }
+}
+
+/// Parameters of the reference (in-order) machine.
+///
+/// Defaults follow paper §2.1: 8 vector registers of 128 elements paired
+/// into 4 banks of 2 read + 1 write port, chaining between functional
+/// units and to the store unit but *not* from memory loads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefConfig {
+    /// Latency table.
+    pub lat: LatencyModel,
+    /// `true` to enforce the banked register-file port conflicts.
+    pub banked_ports: bool,
+    /// `true` to chain functional units to other functional units and to
+    /// the store unit.
+    pub chain_fu: bool,
+    /// `true` to chain memory loads into functional units (the C3400 does
+    /// *not*; kept as a knob for ablation studies).
+    pub chain_loads: bool,
+    /// Scalar data cache (`None` disables it — an ablation knob).
+    pub scalar_cache: Option<ScalarCacheCfg>,
+}
+
+impl Default for RefConfig {
+    fn default() -> Self {
+        RefConfig {
+            lat: LatencyModel::reference(),
+            banked_ports: true,
+            chain_fu: true,
+            chain_loads: false,
+            scalar_cache: Some(ScalarCacheCfg::default()),
+        }
+    }
+}
+
+impl RefConfig {
+    /// Reference machine with the given main-memory latency.
+    #[must_use]
+    pub fn with_memory_latency(mut self, cycles: u32) -> Self {
+        self.lat.memory = cycles;
+        self
+    }
+}
+
+/// Parameters of the out-of-order machine (paper §2.2 "Machine Parameters").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OooConfig {
+    /// Latency table.
+    pub lat: LatencyModel,
+    /// Physical vector registers (paper sweeps 9–64; ≥ 9 required since 8
+    /// architectural mappings must always be live plus one in flight).
+    pub phys_v_regs: usize,
+    /// Physical A registers (paper: 64).
+    pub phys_a_regs: usize,
+    /// Physical S registers (paper: 64).
+    pub phys_s_regs: usize,
+    /// Physical mask registers (paper: 8).
+    pub phys_mask_regs: usize,
+    /// Slots in each of the four issue queues (paper: 16, and 128 for the
+    /// "OOOVA-128" configuration).
+    pub queue_slots: usize,
+    /// Reorder-buffer entries (paper: 64).
+    pub rob_entries: usize,
+    /// Maximum instructions committed per cycle (paper: 4).
+    pub commit_width: usize,
+    /// Branch target buffer entries, 2-bit counters (paper: 64).
+    pub btb_entries: usize,
+    /// Return-stack depth (paper: 8).
+    pub ras_depth: usize,
+    /// Commit strategy.
+    pub commit: CommitMode,
+    /// Dynamic load elimination mode.
+    pub load_elim: LoadElimMode,
+    /// Scalar data cache (`None` disables it — an ablation knob).
+    pub scalar_cache: Option<ScalarCacheCfg>,
+}
+
+impl Default for OooConfig {
+    fn default() -> Self {
+        OooConfig {
+            lat: LatencyModel::ooo(),
+            phys_v_regs: 16,
+            phys_a_regs: 64,
+            phys_s_regs: 64,
+            phys_mask_regs: 8,
+            queue_slots: 16,
+            rob_entries: 64,
+            commit_width: 4,
+            btb_entries: 64,
+            ras_depth: 8,
+            commit: CommitMode::Early,
+            load_elim: LoadElimMode::Off,
+            scalar_cache: Some(ScalarCacheCfg::default()),
+        }
+    }
+}
+
+impl OooConfig {
+    /// Sets the number of physical vector registers (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 9`: with 8 architectural registers mapped at all
+    /// times, at least one extra physical register is needed for the
+    /// rename stage to make progress.
+    #[must_use]
+    pub fn with_phys_v_regs(mut self, n: usize) -> Self {
+        assert!(n >= 9, "need at least 9 physical vector registers, got {n}");
+        self.phys_v_regs = n;
+        self
+    }
+
+    /// Sets the issue-queue depth (builder style).
+    #[must_use]
+    pub fn with_queue_slots(mut self, n: usize) -> Self {
+        assert!(n >= 1, "queues need at least one slot");
+        self.queue_slots = n;
+        self
+    }
+
+    /// Sets the main-memory latency (builder style).
+    #[must_use]
+    pub fn with_memory_latency(mut self, cycles: u32) -> Self {
+        self.lat.memory = cycles;
+        self
+    }
+
+    /// Sets the commit mode (builder style).
+    #[must_use]
+    pub fn with_commit(mut self, mode: CommitMode) -> Self {
+        self.commit = mode;
+        self
+    }
+
+    /// Sets the load-elimination mode (builder style). Load elimination
+    /// requires precise state, so `Sle`/`SleVle` force late commit.
+    #[must_use]
+    pub fn with_load_elim(mut self, mode: LoadElimMode) -> Self {
+        self.load_elim = mode;
+        if mode != LoadElimMode::Off {
+            self.commit = CommitMode::Late;
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = OooConfig::default();
+        assert_eq!(c.phys_a_regs, 64);
+        assert_eq!(c.phys_s_regs, 64);
+        assert_eq!(c.phys_mask_regs, 8);
+        assert_eq!(c.rob_entries, 64);
+        assert_eq!(c.commit_width, 4);
+        assert_eq!(c.btb_entries, 64);
+        assert_eq!(c.ras_depth, 8);
+        assert_eq!(c.queue_slots, 16);
+        assert_eq!(c.lat.vstartup, 0);
+    }
+
+    #[test]
+    fn ref_defaults_match_paper() {
+        let c = RefConfig::default();
+        assert!(c.banked_ports);
+        assert!(c.chain_fu);
+        assert!(!c.chain_loads);
+        assert_eq!(c.lat.vstartup, 1);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = OooConfig::default()
+            .with_phys_v_regs(32)
+            .with_queue_slots(128)
+            .with_memory_latency(100)
+            .with_commit(CommitMode::Late);
+        assert_eq!(c.phys_v_regs, 32);
+        assert_eq!(c.queue_slots, 128);
+        assert_eq!(c.lat.memory, 100);
+        assert_eq!(c.commit, CommitMode::Late);
+    }
+
+    #[test]
+    fn load_elim_forces_late_commit() {
+        let c = OooConfig::default().with_load_elim(LoadElimMode::SleVle);
+        assert_eq!(c.commit, CommitMode::Late);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 9")]
+    fn too_few_phys_regs_rejected() {
+        let _ = OooConfig::default().with_phys_v_regs(8);
+    }
+}

@@ -1,0 +1,302 @@
+//! Instruction opcodes and their structural properties.
+
+use std::fmt;
+
+/// Functional-unit class an instruction executes on.
+///
+/// The reference machine (paper §2.1) has two vector computation units and
+/// one memory unit: *"The FU2 unit is a general purpose arithmetic unit
+/// capable of executing all vector instructions. The FU1 unit is a
+/// restricted functional unit that executes all vector instructions
+/// **except** multiplication, division and square root."*
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuClass {
+    /// Scalar unit (A/S computation, branches, VL/VS updates).
+    Scalar,
+    /// Vector computation executable on either FU1 or FU2.
+    VecAny,
+    /// Vector computation executable on FU2 only (mul/div/sqrt).
+    VecFu2Only,
+    /// Memory unit (all loads and stores, scalar and vector).
+    Mem,
+}
+
+/// Latency class used to look an instruction up in the [`crate::LatencyModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LatClass {
+    /// Add/subtract/compare/logic/shift/move class.
+    Simple,
+    /// Multiply class.
+    Mul,
+    /// Divide / square-root class.
+    DivSqrt,
+    /// Memory access (latency comes from the memory model).
+    Mem,
+    /// Control transfer.
+    Branch,
+}
+
+/// The instruction repertoire of the traced ISA.
+///
+/// This is a distillation of the Convex C3400 instruction set down to the
+/// classes that matter for the paper's experiments: what unit an
+/// instruction occupies, for how long, which registers it touches and what
+/// memory range it covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    // ---- scalar unit -------------------------------------------------
+    /// Scalar integer/address add-class op (covers add/sub/cmp/logical on A regs).
+    SAddA,
+    /// Scalar floating add-class op on S registers.
+    SAdd,
+    /// Scalar multiply.
+    SMul,
+    /// Scalar divide / square root.
+    SDiv,
+    /// Scalar move / convert (register to register).
+    SMove,
+    /// Load immediate / address formation (no memory access).
+    SLui,
+    /// Set the vector-length control register from a scalar.
+    SetVl,
+    /// Set the vector-stride control register from a scalar.
+    SetVs,
+    /// Conditional branch (resolved on the scalar unit).
+    Branch,
+    /// Unconditional jump.
+    Jump,
+    /// Subroutine call (pushes the return stack).
+    Call,
+    /// Subroutine return (pops the return stack).
+    Ret,
+
+    // ---- memory unit --------------------------------------------------
+    /// Scalar load (A or S destination).
+    SLoad,
+    /// Scalar store.
+    SStore,
+    /// Unit- or constant-stride vector load.
+    VLoad,
+    /// Unit- or constant-stride vector store.
+    VStore,
+    /// Indexed vector load (gather).
+    VGather,
+    /// Indexed vector store (scatter).
+    VScatter,
+
+    // ---- vector computation --------------------------------------------
+    /// Vector add/subtract (FU1 or FU2).
+    VAdd,
+    /// Vector logical op (FU1 or FU2).
+    VLogic,
+    /// Vector shift (FU1 or FU2).
+    VShift,
+    /// Vector compare, writes a mask register (FU1 or FU2).
+    VCmp,
+    /// Vector merge under mask (FU1 or FU2).
+    VMerge,
+    /// Vector reduction to a scalar (e.g. sum); occupies FU1/FU2.
+    VReduce,
+    /// Vector multiply (FU2 only).
+    VMul,
+    /// Vector divide (FU2 only).
+    VDiv,
+    /// Vector square root (FU2 only).
+    VSqrt,
+    /// Mask-register logical operation (FU1 or FU2, mask length).
+    VMaskOp,
+}
+
+impl Opcode {
+    /// All opcodes, for exhaustive iteration in tests.
+    pub const ALL: [Opcode; 28] = [
+        Opcode::SAddA,
+        Opcode::SAdd,
+        Opcode::SMul,
+        Opcode::SDiv,
+        Opcode::SMove,
+        Opcode::SLui,
+        Opcode::SetVl,
+        Opcode::SetVs,
+        Opcode::Branch,
+        Opcode::Jump,
+        Opcode::Call,
+        Opcode::Ret,
+        Opcode::SLoad,
+        Opcode::SStore,
+        Opcode::VLoad,
+        Opcode::VStore,
+        Opcode::VGather,
+        Opcode::VScatter,
+        Opcode::VAdd,
+        Opcode::VLogic,
+        Opcode::VShift,
+        Opcode::VCmp,
+        Opcode::VMerge,
+        Opcode::VReduce,
+        Opcode::VMul,
+        Opcode::VDiv,
+        Opcode::VSqrt,
+        Opcode::VMaskOp,
+    ];
+
+    /// Functional unit class this opcode executes on.
+    #[must_use]
+    pub fn fu_class(self) -> FuClass {
+        use Opcode::*;
+        match self {
+            SAddA | SAdd | SMul | SDiv | SMove | SLui | SetVl | SetVs | Branch | Jump | Call
+            | Ret => FuClass::Scalar,
+            SLoad | SStore | VLoad | VStore | VGather | VScatter => FuClass::Mem,
+            VAdd | VLogic | VShift | VCmp | VMerge | VReduce | VMaskOp => FuClass::VecAny,
+            VMul | VDiv | VSqrt => FuClass::VecFu2Only,
+        }
+    }
+
+    /// Latency class of this opcode.
+    #[must_use]
+    pub fn lat_class(self) -> LatClass {
+        use Opcode::*;
+        match self {
+            SAddA | SAdd | SMove | SLui | SetVl | SetVs | VAdd | VLogic | VShift | VCmp
+            | VMerge | VReduce | VMaskOp => LatClass::Simple,
+            SMul | VMul => LatClass::Mul,
+            SDiv | VDiv | VSqrt => LatClass::DivSqrt,
+            SLoad | SStore | VLoad | VStore | VGather | VScatter => LatClass::Mem,
+            Branch | Jump | Call | Ret => LatClass::Branch,
+        }
+    }
+
+    /// `true` if this opcode operates on a full vector (occupies a vector
+    /// or memory unit for `VL` element slots).
+    #[must_use]
+    pub fn is_vector(self) -> bool {
+        use Opcode::*;
+        matches!(
+            self,
+            VLoad | VStore | VGather | VScatter | VAdd | VLogic | VShift | VCmp | VMerge
+                | VReduce | VMul | VDiv | VSqrt | VMaskOp
+        )
+    }
+
+    /// `true` if this opcode accesses memory.
+    #[must_use]
+    pub fn is_mem(self) -> bool {
+        self.fu_class() == FuClass::Mem
+    }
+
+    /// `true` if this opcode reads memory.
+    #[must_use]
+    pub fn is_load(self) -> bool {
+        matches!(self, Opcode::SLoad | Opcode::VLoad | Opcode::VGather)
+    }
+
+    /// `true` if this opcode writes memory.
+    #[must_use]
+    pub fn is_store(self) -> bool {
+        matches!(self, Opcode::SStore | Opcode::VStore | Opcode::VScatter)
+    }
+
+    /// `true` if this opcode is a control transfer.
+    #[must_use]
+    pub fn is_control(self) -> bool {
+        matches!(
+            self,
+            Opcode::Branch | Opcode::Jump | Opcode::Call | Opcode::Ret
+        )
+    }
+
+    /// Short mnemonic used in disassembly-style output.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        use Opcode::*;
+        match self {
+            SAddA => "add.a",
+            SAdd => "add.s",
+            SMul => "mul.s",
+            SDiv => "div.s",
+            SMove => "mov",
+            SLui => "lui",
+            SetVl => "setvl",
+            SetVs => "setvs",
+            Branch => "br",
+            Jump => "jmp",
+            Call => "call",
+            Ret => "ret",
+            SLoad => "ld",
+            SStore => "st",
+            VLoad => "vld",
+            VStore => "vst",
+            VGather => "vgather",
+            VScatter => "vscatter",
+            VAdd => "vadd",
+            VLogic => "vlogic",
+            VShift => "vshift",
+            VCmp => "vcmp",
+            VMerge => "vmerge",
+            VReduce => "vreduce",
+            VMul => "vmul",
+            VDiv => "vdiv",
+            VSqrt => "vsqrt",
+            VMaskOp => "vmaskop",
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fu2_only_are_mul_div_sqrt() {
+        // Paper §2.1: FU1 executes everything *except* mul, div and sqrt.
+        for op in Opcode::ALL {
+            let fu2_only = matches!(op, Opcode::VMul | Opcode::VDiv | Opcode::VSqrt);
+            assert_eq!(op.fu_class() == FuClass::VecFu2Only, fu2_only, "{op}");
+        }
+    }
+
+    #[test]
+    fn loads_and_stores_partition_mem_ops() {
+        for op in Opcode::ALL {
+            if op.is_mem() {
+                assert!(op.is_load() ^ op.is_store(), "{op}");
+            } else {
+                assert!(!op.is_load() && !op.is_store(), "{op}");
+            }
+        }
+    }
+
+    #[test]
+    fn vector_opcodes_are_not_scalar_unit() {
+        for op in Opcode::ALL {
+            if op.is_vector() {
+                assert_ne!(op.fu_class(), FuClass::Scalar, "{op}");
+            }
+        }
+    }
+
+    #[test]
+    fn control_ops_are_scalar_branch_class() {
+        for op in Opcode::ALL {
+            if op.is_control() {
+                assert_eq!(op.fu_class(), FuClass::Scalar);
+                assert_eq!(op.lat_class(), LatClass::Branch);
+            }
+        }
+    }
+
+    #[test]
+    fn mnemonics_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for op in Opcode::ALL {
+            assert!(seen.insert(op.mnemonic()), "duplicate mnemonic {op}");
+        }
+    }
+}

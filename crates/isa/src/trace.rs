@@ -1,0 +1,376 @@
+//! Dynamic instruction traces and their summary statistics.
+
+use std::fmt;
+
+use crate::{FuClass, Instruction, Opcode};
+
+/// Summary statistics of a trace — the raw material of the paper's Table 2
+/// (operation counts) and Table 3 (spill traffic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceStats {
+    /// Scalar instructions (everything that is not a vector instruction).
+    pub scalar_insts: u64,
+    /// Vector instructions.
+    pub vector_insts: u64,
+    /// Element operations performed by vector instructions.
+    pub vector_ops: u64,
+    /// Words moved by vector loads.
+    pub vload_words: u64,
+    /// Words moved by vector loads marked as spill code.
+    pub vload_spill_words: u64,
+    /// Words moved by vector stores.
+    pub vstore_words: u64,
+    /// Words moved by vector stores marked as spill code.
+    pub vstore_spill_words: u64,
+    /// Scalar loads.
+    pub sload_count: u64,
+    /// Scalar loads marked as spill code.
+    pub sload_spill_count: u64,
+    /// Scalar stores.
+    pub sstore_count: u64,
+    /// Scalar stores marked as spill code.
+    pub sstore_spill_count: u64,
+    /// Conditional branches.
+    pub branches: u64,
+}
+
+impl TraceStats {
+    /// Accumulates one instruction into the statistics.
+    pub fn record(&mut self, inst: &Instruction) {
+        if inst.op.is_vector() {
+            self.vector_insts += 1;
+            self.vector_ops += inst.ops();
+        } else {
+            self.scalar_insts += 1;
+        }
+        match inst.op {
+            Opcode::VLoad | Opcode::VGather => {
+                self.vload_words += inst.words_moved();
+                if inst.is_spill {
+                    self.vload_spill_words += inst.words_moved();
+                }
+            }
+            Opcode::VStore | Opcode::VScatter => {
+                self.vstore_words += inst.words_moved();
+                if inst.is_spill {
+                    self.vstore_spill_words += inst.words_moved();
+                }
+            }
+            Opcode::SLoad => {
+                self.sload_count += 1;
+                if inst.is_spill {
+                    self.sload_spill_count += 1;
+                }
+            }
+            Opcode::SStore => {
+                self.sstore_count += 1;
+                if inst.is_spill {
+                    self.sstore_spill_count += 1;
+                }
+            }
+            Opcode::Branch => self.branches += 1,
+            _ => {}
+        }
+    }
+
+    /// Total instructions.
+    #[must_use]
+    pub fn total_insts(&self) -> u64 {
+        self.scalar_insts + self.vector_insts
+    }
+
+    /// Percentage of vectorization, as defined under the paper's Table 2:
+    /// vector operations divided by (scalar instructions + vector
+    /// operations).
+    #[must_use]
+    pub fn vectorization_pct(&self) -> f64 {
+        let denom = self.scalar_insts + self.vector_ops;
+        if denom == 0 {
+            return 0.0;
+        }
+        100.0 * self.vector_ops as f64 / denom as f64
+    }
+
+    /// Average vector length: vector operations / vector instructions.
+    #[must_use]
+    pub fn avg_vl(&self) -> f64 {
+        if self.vector_insts == 0 {
+            return 0.0;
+        }
+        self.vector_ops as f64 / self.vector_insts as f64
+    }
+
+    /// Total words of memory traffic (vector words + scalar accesses).
+    #[must_use]
+    pub fn total_traffic_words(&self) -> u64 {
+        self.vload_words + self.vstore_words + self.sload_count + self.sstore_count
+    }
+
+    /// Fraction of the memory traffic that is spill traffic.
+    #[must_use]
+    pub fn spill_traffic_fraction(&self) -> f64 {
+        let total = self.total_traffic_words();
+        if total == 0 {
+            return 0.0;
+        }
+        let spill = self.vload_spill_words
+            + self.vstore_spill_words
+            + self.sload_spill_count
+            + self.sstore_spill_count;
+        spill as f64 / total as f64
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} insts ({} scalar, {} vector), {} vector ops, {:.1}% vectorized, avg VL {:.0}",
+            self.total_insts(),
+            self.scalar_insts,
+            self.vector_insts,
+            self.vector_ops,
+            self.vectorization_pct(),
+            self.avg_vl()
+        )
+    }
+}
+
+/// A dynamic instruction stream for one program, plus its statistics.
+///
+/// Traces play the role of the Dixie-generated traces of the paper: the
+/// simulators consume them instruction by instruction.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    name: String,
+    insts: Vec<Instruction>,
+    stats: TraceStats,
+}
+
+impl Trace {
+    /// Creates an empty trace for program `name`.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Trace {
+            name: name.into(),
+            insts: Vec::new(),
+            stats: TraceStats::default(),
+        }
+    }
+
+    /// The program name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends an instruction, updating the statistics.
+    pub fn push(&mut self, inst: Instruction) {
+        self.stats.record(&inst);
+        self.insts.push(inst);
+    }
+
+    /// The accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &TraceStats {
+        &self.stats
+    }
+
+    /// The instructions.
+    #[must_use]
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.insts
+    }
+
+    /// Number of dynamic instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// `true` if the trace holds no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Iterator over the instructions.
+    pub fn iter(&self) -> std::slice::Iter<'_, Instruction> {
+        self.insts.iter()
+    }
+
+    /// Total busy cycles each vector unit class would need, ignoring all
+    /// dependences — the inputs to the paper's IDEAL bound (§4.2): MEM
+    /// work, FU2-only work (mul/div/sqrt) and total FU work.
+    ///
+    /// Returns `(mem_cycles, fu2_only_cycles, total_fu_cycles)` counting
+    /// one cycle per element.
+    #[must_use]
+    pub fn unit_work(&self) -> (u64, u64, u64) {
+        let mut mem = 0u64;
+        let mut fu2_only = 0u64;
+        let mut fu_total = 0u64;
+        for i in &self.insts {
+            match i.op.fu_class() {
+                FuClass::Mem => mem += i.ops(),
+                FuClass::VecFu2Only => {
+                    fu2_only += i.ops();
+                    fu_total += i.ops();
+                }
+                FuClass::VecAny => fu_total += i.ops(),
+                FuClass::Scalar => {}
+            }
+        }
+        (mem, fu2_only, fu_total)
+    }
+
+    /// The paper's IDEAL cycle count: execution limited only by the most
+    /// saturated vector resource (§4.2). The two FUs can split the
+    /// FU-any work, but FU2-only work cannot migrate.
+    #[must_use]
+    pub fn ideal_cycles(&self) -> u64 {
+        let (mem, fu2_only, fu_total) = self.unit_work();
+        let balanced = fu_total.div_ceil(2);
+        mem.max(fu2_only).max(balanced).max(1)
+    }
+}
+
+impl FromIterator<Instruction> for Trace {
+    fn from_iter<T: IntoIterator<Item = Instruction>>(iter: T) -> Self {
+        let mut t = Trace::new("anonymous");
+        for i in iter {
+            t.push(i);
+        }
+        t
+    }
+}
+
+impl Extend<Instruction> for Trace {
+    fn extend<T: IntoIterator<Item = Instruction>>(&mut self, iter: T) {
+        for i in iter {
+            self.push(i);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Instruction;
+    type IntoIter = std::slice::Iter<'a, Instruction>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.insts.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArchReg, MemRef};
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new("t");
+        let m = MemRef::strided(0x1000, 8, 64);
+        t.push(Instruction::load(
+            Opcode::VLoad,
+            ArchReg::V(0),
+            &[ArchReg::A(0)],
+            m,
+            64,
+        ));
+        t.push(Instruction::vector(
+            Opcode::VMul,
+            ArchReg::V(1),
+            &[ArchReg::V(0)],
+            64,
+            1,
+        ));
+        t.push(Instruction::scalar(
+            Opcode::SAdd,
+            ArchReg::S(0),
+            &[ArchReg::S(1)],
+        ));
+        t.push(
+            Instruction::store(
+                Opcode::VStore,
+                &[ArchReg::V(1), ArchReg::A(1)],
+                MemRef::strided(0x8000, 8, 64),
+                64,
+            )
+            .spill(),
+        );
+        t
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let t = sample_trace();
+        let s = t.stats();
+        assert_eq!(s.scalar_insts, 1);
+        assert_eq!(s.vector_insts, 3);
+        assert_eq!(s.vector_ops, 3 * 64);
+        assert_eq!(s.vload_words, 64);
+        assert_eq!(s.vstore_words, 64);
+        assert_eq!(s.vstore_spill_words, 64);
+        assert_eq!(s.vload_spill_words, 0);
+    }
+
+    #[test]
+    fn vectorization_formula_matches_paper() {
+        // Table 2 footnote: %vect = vector ops / (scalar insts + vector ops).
+        let t = sample_trace();
+        let s = t.stats();
+        let expect = 100.0 * 192.0 / (1.0 + 192.0);
+        assert!((s.vectorization_pct() - expect).abs() < 1e-9);
+        assert!((s.avg_vl() - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unit_work_partition() {
+        let t = sample_trace();
+        let (mem, fu2, fu_total) = t.unit_work();
+        assert_eq!(mem, 128); // load + store
+        assert_eq!(fu2, 64); // the multiply
+        assert_eq!(fu_total, 64);
+    }
+
+    #[test]
+    fn ideal_is_max_of_unit_bounds() {
+        let t = sample_trace();
+        // mem=128, fu2_only=64, balanced=32 → ideal = 128.
+        assert_eq!(t.ideal_cycles(), 128);
+    }
+
+    #[test]
+    fn ideal_respects_fu2_only_work() {
+        let mut t = Trace::new("mul-heavy");
+        for _ in 0..4 {
+            t.push(Instruction::vector(
+                Opcode::VMul,
+                ArchReg::V(1),
+                &[ArchReg::V(0)],
+                128,
+                1,
+            ));
+        }
+        // All work is FU2-only: balancing over two units must not apply.
+        assert_eq!(t.ideal_cycles(), 512);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let t = sample_trace();
+        let t2: Trace = t.iter().copied().collect();
+        assert_eq!(t2.len(), t.len());
+        assert_eq!(t2.stats(), t.stats());
+        let mut t3 = Trace::new("x");
+        t3.extend(t.iter().copied());
+        assert_eq!(t3.stats().vector_ops, t.stats().vector_ops);
+    }
+
+    #[test]
+    fn spill_fraction() {
+        let t = sample_trace();
+        // 64 spill words out of 128 total words + 0 scalar accesses.
+        assert!((t.stats().spill_traffic_fraction() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,180 @@
+//! The single shared address bus and access-timing computation.
+
+/// A reservation granted by the [`AddressBus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusGrant {
+    /// First cycle an address is driven.
+    pub start: u64,
+    /// Last cycle an address is driven (`start + n - 1`).
+    pub last: u64,
+}
+
+/// Timing of one memory access once granted the bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessTiming {
+    /// Bus reservation.
+    pub grant: BusGrant,
+    /// Cycle the first datum is available to a consumer (loads only;
+    /// equals `grant.start + latency`).
+    pub first_data: u64,
+    /// Cycle the last datum is available (loads only).
+    pub last_data: u64,
+}
+
+impl AccessTiming {
+    /// Computes timing for a load/store of `n` elements granted at
+    /// `grant`, under main-memory latency `latency`.
+    ///
+    /// Stores "do not result in observed latency" (paper §2.2): their
+    /// `first_data`/`last_data` equal the address cycles.
+    #[must_use]
+    pub fn from_grant(grant: BusGrant, latency: u32, is_load: bool) -> Self {
+        if is_load {
+            AccessTiming {
+                grant,
+                first_data: grant.start + u64::from(latency),
+                last_data: grant.last + u64::from(latency),
+            }
+        } else {
+            AccessTiming {
+                grant,
+                first_data: grant.start,
+                last_data: grant.last,
+            }
+        }
+    }
+}
+
+/// The single address bus: one address per cycle, non-preemptive
+/// reservations of `n` consecutive cycles.
+///
+/// # Example
+///
+/// ```
+/// use oov_mem::AddressBus;
+///
+/// let mut bus = AddressBus::new();
+/// let g1 = bus.reserve(0, 4); // cycles 0..=3
+/// assert_eq!((g1.start, g1.last), (0, 3));
+/// let g2 = bus.reserve(2, 2); // must wait: cycles 4..=5
+/// assert_eq!((g2.start, g2.last), (4, 5));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AddressBus {
+    /// First cycle at which the bus is free.
+    free_at: u64,
+    /// Total cycles the bus has carried addresses.
+    busy_cycles: u64,
+}
+
+impl AddressBus {
+    /// A bus that is free from cycle 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// First cycle at which the bus is currently free.
+    #[must_use]
+    pub fn free_at(&self) -> u64 {
+        self.free_at
+    }
+
+    /// `true` if a request arriving at `now` would start immediately.
+    #[must_use]
+    pub fn is_free(&self, now: u64) -> bool {
+        self.free_at <= now
+    }
+
+    /// Reserves `n` consecutive address cycles starting no earlier than
+    /// `now`, queueing behind any current occupant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn reserve(&mut self, now: u64, n: u64) -> BusGrant {
+        assert!(n > 0, "cannot reserve zero address cycles");
+        let start = self.free_at.max(now);
+        self.free_at = start + n;
+        self.busy_cycles += n;
+        BusGrant {
+            start,
+            last: start + n - 1,
+        }
+    }
+
+    /// Reserves only if the bus is free at `now` (the reference machine's
+    /// blocking issue discipline).
+    pub fn try_reserve(&mut self, now: u64, n: u64) -> Option<BusGrant> {
+        if self.is_free(now) {
+            Some(self.reserve(now, n))
+        } else {
+            None
+        }
+    }
+
+    /// Total address cycles driven so far.
+    #[must_use]
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_are_contiguous_and_fifo() {
+        let mut bus = AddressBus::new();
+        let a = bus.reserve(0, 10);
+        let b = bus.reserve(0, 5);
+        assert_eq!(a.start, 0);
+        assert_eq!(a.last, 9);
+        assert_eq!(b.start, 10);
+        assert_eq!(b.last, 14);
+        assert_eq!(bus.busy_cycles(), 15);
+    }
+
+    #[test]
+    fn idle_gap_when_no_requests() {
+        let mut bus = AddressBus::new();
+        bus.reserve(0, 2);
+        let g = bus.reserve(100, 3);
+        assert_eq!(g.start, 100);
+        assert_eq!(bus.busy_cycles(), 5, "idle cycles are not busy");
+    }
+
+    #[test]
+    fn try_reserve_respects_occupancy() {
+        let mut bus = AddressBus::new();
+        bus.reserve(0, 4);
+        assert!(bus.try_reserve(2, 1).is_none());
+        assert!(bus.try_reserve(4, 1).is_some());
+    }
+
+    #[test]
+    fn load_timing_includes_latency() {
+        let mut bus = AddressBus::new();
+        let g = bus.reserve(0, 128);
+        let t = AccessTiming::from_grant(g, 50, true);
+        assert_eq!(t.first_data, 50);
+        assert_eq!(t.last_data, 127 + 50);
+    }
+
+    #[test]
+    fn store_timing_has_no_observed_latency() {
+        let mut bus = AddressBus::new();
+        let g = bus.reserve(10, 8);
+        let t = AccessTiming::from_grant(g, 50, false);
+        assert_eq!(t.first_data, 10);
+        assert_eq!(t.last_data, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero address cycles")]
+    fn zero_reservation_rejected() {
+        let mut bus = AddressBus::new();
+        let _ = bus.reserve(0, 0);
+    }
+}

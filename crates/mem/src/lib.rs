@@ -1,0 +1,32 @@
+//! Memory-system model shared by both simulators.
+//!
+//! Paper §2.2, "Machine Parameters": *"There is a single address bus
+//! shared by all types of memory transactions (scalar/vector and
+//! load/store), and physically separate data busses for sending and
+//! receiving data to/from main memory. Vector load instructions pay an
+//! initial latency and then receive one datum from memory per cycle.
+//! Vector store instructions do not result in observed latency."*
+//!
+//! The model therefore consists of:
+//!
+//! * [`AddressBus`] — the single, non-preemptive address port: a memory
+//!   instruction of length `VL` occupies it for `VL` consecutive cycles,
+//!   one address per cycle;
+//! * [`AccessTiming`] — when addresses finish and when load data arrives;
+//! * [`TrafficCounter`] — the request accounting behind Table 3 and
+//!   Figure 13 (total requests, loads vs stores, spill traffic);
+//! * [`ScalarCache`] — an optional direct-mapped cache for scalar data
+//!   (the paper notes caches are used "to cache scalar data" in real
+//!   machines; the default configuration leaves it off, and an ablation
+//!   bench studies its effect).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bus;
+mod cache;
+mod traffic;
+
+pub use bus::{AccessTiming, AddressBus, BusGrant};
+pub use cache::ScalarCache;
+pub use traffic::TrafficCounter;

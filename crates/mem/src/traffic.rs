@@ -1,0 +1,155 @@
+//! Memory-traffic accounting (Table 3 and Figure 13 of the paper).
+
+/// Counts the requests sent over the address bus, split the way the
+/// paper's Table 3 and §6.4 report them.
+///
+/// One request corresponds to one element address — a vector load of
+/// length 128 contributes 128 requests (128 words moved).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficCounter {
+    loads: u64,
+    stores: u64,
+    spill_loads: u64,
+    spill_stores: u64,
+    scalar_requests: u64,
+    vector_requests: u64,
+}
+
+impl TrafficCounter {
+    /// Zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a load of `words` element requests.
+    pub fn record_load(&mut self, words: u64, is_spill: bool, is_vector: bool) {
+        self.loads += words;
+        if is_spill {
+            self.spill_loads += words;
+        }
+        if is_vector {
+            self.vector_requests += words;
+        } else {
+            self.scalar_requests += words;
+        }
+    }
+
+    /// Records a store of `words` element requests.
+    pub fn record_store(&mut self, words: u64, is_spill: bool, is_vector: bool) {
+        self.stores += words;
+        if is_spill {
+            self.spill_stores += words;
+        }
+        if is_vector {
+            self.vector_requests += words;
+        } else {
+            self.scalar_requests += words;
+        }
+    }
+
+    /// Total requests on the address bus.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Load requests.
+    #[must_use]
+    pub fn loads(&self) -> u64 {
+        self.loads
+    }
+
+    /// Store requests.
+    #[must_use]
+    pub fn stores(&self) -> u64 {
+        self.stores
+    }
+
+    /// Load requests attributable to spill code.
+    #[must_use]
+    pub fn spill_loads(&self) -> u64 {
+        self.spill_loads
+    }
+
+    /// Store requests attributable to spill code.
+    #[must_use]
+    pub fn spill_stores(&self) -> u64 {
+        self.spill_stores
+    }
+
+    /// Requests from vector instructions.
+    #[must_use]
+    pub fn vector_requests(&self) -> u64 {
+        self.vector_requests
+    }
+
+    /// Requests from scalar instructions.
+    #[must_use]
+    pub fn scalar_requests(&self) -> u64 {
+        self.scalar_requests
+    }
+
+    /// Fraction of all traffic that is spill traffic, in percent.
+    #[must_use]
+    pub fn spill_pct(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        100.0 * (self.spill_loads + self.spill_stores) as f64 / self.total() as f64
+    }
+
+    /// The paper's §6.4 traffic-reduction metric: `baseline.total() /
+    /// self.total()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this counter recorded no traffic.
+    #[must_use]
+    pub fn reduction_vs(&self, baseline: &TrafficCounter) -> f64 {
+        assert!(self.total() > 0, "no traffic recorded");
+        baseline.total() as f64 / self.total() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_split_by_kind() {
+        let mut t = TrafficCounter::new();
+        t.record_load(128, false, true);
+        t.record_load(1, true, false);
+        t.record_store(64, true, true);
+        assert_eq!(t.total(), 193);
+        assert_eq!(t.loads(), 129);
+        assert_eq!(t.stores(), 64);
+        assert_eq!(t.spill_loads(), 1);
+        assert_eq!(t.spill_stores(), 64);
+        assert_eq!(t.vector_requests(), 192);
+        assert_eq!(t.scalar_requests(), 1);
+    }
+
+    #[test]
+    fn spill_percentage() {
+        let mut t = TrafficCounter::new();
+        t.record_load(75, false, true);
+        t.record_store(25, true, true);
+        assert!((t.spill_pct() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduction_ratio() {
+        let mut base = TrafficCounter::new();
+        base.record_load(120, false, true);
+        let mut slim = TrafficCounter::new();
+        slim.record_load(100, false, true);
+        assert!((slim.reduction_vs(&base) - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counter_has_zero_spill_pct() {
+        assert_eq!(TrafficCounter::new().spill_pct(), 0.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Measurement and reporting infrastructure for the reproduction of
+//! *Out-of-Order Vector Architectures* (MICRO-30, 1997).
+//!
+//! The paper characterises executions by:
+//!
+//! * an 8-way breakdown of cycles over the occupancy of the three vector
+//!   units (Figures 3 and 7) — [`UnitState`] / [`StateBreakdown`];
+//! * memory-port idle percentages (Figures 4 and 6) and memory traffic
+//!   (Table 3, Figure 13) — [`SimStats`];
+//! * speedups over the reference machine (Figures 5, 8, 9, 11, 12) —
+//!   [`speedup`], [`geo_mean`].
+//!
+//! [`Table`] and [`BarChart`] render the harness output.
+//!
+//! # Example
+//!
+//! ```
+//! use oov_stats::{speedup, UnitState};
+//!
+//! assert_eq!(speedup(150, 100), 1.5);
+//! let s = UnitState::new(true, true, false);
+//! assert_eq!(s.to_string(), "<FU2,FU1,   >");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counters;
+mod occupancy;
+mod render;
+mod state;
+
+pub use counters::SimStats;
+pub use occupancy::{OccupancyTracker, VectorUnit};
+pub use render::{BarChart, Table};
+pub use state::{StateBreakdown, UnitState};
+
+/// Speedup of a candidate over a baseline given their cycle counts.
+///
+/// # Panics
+///
+/// Panics if `candidate_cycles` is zero.
+#[must_use]
+pub fn speedup(baseline_cycles: u64, candidate_cycles: u64) -> f64 {
+    assert!(candidate_cycles > 0, "candidate executed in zero cycles");
+    baseline_cycles as f64 / candidate_cycles as f64
+}
+
+/// Geometric mean of a sequence of ratios.
+///
+/// Returns `None` for an empty input.
+#[must_use]
+pub fn geo_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_basic() {
+        assert!((speedup(200, 100) - 2.0).abs() < 1e-12);
+        assert!((speedup(100, 100) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero cycles")]
+    fn speedup_rejects_zero() {
+        let _ = speedup(100, 0);
+    }
+
+    #[test]
+    fn geo_mean_matches_hand_computation() {
+        let g = geo_mean(&[1.0, 4.0]).unwrap();
+        assert!((g - 2.0).abs() < 1e-12);
+        assert!(geo_mean(&[]).is_none());
+    }
+}

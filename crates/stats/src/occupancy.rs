@@ -1,0 +1,194 @@
+//! Joint occupancy tracking: turns per-unit busy intervals into the
+//! paper's 8-state cycle breakdown.
+
+use crate::{StateBreakdown, UnitState};
+
+/// The three vector units tracked by the breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VectorUnit {
+    /// The general-purpose computation unit.
+    Fu2,
+    /// The restricted computation unit.
+    Fu1,
+    /// The memory unit (address port).
+    Mem,
+}
+
+/// Accumulates busy intervals per unit, then sweeps them into a
+/// [`StateBreakdown`] giving the joint `(FU2, FU1, MEM)` occupancy of
+/// every cycle.
+///
+/// # Example
+///
+/// ```
+/// use oov_stats::{OccupancyTracker, UnitState, VectorUnit};
+///
+/// let mut t = OccupancyTracker::new();
+/// t.busy(VectorUnit::Fu2, 0, 9);   // cycles 0..=9
+/// t.busy(VectorUnit::Mem, 5, 14);  // cycles 5..=14
+/// let b = t.into_breakdown(20);
+/// assert_eq!(b.get(UnitState::new(true, false, false)), 5);  // 0..=4
+/// assert_eq!(b.get(UnitState::new(true, false, true)), 5);   // 5..=9
+/// assert_eq!(b.get(UnitState::new(false, false, true)), 5);  // 10..=14
+/// assert_eq!(b.get(UnitState::new(false, false, false)), 5); // 15..=19
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OccupancyTracker {
+    /// `(start, end_inclusive)` intervals per unit, unordered.
+    intervals: [Vec<(u64, u64)>; 3],
+}
+
+fn unit_index(u: VectorUnit) -> usize {
+    match u {
+        VectorUnit::Fu2 => 0,
+        VectorUnit::Fu1 => 1,
+        VectorUnit::Mem => 2,
+    }
+}
+
+impl OccupancyTracker {
+    /// An empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `unit` was busy during the inclusive cycle range
+    /// `[start, end]`. Intervals may overlap; they are merged later.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn busy(&mut self, unit: VectorUnit, start: u64, end: u64) {
+        assert!(end >= start, "inverted interval [{start}, {end}]");
+        self.intervals[unit_index(unit)].push((start, end));
+    }
+
+    /// Sorted, merged busy intervals for one unit.
+    fn merged(&self, u: usize) -> Vec<(u64, u64)> {
+        let mut v = self.intervals[u].clone();
+        v.sort_unstable();
+        let mut out: Vec<(u64, u64)> = Vec::with_capacity(v.len());
+        for (s, e) in v {
+            match out.last_mut() {
+                Some(last) if s <= last.1 + 1 => last.1 = last.1.max(e),
+                _ => out.push((s, e)),
+            }
+        }
+        out
+    }
+
+    /// Total busy cycles of one unit (after merging overlaps).
+    #[must_use]
+    pub fn busy_cycles(&self, unit: VectorUnit) -> u64 {
+        self.merged(unit_index(unit))
+            .iter()
+            .map(|(s, e)| e - s + 1)
+            .sum()
+    }
+
+    /// Sweeps all intervals into the joint 8-state breakdown over
+    /// `total_cycles` cycles (cycles `0..total_cycles`). Busy intervals
+    /// beyond the total are clipped.
+    #[must_use]
+    pub fn into_breakdown(self, total_cycles: u64) -> StateBreakdown {
+        let merged: Vec<Vec<(u64, u64)>> = (0..3).map(|u| self.merged(u)).collect();
+        // Event sweep: +1/-1 deltas per unit at interval boundaries.
+        let mut events: Vec<(u64, usize, i32)> = Vec::new();
+        for (u, iv) in merged.iter().enumerate() {
+            for &(s, e) in iv {
+                if s >= total_cycles {
+                    continue;
+                }
+                events.push((s, u, 1));
+                events.push(((e + 1).min(total_cycles), u, -1));
+            }
+        }
+        events.sort_unstable();
+        let mut breakdown = StateBreakdown::new();
+        let mut busy = [0i32; 3];
+        let mut cursor = 0u64;
+        let mut idx = 0;
+        while idx < events.len() {
+            let t = events[idx].0;
+            if t > cursor {
+                let state = UnitState::new(busy[0] > 0, busy[1] > 0, busy[2] > 0);
+                breakdown.record(state, t - cursor);
+                cursor = t;
+            }
+            while idx < events.len() && events[idx].0 == t {
+                busy[events[idx].1] += events[idx].2;
+                idx += 1;
+            }
+        }
+        if cursor < total_cycles {
+            let state = UnitState::new(busy[0] > 0, busy[1] > 0, busy[2] > 0);
+            breakdown.record(state, total_cycles - cursor);
+        }
+        breakdown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tracker_is_all_idle() {
+        let b = OccupancyTracker::new().into_breakdown(100);
+        assert_eq!(b.get(UnitState::new(false, false, false)), 100);
+        assert_eq!(b.total(), 100);
+    }
+
+    #[test]
+    fn overlapping_intervals_merge() {
+        let mut t = OccupancyTracker::new();
+        t.busy(VectorUnit::Fu1, 0, 10);
+        t.busy(VectorUnit::Fu1, 5, 20);
+        assert_eq!(t.busy_cycles(VectorUnit::Fu1), 21);
+        let b = t.into_breakdown(30);
+        assert_eq!(b.get(UnitState::new(false, true, false)), 21);
+        assert_eq!(b.get(UnitState::new(false, false, false)), 9);
+    }
+
+    #[test]
+    fn joint_states_partition_time() {
+        let mut t = OccupancyTracker::new();
+        t.busy(VectorUnit::Fu2, 0, 4);
+        t.busy(VectorUnit::Fu1, 2, 6);
+        t.busy(VectorUnit::Mem, 4, 8);
+        let b = t.into_breakdown(10);
+        assert_eq!(b.total(), 10);
+        assert_eq!(b.get(UnitState::new(true, false, false)), 2); // 0,1
+        assert_eq!(b.get(UnitState::new(true, true, false)), 2); // 2,3
+        assert_eq!(b.get(UnitState::new(true, true, true)), 1); // 4
+        assert_eq!(b.get(UnitState::new(false, true, true)), 2); // 5,6
+        assert_eq!(b.get(UnitState::new(false, false, true)), 2); // 7,8
+        assert_eq!(b.get(UnitState::new(false, false, false)), 1); // 9
+    }
+
+    #[test]
+    fn clipping_beyond_total() {
+        let mut t = OccupancyTracker::new();
+        t.busy(VectorUnit::Mem, 5, 1000);
+        t.busy(VectorUnit::Fu2, 2000, 3000);
+        let b = t.into_breakdown(10);
+        assert_eq!(b.total(), 10);
+        assert_eq!(b.get(UnitState::new(false, false, true)), 5);
+    }
+
+    #[test]
+    fn adjacent_intervals_coalesce() {
+        let mut t = OccupancyTracker::new();
+        t.busy(VectorUnit::Mem, 0, 4);
+        t.busy(VectorUnit::Mem, 5, 9);
+        assert_eq!(t.busy_cycles(VectorUnit::Mem), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted interval")]
+    fn inverted_interval_rejected() {
+        let mut t = OccupancyTracker::new();
+        t.busy(VectorUnit::Fu1, 5, 4);
+    }
+}

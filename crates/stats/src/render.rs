@@ -1,0 +1,202 @@
+//! Plain-text rendering of tables and bar charts for the experiment
+//! harness. Keeps the harness output close to the paper's exhibits without
+//! pulling in a plotting dependency.
+
+use std::fmt;
+
+/// A simple aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use oov_stats::Table;
+///
+/// let mut t = Table::new(&["program", "speedup"]);
+/// t.row(&["trfd", "1.72"]);
+/// let s = t.to_string();
+/// assert!(s.contains("trfd"));
+/// assert!(s.contains("speedup"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Missing cells render empty; extra cells are dropped.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        self.rows
+            .push(cells.iter().map(|s| (*s).to_owned()).collect());
+        self
+    }
+
+    /// Appends a row of already-owned strings.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < w.len() {
+                    w[i] = w[i].max(cell.len());
+                } else {
+                    w.push(cell.len());
+                }
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = self.widths();
+        let fmt_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, width) in w.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i + 1 == w.len() {
+                    writeln!(f, "{cell:<width$}")?;
+                } else {
+                    write!(f, "{cell:<width$}  ")?;
+                }
+            }
+            Ok(())
+        };
+        fmt_row(f, &self.headers)?;
+        let total: usize = w.iter().sum::<usize>() + 2 * (w.len().saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            fmt_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// A horizontal ASCII bar chart, used for figure-style harness output.
+///
+/// # Example
+///
+/// ```
+/// use oov_stats::BarChart;
+///
+/// let mut c = BarChart::new("memory port idle %", 40);
+/// c.bar("swm256", 12.5);
+/// c.bar("dyfesm", 60.0);
+/// assert!(c.to_string().contains("dyfesm"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    title: String,
+    width: usize,
+    bars: Vec<(String, f64)>,
+}
+
+impl BarChart {
+    /// Creates a chart titled `title`, with bars at most `width` chars.
+    #[must_use]
+    pub fn new(title: impl Into<String>, width: usize) -> Self {
+        BarChart {
+            title: title.into(),
+            width: width.max(1),
+            bars: Vec::new(),
+        }
+    }
+
+    /// Appends a labelled value.
+    pub fn bar(&mut self, label: impl Into<String>, value: f64) -> &mut Self {
+        self.bars.push((label.into(), value));
+        self
+    }
+
+    /// Largest value currently charted.
+    #[must_use]
+    pub fn max_value(&self) -> f64 {
+        self.bars.iter().map(|(_, v)| *v).fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for BarChart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        let max = self.max_value();
+        let label_w = self.bars.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        for (label, value) in &self.bars {
+            let frac = if max > 0.0 { value / max } else { 0.0 };
+            let n = (frac * self.width as f64).round() as usize;
+            writeln!(f, "{label:<label_w$}  {:<w$} {value:8.2}", "#".repeat(n), w = self.width)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(&["a", "bbbb"]);
+        t.row(&["xxxxx", "1"]);
+        t.row(&["y", "22"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4); // header, rule, two rows
+        // All "1"/"22" cells start at the same column.
+        let col = lines[2].find('1').unwrap();
+        assert_eq!(lines[3].find('2').unwrap(), col);
+    }
+
+    #[test]
+    fn table_handles_ragged_rows() {
+        let mut t = Table::new(&["a"]);
+        t.row(&["1", "extra"]);
+        t.row(&[]);
+        assert!(t.to_string().contains("extra"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn chart_scales_to_max() {
+        let mut c = BarChart::new("t", 10);
+        c.bar("half", 5.0);
+        c.bar("full", 10.0);
+        let s = c.to_string();
+        let full_line = s.lines().find(|l| l.starts_with("full")).unwrap();
+        let half_line = s.lines().find(|l| l.starts_with("half")).unwrap();
+        assert_eq!(full_line.matches('#').count(), 10);
+        assert_eq!(half_line.matches('#').count(), 5);
+    }
+
+    #[test]
+    fn chart_with_zero_values_does_not_panic() {
+        let mut c = BarChart::new("t", 10);
+        c.bar("zero", 0.0);
+        assert!(c.to_string().contains("zero"));
+    }
+}

@@ -1,0 +1,647 @@
+//! Local register allocation with spill generation.
+//!
+//! Maps the unlimited virtual registers of a scheduled loop body onto the
+//! 8 architectural registers of each class, Belady-style (evict the value
+//! with the farthest next use). Evictions produce *spill stores*, reuses
+//! of evicted values produce *spill loads* — the real memory traffic the
+//! paper's Table 3 measures and §6's dynamic load elimination attacks.
+//!
+//! Two refinements mirror production compilers:
+//!
+//! * values that are memory-resident (just loaded, or already spilled)
+//!   are evicted without a store;
+//! * a value defined by a plain load can be *rematerialised* by reloading
+//!   from its original address, provided no potentially-overlapping store
+//!   has been emitted since — this creates the "repeated loads from the
+//!   same memory location" the paper attributes to limited registers.
+
+use std::collections::HashMap;
+
+use oov_isa::{ArchReg, Opcode, RegClass};
+
+use crate::ir::{AddrExpr, KInst, LoopSeg, VirtReg, SPILL_SPACE_BASE};
+use crate::sched::footprint;
+
+/// A template instruction: architectural registers, but addresses still
+/// parameterised by iteration number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TInst {
+    /// Opcode.
+    pub op: Opcode,
+    /// Destination architectural register.
+    pub dst: Option<ArchReg>,
+    /// Source architectural registers.
+    pub srcs: Vec<ArchReg>,
+    /// Immediate.
+    pub imm: i64,
+    /// Vector length.
+    pub vl: u16,
+    /// Address expression (memory ops only).
+    pub addr: Option<AddrExpr>,
+    /// `true` for allocator-inserted spill traffic.
+    pub is_spill: bool,
+}
+
+/// Counters describing the spill code inserted for one segment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillSummary {
+    /// Vector spill stores inserted (instructions).
+    pub vstores: u64,
+    /// Vector spill reloads inserted (slot reloads + rematerialised loads).
+    pub vloads: u64,
+    /// Scalar spill stores inserted.
+    pub sstores: u64,
+    /// Scalar spill reloads inserted.
+    pub sloads: u64,
+    /// Reloads that rematerialised from the original address rather than
+    /// a spill slot.
+    pub remat_loads: u64,
+}
+
+impl SpillSummary {
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &SpillSummary) {
+        self.vstores += other.vstores;
+        self.vloads += other.vloads;
+        self.sstores += other.sstores;
+        self.sloads += other.sloads;
+        self.remat_loads += other.remat_loads;
+    }
+}
+
+/// Architectural registers available to the allocator per class. `A6`/`A7`
+/// are reserved for the loop counter and limit emitted by the lowerer.
+#[must_use]
+pub(crate) fn pool_size(class: RegClass) -> u8 {
+    match class {
+        RegClass::A => 6,
+        _ => 8,
+    }
+}
+
+#[derive(Debug, Clone)]
+struct VirtState {
+    reg: Option<u8>,
+    pinned: bool,
+    /// Remaining source-use positions, ascending.
+    uses: Vec<usize>,
+    /// Cursor into `uses`.
+    next_use_ix: usize,
+    slot: Option<u64>,
+    /// Slot (or original load address) holds the current value.
+    slot_current: bool,
+    live_vl: u16,
+    /// `(addr, vl, op)` of the defining plain load, if rematerialisable.
+    def_load: Option<(AddrExpr, u16, Opcode)>,
+}
+
+impl VirtState {
+    fn next_use(&self) -> Option<usize> {
+        self.uses.get(self.next_use_ix).copied()
+    }
+}
+
+/// Allocates spill slots within the dedicated spill address space.
+#[derive(Debug)]
+pub(crate) struct SlotAllocator {
+    next: u64,
+}
+
+impl SlotAllocator {
+    pub(crate) fn new() -> Self {
+        SlotAllocator {
+            next: SPILL_SPACE_BASE,
+        }
+    }
+
+    fn alloc(&mut self, class: RegClass) -> u64 {
+        let bytes = match class {
+            RegClass::V => 128 * 8,
+            _ => 8,
+        };
+        let s = self.next;
+        self.next += bytes;
+        s
+    }
+}
+
+struct Allocator<'a> {
+    seg: &'a LoopSeg,
+    virts: HashMap<VirtReg, VirtState>,
+    free: HashMap<RegClass, Vec<u8>>,
+    occupant: HashMap<(RegClass, u8), VirtReg>,
+    out: Vec<TInst>,
+    slots: &'a mut SlotAllocator,
+    summary: SpillSummary,
+    /// Footprints of stores emitted so far into the data space.
+    store_log: Vec<(u64, u64)>,
+}
+
+/// Result of allocating one segment.
+pub(crate) struct AllocatedSegment {
+    pub body: Vec<TInst>,
+    pub summary: SpillSummary,
+    /// Carried virtuals and their pinned architectural registers, used by
+    /// the lowerer to zero-initialise them before the loop.
+    pub pinned: Vec<ArchReg>,
+}
+
+/// Runs the allocator over a scheduled segment body.
+///
+/// # Panics
+///
+/// Panics if the carried set exceeds the register pool of any class, if a
+/// mask value would need spilling (the ISA has no mask load/store), or if
+/// the body uses a virtual before defining it.
+pub(crate) fn allocate_segment(seg: &LoopSeg, slots: &mut SlotAllocator) -> AllocatedSegment {
+    let mut a = Allocator::new(seg, slots);
+    a.pin_carried();
+    let pinned = seg
+        .carried
+        .iter()
+        .map(|v| arch(v.class(), a.virts[v].reg.expect("pinned without reg")))
+        .collect();
+    a.run();
+    AllocatedSegment {
+        body: a.out,
+        summary: a.summary,
+        pinned,
+    }
+}
+
+fn arch(class: RegClass, idx: u8) -> ArchReg {
+    ArchReg::new(class, idx)
+}
+
+impl<'a> Allocator<'a> {
+    fn new(seg: &'a LoopSeg, slots: &'a mut SlotAllocator) -> Self {
+        let mut virts: HashMap<VirtReg, VirtState> = HashMap::new();
+        for (p, inst) in seg.body.iter().enumerate() {
+            for &s in &inst.srcs {
+                virts
+                    .entry(s)
+                    .or_insert_with(|| VirtState {
+                        reg: None,
+                        pinned: false,
+                        uses: Vec::new(),
+                        next_use_ix: 0,
+                        slot: None,
+                        slot_current: false,
+                        live_vl: 1,
+                        def_load: None,
+                    })
+                    .uses
+                    .push(p);
+            }
+            if let Some(d) = inst.dst {
+                virts.entry(d).or_insert_with(|| VirtState {
+                    reg: None,
+                    pinned: false,
+                    uses: Vec::new(),
+                    next_use_ix: 0,
+                    slot: None,
+                    slot_current: false,
+                    live_vl: 1,
+                    def_load: None,
+                });
+            }
+        }
+        let mut free: HashMap<RegClass, Vec<u8>> = HashMap::new();
+        for class in RegClass::ALL {
+            // Low indices handed out last (pop from the back).
+            free.insert(class, (0..pool_size(class)).rev().collect());
+        }
+        Allocator {
+            seg,
+            virts,
+            free,
+            occupant: HashMap::new(),
+            out: Vec::new(),
+            slots,
+            summary: SpillSummary::default(),
+            store_log: Vec::new(),
+        }
+    }
+
+    fn pin_carried(&mut self) {
+        for &v in &self.seg.carried {
+            let class = v.class();
+            let idx = self
+                .free
+                .get_mut(&class)
+                .unwrap()
+                .pop()
+                .unwrap_or_else(|| panic!("too many carried {class} registers"));
+            let st = self.virts.get_mut(&v).expect("carried virt never used");
+            st.reg = Some(idx);
+            st.pinned = true;
+            // Carried vectors hold full-length values across iterations.
+            if class == RegClass::V {
+                st.live_vl = 128;
+            }
+            self.occupant.insert((class, idx), v);
+        }
+    }
+
+    fn reg_of(&self, v: VirtReg) -> Option<u8> {
+        self.virts.get(&v).and_then(|s| s.reg)
+    }
+
+    /// Picks the eviction victim in `class`: resident, not pinned, not in
+    /// `locked`, with the farthest next use (no next use = farthest).
+    fn pick_victim(&self, class: RegClass, locked: &[u8]) -> VirtReg {
+        let mut best: Option<(VirtReg, usize)> = None;
+        for idx in 0..pool_size(class) {
+            if locked.contains(&idx) {
+                continue;
+            }
+            let Some(&v) = self.occupant.get(&(class, idx)) else {
+                continue;
+            };
+            let st = &self.virts[&v];
+            if st.pinned {
+                continue;
+            }
+            let next = st.next_use().unwrap_or(usize::MAX);
+            if best.map(|(_, n)| next > n).unwrap_or(true) {
+                best = Some((v, next));
+            }
+        }
+        best.map(|(v, _)| v)
+            .unwrap_or_else(|| panic!("register pressure unsatisfiable in class {class}"))
+    }
+
+    /// Frees a register in `class`, spilling the victim if its value is
+    /// still needed and not recoverable from memory.
+    fn make_room(&mut self, class: RegClass, locked: &[u8]) -> u8 {
+        if let Some(idx) = self.free.get_mut(&class).unwrap().pop() {
+            return idx;
+        }
+        let victim = self.pick_victim(class, locked);
+        let st = self.virts.get_mut(&victim).expect("victim untracked");
+        let idx = st.reg.take().expect("victim not resident");
+        let needs_value = st.next_use().is_some();
+        let recoverable = st.slot_current || st.def_load.is_some();
+        if needs_value && !recoverable {
+            assert!(
+                class != RegClass::Mask,
+                "mask register pressure too high: masks cannot be spilled"
+            );
+            let slot = *st.slot.get_or_insert_with(|| self.slots.alloc(class));
+            let vl = st.live_vl;
+            st.slot_current = true;
+            let (op, addr) = spill_slot_access(class, slot, vl, /* store = */ true);
+            self.out.push(TInst {
+                op,
+                dst: None,
+                srcs: vec![arch(class, idx)],
+                imm: 0,
+                vl,
+                addr: Some(addr),
+                is_spill: true,
+            });
+            match class {
+                RegClass::V => self.summary.vstores += 1,
+                _ => self.summary.sstores += 1,
+            }
+        }
+        self.occupant.remove(&(class, idx));
+        idx
+    }
+
+    /// Ensures `v` is resident, inserting a spill reload if needed.
+    /// Returns its register index and appends it to `locked`.
+    fn ensure_resident(&mut self, v: VirtReg, locked: &mut Vec<u8>) -> u8 {
+        if let Some(idx) = self.reg_of(v) {
+            if !locked.contains(&idx) {
+                locked.push(idx);
+            }
+            return idx;
+        }
+        let class = v.class();
+        let idx = self.make_room(class, locked);
+        let st = self.virts.get_mut(&v).expect("virt untracked");
+        let (op, addr, vl, remat) = if st.slot_current {
+            let slot = st.slot.expect("slot_current without slot");
+            let (op, addr) = spill_slot_access(class, slot, st.live_vl, false);
+            (op, addr, st.live_vl, false)
+        } else if let Some((addr, vl, defop)) = st.def_load {
+            (defop, addr, vl, true)
+        } else {
+            panic!("use of {v} before definition (or unspillable value lost)");
+        };
+        st.reg = Some(idx);
+        self.occupant.insert((class, idx), v);
+        self.out.push(TInst {
+            op,
+            dst: Some(arch(class, idx)),
+            srcs: vec![],
+            imm: 0,
+            vl,
+            addr: Some(addr),
+            is_spill: true,
+        });
+        match class {
+            RegClass::V => self.summary.vloads += 1,
+            _ => self.summary.sloads += 1,
+        }
+        if remat {
+            self.summary.remat_loads += 1;
+        }
+        locked.push(idx);
+        idx
+    }
+
+    fn run(&mut self) {
+        for p in 0..self.seg.body.len() {
+            let inst = self.seg.body[p].clone();
+            let mut locked: Vec<u8> = Vec::new();
+            // Lock registers of resident operands of this instruction
+            // (per class; indices only collide within a class, which is
+            // acceptable extra conservatism).
+            for &s in &inst.srcs {
+                if let Some(idx) = self.reg_of(s) {
+                    locked.push(idx);
+                }
+            }
+            if let Some(d) = inst.dst {
+                if let Some(idx) = self.reg_of(d) {
+                    locked.push(idx);
+                }
+            }
+            let mut src_regs = Vec::with_capacity(inst.srcs.len());
+            for &s in &inst.srcs {
+                let idx = self.ensure_resident(s, &mut locked);
+                src_regs.push(arch(s.class(), idx));
+                // Consume this use.
+                let st = self.virts.get_mut(&s).unwrap();
+                while st.next_use() == Some(p) {
+                    st.next_use_ix += 1;
+                }
+            }
+            let dst_reg = inst.dst.map(|d| {
+                let class = d.class();
+                let idx = match self.reg_of(d) {
+                    Some(idx) => idx,
+                    None => {
+                        let idx = self.make_room(class, &locked);
+                        self.occupant.insert((class, idx), d);
+                        idx
+                    }
+                };
+                let st = self.virts.get_mut(&d).unwrap();
+                st.reg = Some(idx);
+                st.slot_current = false;
+                st.live_vl = inst.vl;
+                st.def_load = if matches!(inst.op, Opcode::VLoad | Opcode::SLoad) {
+                    inst.addr.map(|a| (a, inst.vl, inst.op))
+                } else {
+                    None
+                };
+                arch(class, idx)
+            });
+            if inst.op.is_store() {
+                if let Some(fp) = footprint(&inst, self.seg) {
+                    self.store_log.push(fp);
+                    // Any value whose defining load overlaps this store
+                    // can no longer be rematerialised from memory.
+                    for st in self.virts.values_mut() {
+                        if let Some((addr, vl, op)) = st.def_load {
+                            let probe = KInst {
+                                op,
+                                dst: None,
+                                srcs: vec![],
+                                imm: 0,
+                                vl,
+                                addr: Some(addr),
+                            };
+                            if let Some(dfp) = footprint(&probe, self.seg) {
+                                if fp.0 <= dfp.1 && dfp.0 <= fp.1 {
+                                    st.def_load = None;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            self.out.push(TInst {
+                op: inst.op,
+                dst: dst_reg,
+                srcs: src_regs,
+                imm: inst.imm,
+                vl: inst.vl,
+                addr: inst.addr,
+                is_spill: false,
+            });
+        }
+    }
+}
+
+/// Builds the opcode and address expression of a spill-slot access.
+fn spill_slot_access(class: RegClass, slot: u64, vl: u16, store: bool) -> (Opcode, AddrExpr) {
+    let op = match (class, store) {
+        (RegClass::V, true) => Opcode::VStore,
+        (RegClass::V, false) => Opcode::VLoad,
+        (_, true) => Opcode::SStore,
+        (_, false) => Opcode::SLoad,
+    };
+    let addr = AddrExpr {
+        base: slot,
+        iter_advance: 0,
+        outer_advance: 0,
+        stride_bytes: if class == RegClass::V { 8 } else { 0 },
+        indexed_span: None,
+    };
+    let _ = vl;
+    (op, addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Kernel;
+
+    fn alloc(k: &Kernel) -> AllocatedSegment {
+        let mut slots = SlotAllocator::new();
+        allocate_segment(&k.segments()[0], &mut slots)
+    }
+
+    /// 10 simultaneously-live vectors cannot fit in 8 registers.
+    fn high_pressure_kernel() -> Kernel {
+        let mut k = Kernel::new("pressure");
+        let arr = k.array(64 * 1024);
+        let mut b = k.loop_build(2);
+        let loads: Vec<_> = (0..10)
+            .map(|i| b.vload(arr, i * 256, 1, 64, 64, 0))
+            .collect();
+        // Store in *reverse* order so every load is live across the others.
+        let mut acc = loads[9];
+        for &x in loads.iter().rev().skip(1) {
+            acc = b.vadd(acc, x, 64);
+        }
+        b.vstore(acc, arr, 32 * 1024, 1, 64, 64, 0);
+        b.finish();
+        k
+    }
+
+    #[test]
+    fn low_pressure_needs_no_spills() {
+        let mut k = Kernel::new("low");
+        let arr = k.array(4096);
+        let mut b = k.loop_build(2);
+        let x = b.vload(arr, 0, 1, 64, 64, 0);
+        let y = b.vload(arr, 1024, 1, 64, 64, 0);
+        let z = b.vadd(x, y, 64);
+        b.vstore(z, arr, 2048, 1, 64, 64, 0);
+        b.finish();
+        let a = alloc(&k);
+        assert_eq!(a.summary.vloads + a.summary.vstores, 0);
+        assert_eq!(a.body.len(), 4);
+    }
+
+    #[test]
+    fn high_pressure_spills_vectors() {
+        let a = alloc(&high_pressure_kernel());
+        assert!(a.summary.vloads > 0, "expected vector spill reloads");
+        assert!(
+            a.body.iter().any(|t| t.is_spill),
+            "spill instructions must be marked"
+        );
+    }
+
+    #[test]
+    fn values_loaded_from_memory_rematerialise_without_stores() {
+        // All pressure values come straight from loads and nothing stores
+        // over them, so evictions need no spill stores at all.
+        let a = alloc(&high_pressure_kernel());
+        assert_eq!(a.summary.vstores, 0, "loads should rematerialise");
+        assert!(a.summary.remat_loads > 0);
+    }
+
+    #[test]
+    fn computed_values_get_spill_stores() {
+        let mut k = Kernel::new("computed");
+        let arr = k.array(64 * 1024);
+        let mut b = k.loop_build(2);
+        // 10 live *computed* vectors (not rematerialisable).
+        let base = b.vload(arr, 0, 1, 64, 64, 0);
+        let computed: Vec<_> = (0..10)
+            .map(|i| {
+                let s = b.slui(i);
+                b.vmul_s(base, s, 64)
+            })
+            .collect();
+        let mut acc = computed[9];
+        for &x in computed.iter().rev().skip(1) {
+            acc = b.vadd(acc, x, 64);
+        }
+        b.vstore(acc, arr, 32 * 1024, 1, 64, 64, 0);
+        b.finish();
+        let a = alloc(&k);
+        assert!(a.summary.vstores > 0, "computed values need spill stores");
+        assert!(a.summary.vloads >= a.summary.vstores);
+    }
+
+    #[test]
+    fn stores_kill_rematerialisation() {
+        let mut k = Kernel::new("storekill");
+        let arr = k.array(64 * 1024);
+        let mut b = k.loop_build(2);
+        let loads: Vec<_> = (0..10)
+            .map(|i| b.vload(arr, i * 256, 1, 64, 64, 0))
+            .collect();
+        // A store overlapping every loaded region, while all loads live.
+        b.vstore(loads[0], arr, 0, 1, 64, 64, 0);
+        let mut acc = loads[9];
+        for &x in loads.iter().rev().skip(1) {
+            acc = b.vadd(acc, x, 64);
+        }
+        b.vstore(acc, arr, 48 * 1024, 1, 64, 64, 0);
+        b.finish();
+        let a = alloc(&k);
+        // After the clobbering store, evicted loads must use slots.
+        assert!(a.summary.vstores > 0);
+    }
+
+    #[test]
+    fn carried_registers_are_never_spilled() {
+        let mut k = Kernel::new("carried");
+        let arr = k.array(64 * 1024);
+        let mut b = k.loop_build(4);
+        let acc = b.carried_v();
+        let loads: Vec<_> = (0..9)
+            .map(|i| b.vload(arr, i * 256, 1, 64, 64, 0))
+            .collect();
+        let mut t = loads[8];
+        for &x in loads.iter().rev().skip(1) {
+            t = b.vadd(t, x, 64);
+        }
+        b.vadd_into(acc, acc, t, 64);
+        b.finish();
+        let a = alloc(&k);
+        let acc_reg = a.pinned[0];
+        // No spill instruction may touch the pinned register.
+        for t in a.body.iter().filter(|t| t.is_spill) {
+            assert_ne!(t.dst, Some(acc_reg));
+            assert!(!t.srcs.contains(&acc_reg));
+        }
+    }
+
+    #[test]
+    fn output_respects_register_limits() {
+        let a = alloc(&high_pressure_kernel());
+        for t in &a.body {
+            for r in t.dst.iter().chain(t.srcs.iter()) {
+                assert!(r.index() < 8);
+                if r.class() == RegClass::A {
+                    assert!(r.index() < 6, "A6/A7 are reserved for loop control");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spill_slot_stores_live_in_spill_space() {
+        // Spill *stores* always target slots; spill loads may instead
+        // rematerialise from the original (data-space) address.
+        let mut k = Kernel::new("slots");
+        let arr = k.array(64 * 1024);
+        let mut b = k.loop_build(2);
+        let base = b.vload(arr, 0, 1, 64, 64, 0);
+        let computed: Vec<_> = (0..10)
+            .map(|i| {
+                let s = b.slui(i);
+                b.vmul_s(base, s, 64)
+            })
+            .collect();
+        let mut acc = computed[9];
+        for &x in computed.iter().rev().skip(1) {
+            acc = b.vadd(acc, x, 64);
+        }
+        b.vstore(acc, arr, 32 * 1024, 1, 64, 64, 0);
+        b.finish();
+        let a = alloc(&k);
+        let mut saw_store = false;
+        for t in a.body.iter().filter(|t| t.is_spill && t.op.is_store()) {
+            saw_store = true;
+            let addr = t.addr.expect("spill without address");
+            assert!(addr.base >= SPILL_SPACE_BASE);
+        }
+        assert!(saw_store);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many carried")]
+    fn excess_carried_rejected() {
+        let mut k = Kernel::new("toomany");
+        let arr = k.array(8192);
+        let mut b = k.loop_build(2);
+        let carried: Vec<_> = (0..9).map(|_| b.carried_v()).collect();
+        let x = b.vload(arr, 0, 1, 64, 64, 0);
+        for &c in &carried {
+            b.vadd_into(c, c, x, 64);
+        }
+        b.finish();
+        let _ = alloc(&k);
+    }
+}

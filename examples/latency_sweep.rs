@@ -1,0 +1,60 @@
+//! Latency tolerance (the paper's §4.3, Figure 8): sweep main-memory
+//! latency from 1 to 100 cycles on one short-vector and one long-vector
+//! program and watch the out-of-order machine stay flat while the
+//! reference machine degrades.
+//!
+//! ```text
+//! cargo run --release --example latency_sweep
+//! ```
+
+use oov::core::OooSim;
+use oov::isa::{OooConfig, RefConfig};
+use oov::kernels::{Program, Scale};
+use oov::refsim::RefSim;
+use oov::stats::Table;
+
+fn main() {
+    let latencies = [1u32, 20, 50, 70, 100];
+    for p in [Program::Swm256, Program::Flo52] {
+        let program = p.compile(Scale::Paper);
+        let mut t = Table::new(&["latency", "REF cycles", "OOOVA cycles", "speedup"]);
+        let mut ref1 = 0u64;
+        let mut ooo1 = 0u64;
+        for &lat in &latencies {
+            let r = RefSim::new(RefConfig::default().with_memory_latency(lat)).run(&program.trace);
+            let o = OooSim::new(
+                OooConfig::default().with_memory_latency(lat),
+                &program.trace,
+            )
+            .run();
+            if lat == 1 {
+                ref1 = r.cycles;
+                ooo1 = o.stats.cycles;
+            }
+            t.row_owned(vec![
+                lat.to_string(),
+                r.cycles.to_string(),
+                o.stats.cycles.to_string(),
+                format!("{:.2}", r.cycles as f64 / o.stats.cycles as f64),
+            ]);
+        }
+        println!("{} (avg VL {:.0}):", p, program.trace.stats().avg_vl());
+        println!("{t}");
+        let rl = RefSim::new(RefConfig::default().with_memory_latency(100)).run(&program.trace);
+        let ol = OooSim::new(
+            OooConfig::default().with_memory_latency(100),
+            &program.trace,
+        )
+        .run();
+        println!(
+            "degradation 1 -> 100 cycles: REF +{:.1}%, OOOVA +{:.1}%\n",
+            100.0 * (rl.cycles as f64 / ref1 as f64 - 1.0),
+            100.0 * (ol.stats.cycles as f64 / ooo1 as f64 - 1.0),
+        );
+    }
+    println!(
+        "The paper's claim (§4.3): the OOOVA tolerates 100-cycle memory with\n\
+         <6% degradation, so \"the individual memory modules ... can be slowed\n\
+         down (changing very expensive SRAM parts for much cheaper DRAM parts)\"."
+    );
+}

@@ -1,0 +1,73 @@
+//! Dynamic load elimination (the paper's §6): run trfd — the program
+//! whose spill recurrences dominate its critical path — under the
+//! late-commit OOOVA, then with scalar load elimination (SLE), then with
+//! scalar + vector load elimination (SLE+VLE).
+//!
+//! ```text
+//! cargo run --release --example load_elimination
+//! ```
+
+use oov::core::OooSim;
+use oov::isa::{CommitMode, LoadElimMode, OooConfig};
+use oov::kernels::{Program, Scale};
+use oov::stats::Table;
+
+fn main() {
+    for p in [Program::Trfd, Program::Dyfesm] {
+        let program = p.compile(Scale::Paper);
+        let base_cfg = OooConfig::default().with_commit(CommitMode::Late);
+        let base = OooSim::new(base_cfg, &program.trace).run().stats;
+
+        let mut t = Table::new(&[
+            "configuration",
+            "cycles",
+            "speedup",
+            "bus requests",
+            "elim scalar",
+            "elim vector (words)",
+        ]);
+        t.row_owned(vec![
+            "late-commit OOOVA".into(),
+            base.cycles.to_string(),
+            "1.00".into(),
+            base.mem_requests.to_string(),
+            "-".into(),
+            "-".into(),
+        ]);
+        for (name, mode) in [("SLE", LoadElimMode::Sle), ("SLE+VLE", LoadElimMode::SleVle)] {
+            let cfg = OooConfig::default().with_load_elim(mode);
+            let s = OooSim::new(cfg, &program.trace).run().stats;
+            t.row_owned(vec![
+                name.into(),
+                s.cycles.to_string(),
+                format!("{:.2}", base.cycles as f64 / s.cycles as f64),
+                s.mem_requests.to_string(),
+                s.eliminated_scalar_loads.to_string(),
+                format!(
+                    "{} ({})",
+                    s.eliminated_vector_loads, s.eliminated_vector_words
+                ),
+            ]);
+        }
+        println!("{p}:\n{t}");
+        println!(
+            "traffic reduction with SLE+VLE: {:.1}% fewer address-bus requests\n",
+            100.0
+                * (1.0
+                    - OooSim::new(
+                        OooConfig::default().with_load_elim(LoadElimMode::SleVle),
+                        &program.trace
+                    )
+                    .run()
+                    .stats
+                    .mem_requests as f64
+                        / base.mem_requests as f64)
+        );
+    }
+    println!(
+        "Mechanism (paper §6.1): every physical register carries a tag\n\
+         (@1, @2, vl, vs, sz, v) describing the memory it mirrors; a load whose\n\
+         tag exactly matches a live or free-listed register is satisfied by a\n\
+         rename-table update instead of a memory access."
+    );
+}
