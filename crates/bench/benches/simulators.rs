@@ -1,64 +1,165 @@
-//! Criterion microbenchmarks of the reproduction's own machinery: how
-//! fast the compiler and the two simulators run. (The paper's tables and
-//! figures are regenerated by the `oov-bench` binaries, not by these.)
+//! Timed harness comparing the naive cycle stepper against the
+//! event-driven engine over the full ten-kernel suite, and timing the
+//! surrounding machinery (compiler, reference simulator, golden
+//! executor). Emits `BENCH_oov.json` at the repository root so future
+//! perf PRs have a baseline to beat.
+//!
+//! The container carries no external crates, so this is a plain
+//! `harness = false` bench built on `std::time::Instant`:
+//!
+//! ```text
+//! cargo bench -p oov-bench --bench simulators             # paper scale
+//! cargo bench -p oov-bench --bench simulators -- --smoke  # CI smoke run
+//! ```
+//! (`--bench simulators` matters when passing flags: a bare
+//! `cargo bench -- --smoke` would forward `--smoke` to the default
+//! libtest harness of every other target, which rejects it.)
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::fmt::Write as _;
 use std::hint::black_box;
+use std::time::Instant;
 
-use oov_core::OooSim;
-use oov_isa::{LoadElimMode, OooConfig, RefConfig};
-use oov_kernels::{Program, Scale};
+use oov_bench::Suite;
+use oov_core::{OooSim, Stepper};
+use oov_isa::OooConfig;
+use oov_isa::RefConfig;
+use oov_kernels::Scale;
 use oov_ref::RefSim;
-use oov_vcc::compile;
 
-fn bench_compiler(c: &mut Criterion) {
-    let kernel = Program::Flo52.kernel(Scale::Smoke);
-    c.bench_function("vcc_compile_flo52", |b| {
-        b.iter(|| compile(black_box(&kernel)))
-    });
+struct Row {
+    name: &'static str,
+    trace_len: usize,
+    cycles: u64,
+    naive_ms: f64,
+    event_ms: f64,
+    ref_ms: f64,
+    exec_ms: f64,
 }
 
-fn bench_reference_sim(c: &mut Criterion) {
-    let prog = Program::Flo52.compile(Scale::Smoke);
-    c.bench_function("refsim_flo52", |b| {
-        b.iter(|| RefSim::new(RefConfig::default()).run(black_box(&prog.trace)))
-    });
+/// Best-of-`reps` wall time in milliseconds, plus the last result (so
+/// callers can inspect it without paying for an extra run).
+fn time_ms<T>(reps: u32, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        out = Some(black_box(f()));
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, out.expect("reps must be > 0"))
 }
 
-fn bench_ooo_sim(c: &mut Criterion) {
-    let prog = Program::Flo52.compile(Scale::Smoke);
-    c.bench_function("ooosim_flo52", |b| {
-        b.iter(|| OooSim::new(OooConfig::default(), black_box(&prog.trace)).run())
-    });
-}
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (scale, scale_name, reps) = if smoke {
+        (Scale::Smoke, "smoke", 3)
+    } else {
+        (Scale::Paper, "paper", 2)
+    };
+    eprintln!("compiling suite ({scale_name})...");
+    let t0 = Instant::now();
+    let suite = Suite::compile(scale);
+    let compile_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-fn bench_ooo_sim_with_vle(c: &mut Criterion) {
-    let prog = Program::Trfd.compile(Scale::Smoke);
-    let cfg = OooConfig::default().with_load_elim(LoadElimMode::SleVle);
-    c.bench_function("ooosim_vle_trfd", |b| {
-        b.iter(|| OooSim::new(cfg, black_box(&prog.trace)).run())
-    });
-}
-
-fn bench_golden_executor(c: &mut Criterion) {
-    let prog = Program::Flo52.compile(Scale::Smoke);
-    c.bench_function("exec_flo52", |b| {
-        b.iter(|| {
-            let mut m = prog.golden_machine();
-            m.run(black_box(&prog.trace));
-            m.register_digest()
+    // Timing runs sequentially on purpose: timing every kernel under
+    // mutual CPU contention (as a `par_map` would) distorts the
+    // baseline — only the suite *compile* above is parallel.
+    let rows: Vec<Row> = suite
+        .iter()
+        .map(|(p, prog)| {
+            let cfg = OooConfig::default();
+            let (naive_ms, naive) = time_ms(reps, || {
+                OooSim::new(cfg, &prog.trace)
+                    .with_stepper(Stepper::Naive)
+                    .run()
+            });
+            let (event_ms, event) = time_ms(reps, || {
+                OooSim::new(cfg, &prog.trace)
+                    .with_stepper(Stepper::EventDriven)
+                    .run()
+            });
+            let (ref_ms, _) = time_ms(reps, || RefSim::new(RefConfig::default()).run(&prog.trace));
+            let (exec_ms, _) = time_ms(reps, || {
+                let mut m = prog.golden_machine();
+                m.run(&prog.trace);
+                m.register_digest()
+            });
+            assert_eq!(naive.stats, event.stats, "{}: engines diverged", p.name());
+            Row {
+                name: p.name(),
+                trace_len: prog.trace.len(),
+                cycles: event.stats.cycles,
+                naive_ms,
+                event_ms,
+                ref_ms,
+                exec_ms,
+            }
         })
-    });
-}
+        .collect();
 
-fn config() -> Criterion {
-    Criterion::default().sample_size(10)
-}
+    let total_naive: f64 = rows.iter().map(|r| r.naive_ms).sum();
+    let total_event: f64 = rows.iter().map(|r| r.event_ms).sum();
+    let speedup = total_naive / total_event;
 
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_compiler, bench_reference_sim, bench_ooo_sim,
-              bench_ooo_sim_with_vle, bench_golden_executor
+    println!(
+        "{:<10} {:>9} {:>12} {:>11} {:>11} {:>9} {:>9} {:>8}",
+        "kernel", "insts", "cycles", "naive ms", "event ms", "ref ms", "exec ms", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:>9} {:>12} {:>11.2} {:>11.2} {:>9.3} {:>9.3} {:>7.1}x",
+            r.name,
+            r.trace_len,
+            r.cycles,
+            r.naive_ms,
+            r.event_ms,
+            r.ref_ms,
+            r.exec_ms,
+            r.naive_ms / r.event_ms
+        );
+    }
+    println!(
+        "{:<10} {:>9} {:>12} {:>11.2} {:>11.2} {:>9} {:>9} {:>7.1}x",
+        "total", "", "", total_naive, total_event, "", "", speedup
+    );
+    println!("suite compile: {compile_ms:.1} ms");
+
+    // Hand-rolled JSON (the container ships no serde).
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"oov_engines\",");
+    let _ = writeln!(json, "  \"scale\": \"{scale_name}\",");
+    let _ = writeln!(json, "  \"suite_compile_ms\": {compile_ms:.3},");
+    let _ = writeln!(json, "  \"kernels\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"trace_len\": {}, \"cycles\": {}, \
+             \"naive_ms\": {:.3}, \"event_ms\": {:.3}, \"ref_ms\": {:.3}, \
+             \"exec_ms\": {:.3}, \"speedup\": {:.2}}}{comma}",
+            r.name,
+            r.trace_len,
+            r.cycles,
+            r.naive_ms,
+            r.event_ms,
+            r.ref_ms,
+            r.exec_ms,
+            r.naive_ms / r.event_ms
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"total_naive_ms\": {total_naive:.3},");
+    let _ = writeln!(json, "  \"total_event_ms\": {total_event:.3},");
+    let _ = writeln!(json, "  \"total_speedup\": {speedup:.2}");
+    json.push_str("}\n");
+
+    // The committed baseline is the paper-scale run; smoke runs (CI)
+    // write a separate file so they can never clobber it.
+    let path = if smoke {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_oov_smoke.json")
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_oov.json")
+    };
+    std::fs::write(path, &json).expect("failed to write bench baseline");
+    eprintln!("wrote {path}");
 }
-criterion_main!(benches);

@@ -13,11 +13,21 @@ use oov_stats::Table;
 use oov_vcc::{compile_with, CompileOptions};
 
 fn main() {
-    let programs = [Program::Swm256, Program::Flo52, Program::Trfd, Program::Bdna];
+    let programs = [
+        Program::Swm256,
+        Program::Flo52,
+        Program::Trfd,
+        Program::Bdna,
+    ];
 
     println!("== Reference-machine mechanisms (cycles, latency 50) ==");
     let mut t = Table::new(&[
-        "program", "baseline", "no FU chaining", "+load chaining", "unbanked RF", "no scalar cache",
+        "program",
+        "baseline",
+        "no FU chaining",
+        "+load chaining",
+        "unbanked RF",
+        "no scalar cache",
     ]);
     for p in programs {
         let prog = p.compile(Scale::Paper);
@@ -46,7 +56,14 @@ fn main() {
     println!("{t}");
 
     println!("== OOOVA structures (cycles, latency 50, 16 registers) ==");
-    let mut t = Table::new(&["program", "baseline", "queues=4", "queues=128", "no scalar cache", "rob=16"]);
+    let mut t = Table::new(&[
+        "program",
+        "baseline",
+        "queues=4",
+        "queues=128",
+        "no scalar cache",
+        "rob=16",
+    ]);
     for p in programs {
         let prog = p.compile(Scale::Paper);
         let run = |cfg: OooConfig| OooSim::new(cfg, &prog.trace).run().stats.cycles.to_string();

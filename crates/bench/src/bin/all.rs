@@ -12,7 +12,10 @@ fn main() {
     let sections: Vec<(&str, String)> = vec![
         ("Table 1 — machine parameters", ex::table1()),
         ("Table 2 — operation counts", ex::table2(&suite)),
-        ("Figure 3 — REF cycle breakdown vs latency", ex::figure3(&suite)),
+        (
+            "Figure 3 — REF cycle breakdown vs latency",
+            ex::figure3(&suite),
+        ),
         ("Figure 4 — REF memory-port idle", ex::figure4(&suite)),
         ("Figure 5 — OOOVA speedup vs registers", ex::figure5(&suite)),
         ("Figure 6 — port idle REF vs OOOVA", ex::figure6(&suite)),
@@ -36,13 +39,7 @@ fn main() {
         const BEGIN: &str = "<!-- measured:begin -->";
         const END: &str = "<!-- measured:end -->";
         if let (Some(b), Some(e)) = (doc.find(BEGIN), doc.find(END)) {
-            let new = format!(
-                "{}{}\n\n{}\n{}",
-                &doc[..b],
-                BEGIN,
-                measured,
-                &doc[e..]
-            );
+            let new = format!("{}{}\n\n{}\n{}", &doc[..b], BEGIN, measured, &doc[e..]);
             std::fs::write(path, new).expect("failed to update EXPERIMENTS.md");
             eprintln!("EXPERIMENTS.md updated");
         }

@@ -74,7 +74,9 @@ fn parse_args() -> Result<Args, String> {
                 args.regs = value(&mut i)?.parse().map_err(|e| format!("--regs: {e}"))?;
             }
             "--queues" => {
-                args.queues = value(&mut i)?.parse().map_err(|e| format!("--queues: {e}"))?;
+                args.queues = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--queues: {e}"))?;
             }
             "--latency" => {
                 args.latency = value(&mut i)?
@@ -125,8 +127,7 @@ fn report(name: &str, stats: &SimStats, ideal: u64, breakdown: bool) {
         stats.mispredicts,
         stats.branches
     );
-    if stats.eliminated_scalar_loads + stats.eliminated_vector_loads + stats.eliminated_stores > 0
-    {
+    if stats.eliminated_scalar_loads + stats.eliminated_vector_loads + stats.eliminated_stores > 0 {
         println!(
             "  eliminated: {} scalar loads, {} vector loads ({} words), {} stores ({} words)",
             stats.eliminated_scalar_loads,

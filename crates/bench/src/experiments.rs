@@ -43,12 +43,27 @@ pub fn table1() -> String {
     row(&mut t, "read crossbar", r.read_xbar, o.read_xbar);
     row(&mut t, "write crossbar", r.write_xbar, o.write_xbar);
     row(&mut t, "vector startup (*)", r.vstartup, o.vstartup);
-    row(&mut t, "scalar add/logic/shift", r.scalar_simple, o.scalar_simple);
-    row(&mut t, "vector add/logic/shift", r.vector_simple, o.vector_simple);
+    row(
+        &mut t,
+        "scalar add/logic/shift",
+        r.scalar_simple,
+        o.scalar_simple,
+    );
+    row(
+        &mut t,
+        "vector add/logic/shift",
+        r.vector_simple,
+        o.vector_simple,
+    );
     row(&mut t, "multiply", r.mul, o.mul);
     row(&mut t, "divide / sqrt", r.div_sqrt, o.div_sqrt);
     row(&mut t, "branch", r.branch, o.branch);
-    row(&mut t, "mispredict penalty", r.mispredict_penalty, o.mispredict_penalty);
+    row(
+        &mut t,
+        "mispredict penalty",
+        r.mispredict_penalty,
+        o.mispredict_penalty,
+    );
     row(&mut t, "memory (default)", r.memory, o.memory);
     format!(
         "Table 1: functional unit latencies (cycles)\n{t}\
@@ -83,13 +98,15 @@ pub fn figure3(suite: &Suite) -> String {
     let mut out = String::from(
         "Figure 3: reference-architecture cycle breakdown by (FU2,FU1,MEM) occupancy\n",
     );
-    for (p, prog) in suite.iter() {
-        out.push_str(&format!("\n{}:\n", p.name()));
-        let mut t = Table::new(&["state", "lat 1", "lat 20", "lat 70", "lat 100"]);
-        let runs: Vec<SimStats> = REF_LATENCIES
+    let per_program = suite.par_map(|_, prog| {
+        REF_LATENCIES
             .iter()
             .map(|&l| ref_run(prog, l))
-            .collect();
+            .collect::<Vec<SimStats>>()
+    });
+    for (p, runs) in per_program {
+        out.push_str(&format!("\n{}:\n", p.name()));
+        let mut t = Table::new(&["state", "lat 1", "lat 20", "lat 70", "lat 100"]);
         for state in oov_stats::UnitState::ALL {
             t.row_owned(
                 std::iter::once(state.to_string())
@@ -111,16 +128,13 @@ pub fn figure3(suite: &Suite) -> String {
 #[must_use]
 pub fn figure4(suite: &Suite) -> String {
     let mut t = Table::new(&["program", "lat 1", "lat 20", "lat 70", "lat 100"]);
-    for (p, prog) in suite.iter() {
-        t.row_owned(
-            std::iter::once(p.name().to_string())
-                .chain(
-                    REF_LATENCIES
-                        .iter()
-                        .map(|&l| format!("{:.1}%", ref_run(prog, l).mem_port_idle_pct())),
-                )
-                .collect(),
-        );
+    for (p, cells) in suite.par_map(|_, prog| {
+        REF_LATENCIES
+            .iter()
+            .map(|&l| format!("{:.1}%", ref_run(prog, l).mem_port_idle_pct()))
+            .collect::<Vec<String>>()
+    }) {
+        t.row_owned(std::iter::once(p.name().to_string()).chain(cells).collect());
     }
     format!("Figure 4: memory-port idle cycles on the reference architecture\n{t}")
 }
@@ -138,7 +152,7 @@ pub fn figure5(suite: &Suite) -> String {
     }
     header.push("IDEAL".into());
     let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
-    for (p, prog) in suite.iter() {
+    for (_, cells) in suite.par_map(|p, prog| {
         let refc = ref_run(prog, DEFAULT_LATENCY).cycles;
         let mut cells = vec![p.name().to_string()];
         for qs in [16usize, 128] {
@@ -152,6 +166,8 @@ pub fn figure5(suite: &Suite) -> String {
             "{:.2}",
             refc as f64 / prog.trace.ideal_cycles() as f64
         ));
+        cells
+    }) {
         t.row_owned(cells);
     }
     format!("Figure 5: OOOVA speedup over REF (latency 50) vs physical vector registers\n{t}")
@@ -165,9 +181,9 @@ pub fn figure6(suite: &Suite) -> String {
         40,
     );
     let mut t = Table::new(&["program", "REF", "OOOVA"]);
-    for (p, prog) in suite.iter() {
-        let r = ref_run(prog, DEFAULT_LATENCY);
-        let o = ooo_run(prog, base_cfg());
+    for (p, (r, o)) in
+        suite.par_map(|_, prog| (ref_run(prog, DEFAULT_LATENCY), ooo_run(prog, base_cfg())))
+    {
         t.row_owned(vec![
             p.name().into(),
             format!("{:.1}%", r.mem_port_idle_pct()),
@@ -184,9 +200,9 @@ pub fn figure6(suite: &Suite) -> String {
 pub fn figure7(suite: &Suite) -> String {
     let mut out =
         String::from("Figure 7: cycle breakdown REF vs OOOVA (16 registers, latency 50)\n");
-    for (p, prog) in suite.iter() {
-        let r = ref_run(prog, DEFAULT_LATENCY);
-        let o = ooo_run(prog, base_cfg());
+    for (p, (r, o)) in
+        suite.par_map(|_, prog| (ref_run(prog, DEFAULT_LATENCY), ooo_run(prog, base_cfg())))
+    {
         let mut t = Table::new(&["state", "REF", "OOOVA"]);
         for state in oov_stats::UnitState::ALL {
             t.row_owned(vec![
@@ -210,17 +226,24 @@ pub fn figure7(suite: &Suite) -> String {
 pub fn figure8(suite: &Suite) -> String {
     let lats = [1u32, 50, 100];
     let mut t = Table::new(&[
-        "program", "REF@1", "REF@50", "REF@100", "OOO@1", "OOO@50", "OOO@100", "IDEAL",
+        "program",
+        "REF@1",
+        "REF@50",
+        "REF@100",
+        "OOO@1",
+        "OOO@50",
+        "OOO@100",
+        "IDEAL",
         "OOO deg 1→100",
     ]);
-    for (p, prog) in suite.iter() {
+    for (_, row) in suite.par_map(|p, prog| {
         let refs: Vec<u64> = lats.iter().map(|&l| ref_run(prog, l).cycles).collect();
         let ooos: Vec<u64> = lats
             .iter()
             .map(|&l| ooo_run(prog, OooConfig::default().with_memory_latency(l)).cycles)
             .collect();
         let deg = 100.0 * (ooos[2] as f64 / ooos[0] as f64 - 1.0);
-        t.row_owned(vec![
+        vec![
             p.name().into(),
             refs[0].to_string(),
             refs[1].to_string(),
@@ -230,7 +253,9 @@ pub fn figure8(suite: &Suite) -> String {
             ooos[2].to_string(),
             prog.trace.ideal_cycles().to_string(),
             format!("{deg:.1}%"),
-        ]);
+        ]
+    }) {
+        t.row_owned(row);
     }
     format!("Figure 8: execution cycles vs main-memory latency (16 registers)\n{t}")
 }
@@ -247,7 +272,7 @@ pub fn figure9(suite: &Suite) -> String {
     }
     header.push("late deg @16".into());
     let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
-    for (p, prog) in suite.iter() {
+    for (_, cells) in suite.par_map(|p, prog| {
         let refc = ref_run(prog, DEFAULT_LATENCY).cycles;
         let mut cells = vec![p.name().to_string()];
         let mut early16 = 0u64;
@@ -269,6 +294,8 @@ pub fn figure9(suite: &Suite) -> String {
             "{:.1}%",
             100.0 * (late16 as f64 / early16 as f64 - 1.0)
         ));
+        cells
+    }) {
         t.row_owned(cells);
     }
     format!("Figure 9: early vs late commit — speedup over REF (latency 50)\n{t}")
@@ -278,7 +305,13 @@ pub fn figure9(suite: &Suite) -> String {
 #[must_use]
 pub fn table3(suite: &Suite) -> String {
     let mut t = Table::new(&[
-        "program", "vload words", "vload spill", "%", "vstore words", "vstore spill", "%",
+        "program",
+        "vload words",
+        "vload spill",
+        "%",
+        "vstore words",
+        "vstore spill",
+        "%",
         "scalar spills",
     ]);
     for (p, prog) in suite.iter() {
@@ -312,7 +345,7 @@ fn elim_speedups(suite: &Suite, mode: LoadElimMode, title: &str) -> String {
         header.push(format!("r{r}"));
     }
     let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
-    for (p, prog) in suite.iter() {
+    for (_, cells) in suite.par_map(|p, prog| {
         let mut cells = vec![p.name().to_string()];
         for r in regs {
             let base = base_cfg().with_phys_v_regs(r).with_commit(CommitMode::Late);
@@ -321,6 +354,8 @@ fn elim_speedups(suite: &Suite, mode: LoadElimMode, title: &str) -> String {
             let ec = ooo_run(prog, elim).cycles;
             cells.push(format!("{:.2}", bc as f64 / ec as f64));
         }
+        cells
+    }) {
         t.row_owned(cells);
     }
     format!("{title}\n{t}")
@@ -350,8 +385,10 @@ pub fn figure12(suite: &Suite) -> String {
 #[must_use]
 pub fn figure13(suite: &Suite) -> String {
     let mut t = Table::new(&["program", "SLE", "SLE+VLE"]);
-    for (p, prog) in suite.iter() {
-        let base = base_cfg().with_phys_v_regs(32).with_commit(CommitMode::Late);
+    for (_, cells) in suite.par_map(|p, prog| {
+        let base = base_cfg()
+            .with_phys_v_regs(32)
+            .with_commit(CommitMode::Late);
         let breq = ooo_run(prog, base).mem_requests;
         let mut cells = vec![p.name().to_string()];
         for mode in [LoadElimMode::Sle, LoadElimMode::SleVle] {
@@ -362,6 +399,8 @@ pub fn figure13(suite: &Suite) -> String {
                 100.0 * (1.0 - req as f64 / breq as f64)
             ));
         }
+        cells
+    }) {
         t.row_owned(cells);
     }
     format!("Figure 13: address-bus traffic reduction at 32 physical registers\n{t}")

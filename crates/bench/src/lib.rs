@@ -24,19 +24,48 @@ pub struct Suite {
 }
 
 impl Suite {
-    /// Compiles all ten programs at the given scale.
+    /// Compiles all ten programs at the given scale, one worker thread
+    /// per program.
     #[must_use]
     pub fn compile(scale: Scale) -> Self {
-        Suite {
-            programs: Program::ALL
+        let programs = std::thread::scope(|s| {
+            let handles: Vec<_> = Program::ALL
                 .iter()
-                .map(|&p| (p, p.compile(scale)))
-                .collect(),
-        }
+                .map(|&p| s.spawn(move || (p, p.compile(scale))))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("suite compile worker panicked"))
+                .collect()
+        });
+        Suite { programs }
     }
 
     /// Iterates `(program, compiled)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (Program, &CompiledProgram)> {
         self.programs.iter().map(|(p, c)| (*p, c))
+    }
+
+    /// Runs `f` over every program concurrently (one scoped thread per
+    /// program) and returns the results in suite order. The experiment
+    /// functions use this so each figure's kernel × config grid
+    /// simulates in parallel.
+    pub fn par_map<T, F>(&self, f: F) -> Vec<(Program, T)>
+    where
+        T: Send,
+        F: Fn(Program, &CompiledProgram) -> T + Sync,
+    {
+        std::thread::scope(|s| {
+            let f = &f;
+            let handles: Vec<_> = self
+                .programs
+                .iter()
+                .map(|(p, c)| s.spawn(move || (*p, f(*p, c))))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("experiment worker panicked"))
+                .collect()
+        })
     }
 }

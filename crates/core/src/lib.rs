@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod btb;
+mod queue;
 mod rename;
 mod rob;
 mod sim;
@@ -48,14 +49,14 @@ mod verify;
 pub use btb::{Btb, ReturnStack};
 pub use rename::{PhysReg, RenameTable, RenameUnit};
 pub use rob::{DstInfo, EntryState, MemStage, Rob, RobEntry};
-pub use sim::{OooSim, RunResult};
+pub use sim::{OooSim, RunResult, Stepper};
 pub use tags::{Tag, TagTable, TagUnit};
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use oov_isa::{
-        ArchReg, BranchInfo, CommitMode, Instruction, LoadElimMode, MemRef, Opcode, OooConfig,
+        ArchReg, BranchInfo, CommitMode, Instruction, LoadElimMode, MemRef, OooConfig, Opcode,
         Trace,
     };
 
@@ -266,8 +267,7 @@ mod tests {
 
     #[test]
     fn queue_depth_128_accepted() {
-        let insts: Vec<Instruction> =
-            (0..40).map(|i| vload(0, 0x1000 + i * 0x4000, 32)).collect();
+        let insts: Vec<Instruction> = (0..40).map(|i| vload(0, 0x1000 + i * 0x4000, 32)).collect();
         let q16 = run(insts.clone(), OooConfig::default());
         let q128 = run(insts, OooConfig::default().with_queue_slots(128));
         assert!(q128.stats.cycles <= q16.stats.cycles);
@@ -440,7 +440,7 @@ mod tests {
         let insts = vec![
             vload(1, 0x1000, 64),
             vstore(1, 0x9000, 64),
-            vload(2, 0x9000, 64), // VLE forwarding still works
+            vload(2, 0x9000, 64),  // VLE forwarding still works
             vstore(2, 0x9000, 64), // and the write-back is silent
         ];
         let cfg = OooConfig::default().with_load_elim(LoadElimMode::SleVleSse);
@@ -462,7 +462,10 @@ mod tests {
         let t = trace(insts);
         let sim = OooSim::new(cfg, &t).with_fault_at(2);
         let r = sim.run();
-        assert_eq!(r.stats.committed, 5, "all instructions commit after recovery");
+        assert_eq!(
+            r.stats.committed, 5,
+            "all instructions commit after recovery"
+        );
     }
 
     #[test]
@@ -495,8 +498,9 @@ mod tests {
     fn latency_tolerance_much_better_than_growth() {
         // Streaming loads: raising memory latency from 1 to 100 should
         // cost far less than 99 extra cycles per load.
-        let insts: Vec<Instruction> =
-            (0..16).map(|i| vload(0, 0x1000 + i * 0x4000, 128)).collect();
+        let insts: Vec<Instruction> = (0..16)
+            .map(|i| vload(0, 0x1000 + i * 0x4000, 128))
+            .collect();
         let lat1 = run(insts.clone(), OooConfig::default().with_memory_latency(1));
         let lat100 = run(insts, OooConfig::default().with_memory_latency(100));
         let growth = lat100.stats.cycles as f64 / lat1.stats.cycles as f64;
@@ -506,7 +510,11 @@ mod tests {
     #[test]
     fn breakdown_total_matches_cycles() {
         let r = run(
-            vec![vload(0, 0x1000, 64), vadd(1, 0, 0, 64), vstore(1, 0x9000, 64)],
+            vec![
+                vload(0, 0x1000, 64),
+                vadd(1, 0, 0, 64),
+                vstore(1, 0x9000, 64),
+            ],
             OooConfig::default(),
         );
         assert_eq!(r.stats.breakdown.total(), r.stats.cycles);

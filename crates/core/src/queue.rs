@@ -1,0 +1,220 @@
+//! Issue-queue storage: an ordered multiset of ROB sequence numbers
+//! with tombstoned O(1)-amortised removal.
+//!
+//! The issue loops remove entries from the middle of a queue (an entry
+//! issues out of order while older entries keep waiting). A
+//! `VecDeque::retain` pays O(n) moves per removal; a [`SlotQueue`]
+//! instead overwrites the slot with a tombstone and compacts only when
+//! tombstones outnumber live entries, so program order is preserved
+//! while removal stays cheap.
+
+/// Sentinel marking a removed slot.
+const TOMB: u64 = u64::MAX;
+
+/// An insertion-ordered queue of sequence numbers with tombstone
+/// removal.
+#[derive(Debug, Default)]
+pub(crate) struct SlotQueue {
+    slots: Vec<u64>,
+    /// Index of the first possibly-live slot (leading tombstones are
+    /// trimmed eagerly so scans stay short).
+    head: usize,
+    live: usize,
+}
+
+impl SlotQueue {
+    /// An empty queue.
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live entries.
+    pub(crate) fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` if no live entries remain.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Appends a sequence number at the tail.
+    pub(crate) fn push_back(&mut self, seq: u64) {
+        debug_assert_ne!(seq, TOMB, "sequence number collides with tombstone");
+        self.slots.push(seq);
+        self.live += 1;
+    }
+
+    /// Number of raw slots (live + interior tombstones). Raw indices
+    /// `0..raw_len()` enumerate entries in program order via
+    /// [`SlotQueue::raw_get`].
+    pub(crate) fn raw_len(&self) -> usize {
+        self.slots.len() - self.head
+    }
+
+    /// The sequence number at raw position `pos`, or `None` for a
+    /// tombstone.
+    pub(crate) fn raw_get(&self, pos: usize) -> Option<u64> {
+        match self.slots[self.head + pos] {
+            TOMB => None,
+            seq => Some(seq),
+        }
+    }
+
+    /// Iterates live sequence numbers in insertion order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.slots[self.head..]
+            .iter()
+            .copied()
+            .filter(|&s| s != TOMB)
+    }
+
+    /// Removes one occurrence of `seq` by scanning for it. Returns
+    /// `true` if found. Callers that already hold the entry's raw
+    /// position should use [`SlotQueue::remove_at`] instead.
+    pub(crate) fn remove(&mut self, seq: u64) -> bool {
+        let Some(off) = self.slots[self.head..].iter().position(|&s| s == seq) else {
+            return false;
+        };
+        self.slots[self.head + off] = TOMB;
+        self.live -= 1;
+        self.reclaim();
+        true
+    }
+
+    /// Removes the live entry at raw position `pos` in O(1) (plus
+    /// amortised compaction). Raw positions are invalidated by any
+    /// mutation, so call this with the position just obtained from the
+    /// scan that selected the entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `pos` addresses a tombstone.
+    pub(crate) fn remove_at(&mut self, pos: usize) {
+        let i = self.head + pos;
+        debug_assert_ne!(self.slots[i], TOMB, "remove_at on a tombstone");
+        self.slots[i] = TOMB;
+        self.live -= 1;
+        self.reclaim();
+    }
+
+    /// Post-removal housekeeping: trim leading tombstones, reset empty
+    /// storage, compact when interior tombstones dominate.
+    fn reclaim(&mut self) {
+        while self.head < self.slots.len() && self.slots[self.head] == TOMB {
+            self.head += 1;
+        }
+        if self.head == self.slots.len() {
+            self.slots.clear();
+            self.head = 0;
+        } else if self.slots.len() - self.head > 2 * self.live.max(8) {
+            self.slots.retain(|&s| s != TOMB);
+            self.head = 0;
+        }
+    }
+
+    /// Drops every entry.
+    pub(crate) fn clear(&mut self) {
+        self.slots.clear();
+        self.head = 0;
+        self.live = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_len_iter_order() {
+        let mut q = SlotQueue::new();
+        for s in [3u64, 1, 4, 1, 5] {
+            q.push_back(s);
+        }
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.iter().collect::<Vec<_>>(), vec![3, 1, 4, 1, 5]);
+    }
+
+    #[test]
+    fn remove_preserves_order_and_raw_indexing() {
+        let mut q = SlotQueue::new();
+        for s in 0u64..6 {
+            q.push_back(s);
+        }
+        assert!(q.remove(2));
+        assert!(q.remove(4));
+        assert!(!q.remove(9));
+        assert_eq!(q.iter().collect::<Vec<_>>(), vec![0, 1, 3, 5]);
+        let via_raw: Vec<u64> = (0..q.raw_len()).filter_map(|p| q.raw_get(p)).collect();
+        assert_eq!(via_raw, vec![0, 1, 3, 5]);
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn removes_only_one_occurrence() {
+        let mut q = SlotQueue::new();
+        q.push_back(7);
+        q.push_back(7);
+        assert!(q.remove(7));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.iter().collect::<Vec<_>>(), vec![7]);
+    }
+
+    #[test]
+    fn head_trim_and_compaction_keep_live_entries() {
+        let mut q = SlotQueue::new();
+        for s in 0u64..64 {
+            q.push_back(s);
+        }
+        // Remove everything except the last entry, front to back.
+        for s in 0u64..63 {
+            assert!(q.remove(s));
+        }
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.iter().collect::<Vec<_>>(), vec![63]);
+        assert!(q.raw_len() <= 2, "tombstones not reclaimed");
+        q.push_back(100);
+        assert_eq!(q.iter().collect::<Vec<_>>(), vec![63, 100]);
+    }
+
+    #[test]
+    fn remove_at_matches_remove() {
+        let mut a = SlotQueue::new();
+        let mut b = SlotQueue::new();
+        for s in 10u64..20 {
+            a.push_back(s);
+            b.push_back(s);
+        }
+        // Remove 14 via scan on one queue, via its raw position on the
+        // other; the queues must stay identical.
+        assert!(a.remove(14));
+        let pos = (0..b.raw_len())
+            .find(|&p| b.raw_get(p) == Some(14))
+            .unwrap();
+        b.remove_at(pos);
+        assert_eq!(a.iter().collect::<Vec<_>>(), b.iter().collect::<Vec<_>>());
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut q = SlotQueue::new();
+        q.push_back(1);
+        q.remove(1);
+        q.push_back(2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.raw_len(), 0);
+    }
+
+    #[test]
+    fn drain_to_empty_resets_storage() {
+        let mut q = SlotQueue::new();
+        q.push_back(5);
+        q.push_back(6);
+        assert!(q.remove(6));
+        assert!(q.remove(5));
+        assert!(q.is_empty());
+        assert_eq!(q.raw_len(), 0);
+    }
+}

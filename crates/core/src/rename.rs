@@ -146,7 +146,11 @@ impl RenameTable {
     /// a squash: restores `arch → old_phys` and drops the reference the
     /// allocation took on `new_phys`.
     pub fn rollback_alloc(&mut self, arch: u8, new_phys: PhysReg, old_phys: PhysReg) {
-        debug_assert_eq!(self.map[usize::from(arch)], new_phys, "rollback out of order");
+        debug_assert_eq!(
+            self.map[usize::from(arch)],
+            new_phys,
+            "rollback out of order"
+        );
         self.map[usize::from(arch)] = old_phys;
         self.release(new_phys);
     }
@@ -284,7 +288,7 @@ mod tests {
         let mut t = RenameTable::new(RegClass::V, 12);
         let (new, old) = t.alloc(1).unwrap();
         t.release(old); // old now free
-        // A tag match resurrects `old` for arch 6.
+                        // A tag match resurrects `old` for arch 6.
         let (p, prev6) = t.alias(6, old);
         assert_eq!(p, old);
         // The stale free-list entry must not be handed out again.

@@ -94,6 +94,9 @@ pub struct RobEntry {
     pub eliminated: bool,
     /// Fetch-time misprediction flag (front end stalled on this branch).
     pub mispredicted: bool,
+    /// Sources whose producer has not issued yet (wakeup index; the
+    /// issue scans skip the entry while this is non-zero).
+    pub waiting_srcs: u16,
 }
 
 impl RobEntry {
@@ -244,6 +247,7 @@ mod tests {
             mem_stage: MemStage::None,
             eliminated: false,
             mispredicted: false,
+            waiting_srcs: 0,
         }
     }
 

@@ -174,8 +174,20 @@ impl Opcode {
         use Opcode::*;
         matches!(
             self,
-            VLoad | VStore | VGather | VScatter | VAdd | VLogic | VShift | VCmp | VMerge
-                | VReduce | VMul | VDiv | VSqrt | VMaskOp
+            VLoad
+                | VStore
+                | VGather
+                | VScatter
+                | VAdd
+                | VLogic
+                | VShift
+                | VCmp
+                | VMerge
+                | VReduce
+                | VMul
+                | VDiv
+                | VSqrt
+                | VMaskOp
         )
     }
 

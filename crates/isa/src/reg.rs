@@ -193,7 +193,7 @@ mod tests {
 
     #[test]
     fn dense_index_is_dense_and_unique() {
-        let mut seen = vec![false; 32];
+        let mut seen = [false; 32];
         for class in RegClass::ALL {
             for i in 0..class.arch_count() {
                 let d = ArchReg::new(class, i).dense_index();

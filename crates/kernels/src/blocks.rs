@@ -152,12 +152,7 @@ pub fn scalar_alu_chain(b: &mut LoopBuilder<'_>, len: usize) -> VirtReg {
 /// (advance 0). Iteration *i+1*'s load depends on iteration *i*'s store
 /// through memory — the paper's trfd/dyfesm pathology under late commit,
 /// and prime VLE fodder.
-pub fn memory_recurrence(
-    b: &mut LoopBuilder<'_>,
-    cell: ArrayHandle,
-    update: VirtReg,
-    vl: u16,
-) {
+pub fn memory_recurrence(b: &mut LoopBuilder<'_>, cell: ArrayHandle, update: VirtReg, vl: u16) {
     let acc = recurrence_open(b, cell, vl);
     let next = b.vadd(acc, update, vl);
     recurrence_close(b, cell, next, vl);

@@ -236,12 +236,24 @@ mod tests {
                 .spill_traffic_fraction()
         };
         // bdna is dominated by spill traffic (paper: 69 %).
-        assert!(spill(Program::Bdna) > 0.40, "bdna spill {}", spill(Program::Bdna));
+        assert!(
+            spill(Program::Bdna) > 0.40,
+            "bdna spill {}",
+            spill(Program::Bdna)
+        );
         // trfd and dyfesm spill *scalar* state — the serialising
         // store→load recurrences that SLE attacks. Small in words moved,
         // large on the critical path.
-        assert!(spill(Program::Trfd) > 0.005, "trfd spill {}", spill(Program::Trfd));
-        assert!(spill(Program::Dyfesm) > 0.005, "dyfesm spill {}", spill(Program::Dyfesm));
+        assert!(
+            spill(Program::Trfd) > 0.005,
+            "trfd spill {}",
+            spill(Program::Trfd)
+        );
+        assert!(
+            spill(Program::Dyfesm) > 0.005,
+            "dyfesm spill {}",
+            spill(Program::Dyfesm)
+        );
     }
 
     #[test]

@@ -30,7 +30,13 @@ pub fn swm256(scale: Scale) -> Kernel {
     let mut b = k.loop_build(trips);
     streaming_combine(
         &mut b,
-        &[(ins[0], 0), (ins[1], 0), (ins[2], 0), (ins[3], 0), (ins[4], 0)],
+        &[
+            (ins[0], 0),
+            (ins[1], 0),
+            (ins[2], 0),
+            (ins[3], 0),
+            (ins[4], 0),
+        ],
         (outs[0], 0),
         vl,
         i64::from(vl),
@@ -46,19 +52,23 @@ pub fn swm256(scale: Scale) -> Kernel {
 
     // Sweep 2: unew/vnew/pnew update with mild pressure (spill source).
     let mut b = k.loop_build(trips);
-    pressure_block(&mut b, ins[2], outs[2], 9, 2, vl, i64::from(vl), false, 8 * 1024);
+    pressure_block(
+        &mut b,
+        ins[2],
+        outs[2],
+        9,
+        2,
+        vl,
+        i64::from(vl),
+        false,
+        8 * 1024,
+    );
     b.finish();
 
     // Periodic-boundary touch-up at a shorter vector length, pulling the
     // average VL just under 128.
     let mut b = k.loop_build(trips / 2);
-    streaming_combine(
-        &mut b,
-        &[(ins[3], 0), (ins[4], 0)],
-        (outs[3], 0),
-        112,
-        112,
-    );
+    streaming_combine(&mut b, &[(ins[3], 0), (ins[4], 0)], (outs[3], 0), 112, 112);
     b.finish();
     k
 }
@@ -94,7 +104,17 @@ pub fn hydro2d(scale: Scale) -> Kernel {
 
     // Flux limiter pass with register pressure.
     let mut b = k.loop_build(scale.trips(24));
-    pressure_block(&mut b, ins[4], outs[2], 10, 3, vl, i64::from(vl), false, 4 * 1024);
+    pressure_block(
+        &mut b,
+        ins[4],
+        outs[2],
+        10,
+        3,
+        vl,
+        i64::from(vl),
+        false,
+        4 * 1024,
+    );
     masked_reduce(&mut b, ins[5], ins[0], outs[3], outs[4], vl, i64::from(vl));
     b.finish();
     k
@@ -130,7 +150,17 @@ pub fn arc2d(scale: Scale) -> Kernel {
     b.finish();
 
     let mut b = k.loop_build(scale.trips(20));
-    pressure_block(&mut b, ins[6], outs[2], 11, 3, vl, i64::from(vl), false, 4 * 1024);
+    pressure_block(
+        &mut b,
+        ins[6],
+        outs[2],
+        11,
+        3,
+        vl,
+        i64::from(vl),
+        false,
+        4 * 1024,
+    );
     b.finish();
     k
 }
@@ -158,7 +188,17 @@ pub fn flo52(scale: Scale) -> Kernel {
 
     // Coarse-grid correction, mild pressure.
     let mut b = k.loop_build(scale.trips(30));
-    pressure_block(&mut b, ins[2], outs[2], 9, 2, vl, i64::from(vl), false, 2 * 1024);
+    pressure_block(
+        &mut b,
+        ins[2],
+        outs[2],
+        9,
+        2,
+        vl,
+        i64::from(vl),
+        false,
+        2 * 1024,
+    );
     b.finish();
     k
 }
@@ -194,7 +234,17 @@ pub fn nasa7(scale: Scale) -> Kernel {
     // independent streaming sweep the in-order machine overlaps.
     let vl = 96;
     let mut b = k.loop_build(scale.trips(20));
-    pressure_block(&mut b, ins[1], outs[1], 9, 1, vl, i64::from(vl), true, 3 * 1024);
+    pressure_block(
+        &mut b,
+        ins[1],
+        outs[1],
+        9,
+        1,
+        vl,
+        i64::from(vl),
+        true,
+        3 * 1024,
+    );
     let x = b.vload(ins[2], 0, 1, vl, i64::from(vl), 0);
     let y = b.vload(ins[3], 0, 1, vl, i64::from(vl), 0);
     let q = b.vdiv(x, y, vl);
@@ -244,7 +294,17 @@ pub fn su2cor(scale: Scale) -> Kernel {
     b.finish();
 
     let mut b = k.loop_build(scale.trips(20));
-    pressure_block(&mut b, ins[2], outs[3], 9, 3, vl, i64::from(vl), false, 2 * 1024);
+    pressure_block(
+        &mut b,
+        ins[2],
+        outs[3],
+        9,
+        3,
+        vl,
+        i64::from(vl),
+        false,
+        2 * 1024,
+    );
     b.finish();
     k
 }
@@ -306,9 +366,29 @@ pub fn bdna(scale: Scale) -> Kernel {
     // Force-coefficient vectors, all live across the output streams: an
     // irreducibly wide basic block (the paper reports ~69% of bdna's
     // traffic is spill code).
-    pressure_block(&mut b, ins[0], outs[0], 10, 4, vl, i64::from(vl), false, 2 * 1024);
+    pressure_block(
+        &mut b,
+        ins[0],
+        outs[0],
+        10,
+        4,
+        vl,
+        i64::from(vl),
+        false,
+        2 * 1024,
+    );
     // A second, computed cluster (non-rematerialisable: spill stores).
-    pressure_block(&mut b, ins[1], outs[1], 9, 2, vl, i64::from(vl), true, 2 * 1024);
+    pressure_block(
+        &mut b,
+        ins[1],
+        outs[1],
+        9,
+        2,
+        vl,
+        i64::from(vl),
+        true,
+        2 * 1024,
+    );
     // Streaming force evaluation keeps real (non-spill) traffic flowing.
     streaming_combine(
         &mut b,

@@ -25,8 +25,14 @@ impl ScalarCache {
     /// `size_bytes >= line_bytes`.
     #[must_use]
     pub fn new(size_bytes: u64, line_bytes: u64) -> Self {
-        assert!(size_bytes.is_power_of_two(), "cache size must be a power of two");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            size_bytes.is_power_of_two(),
+            "cache size must be a power of two"
+        );
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(size_bytes >= line_bytes, "cache smaller than one line");
         let lines = (size_bytes / line_bytes) as usize;
         ScalarCache {

@@ -1,8 +1,44 @@
 //! The analytical in-order pipeline model.
+//!
+//! This simulator is *event-driven by construction*: because issue is
+//! strictly in order, each instruction's issue cycle is the max of a
+//! handful of resource-release times, so the model computes issue times
+//! in one pass over the trace — it never steps a cycle loop and has no
+//! dead cycles to skip (the counterpart of the OOOVA engine's
+//! cycle-skipping stepper). The remaining hot-path cost is per-
+//! instruction bookkeeping, which is kept allocation-free via
+//! [`VSrcs`].
 
 use oov_isa::{ArchReg, FuClass, Instruction, Opcode, RefConfig, Trace};
 use oov_mem::{AddressBus, ScalarCache, TrafficCounter};
 use oov_stats::{OccupancyTracker, SimStats, VectorUnit};
+
+/// Fixed-capacity buffer for an instruction's vector sources (at most
+/// three), keeping the per-instruction hot path free of heap
+/// allocation.
+#[derive(Debug)]
+struct VSrcs {
+    regs: [ArchReg; 4],
+    n: usize,
+}
+
+impl VSrcs {
+    fn new() -> Self {
+        VSrcs {
+            regs: [ArchReg::V(0); 4],
+            n: 0,
+        }
+    }
+
+    fn push(&mut self, r: ArchReg) {
+        self.regs[self.n] = r;
+        self.n += 1;
+    }
+
+    fn slice(&self) -> &[ArchReg] {
+        &self.regs[..self.n]
+    }
+}
 
 /// Per-architectural-register timing state.
 #[derive(Debug, Clone, Copy, Default)]
@@ -194,7 +230,7 @@ impl RefSim {
         let occupancy = lat.occupancy(vl);
 
         let mut lower = 0;
-        let mut vsrcs: Vec<ArchReg> = Vec::with_capacity(2);
+        let mut vsrcs = VSrcs::new();
         for s in inst.sources() {
             lower = lower.max(self.src_ready(s, false));
             if s.is_vector() {
@@ -206,9 +242,13 @@ impl RefSim {
             FuClass::VecFu2Only => true,
             _ => self.fu2_free < self.fu1_free,
         };
-        lower = lower.max(if use_fu2 { self.fu2_free } else { self.fu1_free });
+        lower = lower.max(if use_fu2 {
+            self.fu2_free
+        } else {
+            self.fu1_free
+        });
         // Register-file ports.
-        lower = lower.max(self.read_port_bound(&vsrcs));
+        lower = lower.max(self.read_port_bound(vsrcs.slice()));
         if let Some(d) = inst.dst {
             // No renaming: drain readers and the previous writer.
             let st = self.reg(d);
@@ -220,8 +260,8 @@ impl RefSim {
         }
         let t0 = self.in_order(lower);
 
-        self.claim_read_ports(&vsrcs, t0, vl);
-        for &s in &vsrcs {
+        self.claim_read_ports(vsrcs.slice(), t0, vl);
+        for &s in vsrcs.slice() {
             let st = self.reg_mut(s);
             st.readers_done = st.readers_done.max(t0 + u64::from(vl) - 1);
         }
@@ -267,7 +307,10 @@ impl RefSim {
                 Opcode::SLoad => {
                     if cache.access_load(mem.base) {
                         let hit_lat = u64::from(
-                            self.cfg.scalar_cache.expect("cache without config").hit_latency,
+                            self.cfg
+                                .scalar_cache
+                                .expect("cache without config")
+                                .hit_latency,
                         );
                         let mut lower = 0;
                         for s in inst.sources() {
@@ -295,7 +338,7 @@ impl RefSim {
         }
 
         let mut lower = self.mem_free;
-        let mut vsrcs: Vec<ArchReg> = Vec::new();
+        let mut vsrcs = VSrcs::new();
         for s in inst.sources() {
             // Store data chains; address operands are scalar.
             lower = lower.max(self.src_ready(s, !s.is_vector()));
@@ -303,15 +346,15 @@ impl RefSim {
                 vsrcs.push(s);
             }
         }
-        lower = lower.max(self.read_port_bound(&vsrcs));
+        lower = lower.max(self.read_port_bound(vsrcs.slice()));
         if let Some(d) = inst.dst {
             let st = self.reg(d);
             lower = lower.max(st.readers_done.max(st.last_avail) + 1);
         }
         let t0 = self.in_order(lower);
 
-        self.claim_read_ports(&vsrcs, t0, vl);
-        for &s in &vsrcs {
+        self.claim_read_ports(vsrcs.slice(), t0, vl);
+        for &s in vsrcs.slice() {
             let st = self.reg_mut(s);
             st.readers_done = st.readers_done.max(t0 + u64::from(vl) - 1);
         }
@@ -421,7 +464,11 @@ mod tests {
 
     #[test]
     fn fu_chaining_overlaps_dependent_computes() {
-        let insts = vec![vload(0, 0x1000, 128), vadd(1, 0, 0, 128), vadd(2, 1, 1, 128)];
+        let insts = vec![
+            vload(0, 0x1000, 128),
+            vadd(1, 0, 0, 128),
+            vadd(2, 1, 1, 128),
+        ];
         let chained = run(insts.clone());
         let unchained = run_cfg(
             insts,
@@ -575,7 +622,7 @@ mod tests {
             },
         );
         let filler = Instruction::scalar(Opcode::SAdd, ArchReg::S(0), &[ArchReg::S(1)]);
-        let t1 = run(vec![br_taken, filler.clone()]);
+        let t1 = run(vec![br_taken, filler]);
         let t2 = run(vec![br_not, filler]);
         assert_eq!(t1.branches, 1);
         assert!(t1.cycles > t2.cycles);

@@ -148,7 +148,12 @@ impl fmt::Display for BarChart {
         for (label, value) in &self.bars {
             let frac = if max > 0.0 { value / max } else { 0.0 };
             let n = (frac * self.width as f64).round() as usize;
-            writeln!(f, "{label:<label_w$}  {:<w$} {value:8.2}", "#".repeat(n), w = self.width)?;
+            writeln!(
+                f,
+                "{label:<label_w$}  {:<w$} {value:8.2}",
+                "#".repeat(n),
+                w = self.width
+            )?;
         }
         Ok(())
     }
@@ -166,7 +171,7 @@ mod tests {
         let s = t.to_string();
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4); // header, rule, two rows
-        // All "1"/"22" cells start at the same column.
+                                    // All "1"/"22" cells start at the same column.
         let col = lines[2].find('1').unwrap();
         assert_eq!(lines[3].find('2').unwrap(), col);
     }

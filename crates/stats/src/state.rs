@@ -141,7 +141,8 @@ impl StateBreakdown {
         if total == 0 {
             return 0.0;
         }
-        let peak = self.get(UnitState::new(true, true, true)) + self.get(UnitState::new(true, true, false));
+        let peak = self.get(UnitState::new(true, true, true))
+            + self.get(UnitState::new(true, true, false));
         100.0 * peak as f64 / total as f64
     }
 
@@ -191,9 +192,18 @@ mod tests {
 
     #[test]
     fn display_matches_paper_notation() {
-        assert_eq!(UnitState::new(true, true, true).to_string(), "<FU2,FU1,MEM>");
-        assert_eq!(UnitState::new(false, false, false).to_string(), "<   ,   ,   >");
-        assert_eq!(UnitState::new(false, true, true).to_string(), "<   ,FU1,MEM>");
+        assert_eq!(
+            UnitState::new(true, true, true).to_string(),
+            "<FU2,FU1,MEM>"
+        );
+        assert_eq!(
+            UnitState::new(false, false, false).to_string(),
+            "<   ,   ,   >"
+        );
+        assert_eq!(
+            UnitState::new(false, true, true).to_string(),
+            "<   ,FU1,MEM>"
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use oov_exec::MemImage;
 use oov_isa::Opcode;
 
-use crate::ir::{Kernel, KInst, VirtReg};
+use crate::ir::{KInst, Kernel, VirtReg};
 
 /// A virtual-register value.
 #[derive(Debug, Clone)]
@@ -180,7 +180,10 @@ impl IrInterp {
             VGather => {
                 let b = base.unwrap();
                 let idx = self.vector(inst.srcs[0], vl);
-                let xs: Vec<u64> = idx.iter().map(|&o| self.mem.load(b.wrapping_add(o))).collect();
+                let xs: Vec<u64> = idx
+                    .iter()
+                    .map(|&o| self.mem.load(b.wrapping_add(o)))
+                    .collect();
                 self.regs.insert(inst.dst.unwrap(), Value::Vector(xs));
             }
             VScatter => {

@@ -283,7 +283,15 @@ impl LoopBuilder<'_> {
         outer_advance_words: i64,
     ) -> VirtReg {
         let dst = VirtReg::V(self.kernel.fresh());
-        self.vload_into(dst, arr, offset_words, stride_elems, vl, advance_words, outer_advance_words);
+        self.vload_into(
+            dst,
+            arr,
+            offset_words,
+            stride_elems,
+            vl,
+            advance_words,
+            outer_advance_words,
+        );
         dst
     }
 
@@ -299,7 +307,7 @@ impl LoopBuilder<'_> {
         advance_words: i64,
         outer_advance_words: i64,
     ) {
-        assert!(vl >= 1 && vl <= MAX_VL);
+        assert!((1..=MAX_VL).contains(&vl));
         self.push(KInst {
             op: Opcode::VLoad,
             dst: Some(dst),
@@ -328,7 +336,7 @@ impl LoopBuilder<'_> {
         advance_words: i64,
         outer_advance_words: i64,
     ) {
-        assert!(vl >= 1 && vl <= MAX_VL);
+        assert!((1..=MAX_VL).contains(&vl));
         self.push(KInst {
             op: Opcode::VStore,
             dst: None,
@@ -400,12 +408,7 @@ impl LoopBuilder<'_> {
     }
 
     /// Scalar load from `arr[offset]`, advancing per iteration.
-    pub fn sload(
-        &mut self,
-        arr: ArrayHandle,
-        offset_words: u64,
-        advance_words: i64,
-    ) -> VirtReg {
+    pub fn sload(&mut self, arr: ArrayHandle, offset_words: u64, advance_words: i64) -> VirtReg {
         let dst = VirtReg::S(self.kernel.fresh());
         self.push(KInst {
             op: Opcode::SLoad,
@@ -425,7 +428,13 @@ impl LoopBuilder<'_> {
     }
 
     /// Scalar store to `arr[offset]`, advancing per iteration.
-    pub fn sstore(&mut self, data: VirtReg, arr: ArrayHandle, offset_words: u64, advance_words: i64) {
+    pub fn sstore(
+        &mut self,
+        data: VirtReg,
+        arr: ArrayHandle,
+        offset_words: u64,
+        advance_words: i64,
+    ) {
         self.push(KInst {
             op: Opcode::SStore,
             dst: None,
@@ -449,7 +458,7 @@ impl LoopBuilder<'_> {
     }
 
     fn vec_binop_into(&mut self, op: Opcode, dst: VirtReg, a: VirtReg, b: VirtReg, vl: u16) {
-        assert!(vl >= 1 && vl <= MAX_VL);
+        assert!((1..=MAX_VL).contains(&vl));
         self.push(KInst {
             op,
             dst: Some(dst),

@@ -44,8 +44,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod ir;
 mod interp;
+pub mod ir;
 mod lower;
 mod regalloc;
 mod sched;
@@ -108,9 +108,7 @@ mod tests {
         let a = k.array_init(16 * 1024, |i| i ^ 0x5555);
         let out = k.array(16 * 1024);
         let mut b = k.loop_build(4);
-        let loads: Vec<_> = (0..12)
-            .map(|i| b.vload(a, i * 512, 1, 64, 64, 0))
-            .collect();
+        let loads: Vec<_> = (0..12).map(|i| b.vload(a, i * 512, 1, 64, 64, 0)).collect();
         for j in 0..6u64 {
             let mut acc = loads[j as usize];
             for i in 1..12 {

@@ -58,7 +58,13 @@ fn instantiate(t: &TInst, outer: u64, iter: u64, pc: u64) -> Instruction {
         }
         _ => {
             if t.op.is_vector() {
-                Instruction::vector(t.op, t.dst.expect("vector op without dst"), &t.srcs, t.vl, 1)
+                Instruction::vector(
+                    t.op,
+                    t.dst.expect("vector op without dst"),
+                    &t.srcs,
+                    t.vl,
+                    1,
+                )
             } else {
                 match t.dst {
                     Some(d) => Instruction::scalar(t.op, d, &t.srcs),
@@ -133,7 +139,10 @@ fn zero_init(pinned: &[ArchReg], pc: &mut u64, trace: &mut Trace) {
 
 /// Lowers all segments of a kernel whose bodies were already scheduled
 /// and allocated, producing the dynamic trace.
-pub(crate) fn lower_kernel(kernel: &Kernel, allocated: &[AllocatedSegment]) -> (Trace, SpillSummary) {
+pub(crate) fn lower_kernel(
+    kernel: &Kernel,
+    allocated: &[AllocatedSegment],
+) -> (Trace, SpillSummary) {
     let mut trace = Trace::new(kernel.name());
     let mut spill = SpillSummary::default();
     let mut pc: u64 = 0x1000;
@@ -163,20 +172,18 @@ pub(crate) fn lower_kernel(kernel: &Kernel, allocated: &[AllocatedSegment]) -> (
                 for step in &steps {
                     match step {
                         Step::SetVl(vl) => {
-                            trace.push(
-                                Instruction {
-                                    op: Opcode::SetVl,
-                                    dst: None,
-                                    srcs: [None; 4],
-                                    vl: 1,
-                                    vs: 1,
-                                    mem: None,
-                                    branch: None,
-                                    is_spill: false,
-                                    pc: ipc,
-                                    imm: i64::from(*vl),
-                                },
-                            );
+                            trace.push(Instruction {
+                                op: Opcode::SetVl,
+                                dst: None,
+                                srcs: [None; 4],
+                                vl: 1,
+                                vs: 1,
+                                mem: None,
+                                branch: None,
+                                is_spill: false,
+                                pc: ipc,
+                                imm: i64::from(*vl),
+                            });
                         }
                         Step::SetVs(vs) => {
                             trace.push(Instruction {

@@ -34,7 +34,10 @@ fn main() {
             "-".into(),
             "-".into(),
         ]);
-        for (name, mode) in [("SLE", LoadElimMode::Sle), ("SLE+VLE", LoadElimMode::SleVle)] {
+        for (name, mode) in [
+            ("SLE", LoadElimMode::Sle),
+            ("SLE+VLE", LoadElimMode::SleVle),
+        ] {
             let cfg = OooConfig::default().with_load_elim(mode);
             let s = OooSim::new(cfg, &program.trace).run().stats;
             t.row_owned(vec![

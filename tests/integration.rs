@@ -7,7 +7,9 @@ use oov::kernels::{Program, Scale};
 use oov::refsim::RefSim;
 
 fn ref_cycles(prog: &oov::vcc::CompiledProgram, lat: u32) -> u64 {
-    RefSim::new(RefConfig::default().with_memory_latency(lat)).run(&prog.trace).cycles
+    RefSim::new(RefConfig::default().with_memory_latency(lat))
+        .run(&prog.trace)
+        .cycles
 }
 
 #[test]
@@ -21,7 +23,11 @@ fn ooova_beats_reference_on_every_program() {
             "{p}: OOOVA {} not faster than REF {r}",
             o.stats.cycles
         );
-        assert_eq!(o.stats.committed, prog.trace.len() as u64, "{p}: lost instructions");
+        assert_eq!(
+            o.stats.committed,
+            prog.trace.len() as u64,
+            "{p}: lost instructions"
+        );
     }
 }
 
@@ -30,11 +36,7 @@ fn ideal_bound_holds_for_all_programs_and_configs() {
     for p in Program::ALL {
         let prog = p.compile(Scale::Smoke);
         for regs in [9usize, 16, 64] {
-            let r = OooSim::new(
-                OooConfig::default().with_phys_v_regs(regs),
-                &prog.trace,
-            )
-            .run();
+            let r = OooSim::new(OooConfig::default().with_phys_v_regs(regs), &prog.trace).run();
             // The IDEAL bound ignores the scalar cache (which removes bus
             // work), so allow it only that much slack.
             assert!(
@@ -54,7 +56,11 @@ fn breakdown_accounts_every_cycle() {
         let r = RefSim::new(RefConfig::default()).run(&prog.trace);
         assert_eq!(r.breakdown.total(), r.cycles, "{p}: REF breakdown");
         let o = OooSim::new(OooConfig::default(), &prog.trace).run();
-        assert_eq!(o.stats.breakdown.total(), o.stats.cycles, "{p}: OOO breakdown");
+        assert_eq!(
+            o.stats.breakdown.total(),
+            o.stats.cycles,
+            "{p}: OOO breakdown"
+        );
     }
 }
 
@@ -83,7 +89,10 @@ fn more_registers_never_hurt() {
 fn deeper_queues_never_hurt_much() {
     for p in [Program::Flo52, Program::Dyfesm] {
         let prog = p.compile(Scale::Smoke);
-        let q16 = OooSim::new(OooConfig::default(), &prog.trace).run().stats.cycles;
+        let q16 = OooSim::new(OooConfig::default(), &prog.trace)
+            .run()
+            .stats
+            .cycles;
         let q128 = OooSim::new(OooConfig::default().with_queue_slots(128), &prog.trace)
             .run()
             .stats
@@ -154,7 +163,10 @@ fn sle_subset_of_slevle() {
         )
         .run()
         .stats;
-        assert_eq!(sle.eliminated_vector_loads, 0, "{p}: SLE must not touch vectors");
+        assert_eq!(
+            sle.eliminated_vector_loads, 0,
+            "{p}: SLE must not touch vectors"
+        );
         assert!(both.eliminated_vector_loads > 0, "{p}: VLE found nothing");
         assert!(both.cycles <= sle.cycles, "{p}: adding VLE slowed things");
     }
@@ -169,7 +181,10 @@ fn precise_traps_recover_on_real_programs() {
             let cfg = OooConfig::default().with_commit(CommitMode::Late);
             let sim = OooSim::new(cfg, &prog.trace).with_fault_at(n / frac);
             let r = sim.run();
-            assert_eq!(r.stats.committed, n as u64, "{p}: fault at n/{frac} lost work");
+            assert_eq!(
+                r.stats.committed, n as u64,
+                "{p}: fault at n/{frac} lost work"
+            );
         }
     }
 }
