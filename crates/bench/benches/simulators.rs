@@ -2,7 +2,13 @@
 //! event-driven engine over the full ten-kernel suite, and timing the
 //! surrounding machinery (compiler, reference simulator, golden
 //! executor). Emits `BENCH_oov.json` at the repository root so future
-//! perf PRs have a baseline to beat.
+//! perf PRs have a baseline to beat (`bench_trend` compares CI smoke
+//! runs against it).
+//!
+//! Two engine sections are timed: the paper-default configuration, and
+//! `queue_slots = 128` (the paper's "OOOVA-128") — the configuration
+//! where the old per-dead-cycle queue rescan in `next_event` was most
+//! expensive and the event heap pays off.
 //!
 //! The container carries no external crates, so this is a plain
 //! `harness = false` bench built on `std::time::Instant`:
@@ -15,15 +21,14 @@
 //! `cargo bench -- --smoke` would forward `--smoke` to the default
 //! libtest harness of every other target, which rejects it.)
 
-use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
 use oov_bench::Suite;
 use oov_core::{OooSim, Stepper};
-use oov_isa::OooConfig;
-use oov_isa::RefConfig;
+use oov_isa::{OooConfig, RefConfig};
 use oov_kernels::Scale;
+use oov_proto::Json;
 use oov_ref::RefSim;
 
 struct Row {
@@ -34,6 +39,8 @@ struct Row {
     event_ms: f64,
     ref_ms: f64,
     exec_ms: f64,
+    q128_naive_ms: f64,
+    q128_event_ms: f64,
 }
 
 /// Best-of-`reps` wall time in milliseconds, plus the last result (so
@@ -47,6 +54,15 @@ fn time_ms<T>(reps: u32, mut f: impl FnMut() -> T) -> (f64, T) {
         best = best.min(t0.elapsed().as_secs_f64() * 1e3);
     }
     (best, out.expect("reps must be > 0"))
+}
+
+/// Rounds to three decimals so the JSON artifact stays diff-friendly.
+fn ms(v: f64) -> Json {
+    Json::Num((v * 1e3).round() / 1e3)
+}
+
+fn ratio(num: f64, den: f64) -> Json {
+    Json::Num(((num / den) * 100.0).round() / 100.0)
 }
 
 fn main() {
@@ -68,6 +84,7 @@ fn main() {
         .iter()
         .map(|(p, prog)| {
             let cfg = OooConfig::default();
+            let q128 = OooConfig::default().with_queue_slots(128);
             let (naive_ms, naive) = time_ms(reps, || {
                 OooSim::new(cfg, &prog.trace)
                     .with_stepper(Stepper::Naive)
@@ -78,6 +95,16 @@ fn main() {
                     .with_stepper(Stepper::EventDriven)
                     .run()
             });
+            let (q128_naive_ms, q_naive) = time_ms(reps, || {
+                OooSim::new(q128, &prog.trace)
+                    .with_stepper(Stepper::Naive)
+                    .run()
+            });
+            let (q128_event_ms, q_event) = time_ms(reps, || {
+                OooSim::new(q128, &prog.trace)
+                    .with_stepper(Stepper::EventDriven)
+                    .run()
+            });
             let (ref_ms, _) = time_ms(reps, || RefSim::new(RefConfig::default()).run(&prog.trace));
             let (exec_ms, _) = time_ms(reps, || {
                 let mut m = prog.golden_machine();
@@ -85,6 +112,12 @@ fn main() {
                 m.register_digest()
             });
             assert_eq!(naive.stats, event.stats, "{}: engines diverged", p.name());
+            assert_eq!(
+                q_naive.stats,
+                q_event.stats,
+                "{}: engines diverged at q128",
+                p.name()
+            );
             Row {
                 name: p.name(),
                 trace_len: prog.trace.len(),
@@ -93,21 +126,36 @@ fn main() {
                 event_ms,
                 ref_ms,
                 exec_ms,
+                q128_naive_ms,
+                q128_event_ms,
             }
         })
         .collect();
 
     let total_naive: f64 = rows.iter().map(|r| r.naive_ms).sum();
     let total_event: f64 = rows.iter().map(|r| r.event_ms).sum();
+    let total_q128_naive: f64 = rows.iter().map(|r| r.q128_naive_ms).sum();
+    let total_q128_event: f64 = rows.iter().map(|r| r.q128_event_ms).sum();
     let speedup = total_naive / total_event;
+    let q128_speedup = total_q128_naive / total_q128_event;
 
     println!(
-        "{:<10} {:>9} {:>12} {:>11} {:>11} {:>9} {:>9} {:>8}",
-        "kernel", "insts", "cycles", "naive ms", "event ms", "ref ms", "exec ms", "speedup"
+        "{:<10} {:>9} {:>12} {:>11} {:>11} {:>9} {:>9} {:>8} {:>11} {:>11} {:>8}",
+        "kernel",
+        "insts",
+        "cycles",
+        "naive ms",
+        "event ms",
+        "ref ms",
+        "exec ms",
+        "speedup",
+        "q128 nv ms",
+        "q128 ev ms",
+        "q128 x"
     );
     for r in &rows {
         println!(
-            "{:<10} {:>9} {:>12} {:>11.2} {:>11.2} {:>9.3} {:>9.3} {:>7.1}x",
+            "{:<10} {:>9} {:>12} {:>11.2} {:>11.2} {:>9.3} {:>9.3} {:>7.1}x {:>11.2} {:>11.2} {:>7.1}x",
             r.name,
             r.trace_len,
             r.cycles,
@@ -115,43 +163,61 @@ fn main() {
             r.event_ms,
             r.ref_ms,
             r.exec_ms,
-            r.naive_ms / r.event_ms
+            r.naive_ms / r.event_ms,
+            r.q128_naive_ms,
+            r.q128_event_ms,
+            r.q128_naive_ms / r.q128_event_ms
         );
     }
     println!(
-        "{:<10} {:>9} {:>12} {:>11.2} {:>11.2} {:>9} {:>9} {:>7.1}x",
-        "total", "", "", total_naive, total_event, "", "", speedup
+        "{:<10} {:>9} {:>12} {:>11.2} {:>11.2} {:>9} {:>9} {:>7.1}x {:>11.2} {:>11.2} {:>7.1}x",
+        "total",
+        "",
+        "",
+        total_naive,
+        total_event,
+        "",
+        "",
+        speedup,
+        total_q128_naive,
+        total_q128_event,
+        q128_speedup
     );
     println!("suite compile: {compile_ms:.1} ms");
 
-    // Hand-rolled JSON (the container ships no serde).
-    let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"bench\": \"oov_engines\",");
-    let _ = writeln!(json, "  \"scale\": \"{scale_name}\",");
-    let _ = writeln!(json, "  \"suite_compile_ms\": {compile_ms:.3},");
-    let _ = writeln!(json, "  \"kernels\": [");
-    for (i, r) in rows.iter().enumerate() {
-        let comma = if i + 1 == rows.len() { "" } else { "," };
-        let _ = writeln!(
-            json,
-            "    {{\"name\": \"{}\", \"trace_len\": {}, \"cycles\": {}, \
-             \"naive_ms\": {:.3}, \"event_ms\": {:.3}, \"ref_ms\": {:.3}, \
-             \"exec_ms\": {:.3}, \"speedup\": {:.2}}}{comma}",
-            r.name,
-            r.trace_len,
-            r.cycles,
-            r.naive_ms,
-            r.event_ms,
-            r.ref_ms,
-            r.exec_ms,
-            r.naive_ms / r.event_ms
-        );
-    }
-    let _ = writeln!(json, "  ],");
-    let _ = writeln!(json, "  \"total_naive_ms\": {total_naive:.3},");
-    let _ = writeln!(json, "  \"total_event_ms\": {total_event:.3},");
-    let _ = writeln!(json, "  \"total_speedup\": {speedup:.2}");
-    json.push_str("}\n");
+    let kernels: Vec<Json> = rows
+        .iter()
+        .map(|r| {
+            Json::obj(vec![
+                ("name", r.name.into()),
+                ("trace_len", r.trace_len.into()),
+                ("cycles", r.cycles.into()),
+                ("naive_ms", ms(r.naive_ms)),
+                ("event_ms", ms(r.event_ms)),
+                ("ref_ms", ms(r.ref_ms)),
+                ("exec_ms", ms(r.exec_ms)),
+                ("speedup", ratio(r.naive_ms, r.event_ms)),
+                ("q128_naive_ms", ms(r.q128_naive_ms)),
+                ("q128_event_ms", ms(r.q128_event_ms)),
+                ("q128_speedup", ratio(r.q128_naive_ms, r.q128_event_ms)),
+            ])
+        })
+        .collect();
+    let doc = Json::obj(vec![
+        ("bench", "oov_engines".into()),
+        ("scale", scale_name.into()),
+        ("suite_compile_ms", ms(compile_ms)),
+        ("kernels", Json::Arr(kernels)),
+        ("total_naive_ms", ms(total_naive)),
+        ("total_event_ms", ms(total_event)),
+        ("total_speedup", ratio(total_naive, total_event)),
+        ("total_q128_naive_ms", ms(total_q128_naive)),
+        ("total_q128_event_ms", ms(total_q128_event)),
+        (
+            "total_q128_speedup",
+            ratio(total_q128_naive, total_q128_event),
+        ),
+    ]);
 
     // The committed baseline is the paper-scale run; smoke runs (CI)
     // write a separate file so they can never clobber it.
@@ -160,6 +226,6 @@ fn main() {
     } else {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_oov.json")
     };
-    std::fs::write(path, &json).expect("failed to write bench baseline");
+    std::fs::write(path, doc.pretty()).expect("failed to write bench baseline");
     eprintln!("wrote {path}");
 }

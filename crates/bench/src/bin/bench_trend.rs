@@ -1,0 +1,197 @@
+//! Bench trend gate: compares a fresh engine-bench artifact against
+//! the committed baseline and fails on per-kernel regressions.
+//!
+//! CI runs the smoke-scale bench and then:
+//!
+//! ```text
+//! cargo run -p oov-bench --release --bin bench_trend -- \
+//!     BENCH_oov_smoke.json BENCH_oov.json
+//! ```
+//!
+//! The two artifacts generally differ in *scale* (CI smoke vs the
+//! committed paper-scale baseline) and in *machine* (a CI runner vs
+//! the box that produced the baseline), so absolute times are never
+//! compared. Two machine-independent gates, each per kernel and
+//! failing above `--max-ratio` (default 2.0):
+//!
+//! 1. **Cost shape.** Event-engine ms per thousand trace instructions,
+//!    as a ratio to the baseline, *normalised by the median ratio
+//!    across kernels* — a uniformly slower machine moves every
+//!    kernel's ratio equally and cancels out, while one kernel
+//!    regressing (a pathological interaction with the event heap, a
+//!    disambiguation blow-up) sticks out of the median.
+//! 2. **Engine speedup.** The naive/event speedup measured *within*
+//!    each artifact (same machine, same run). A fresh speedup below
+//!    `baseline / max-ratio` means the event engine lost ground
+//!    against the oracle regardless of hardware.
+//!
+//! The q128 section is gated the same way when both artifacts carry
+//! it. Exit status 1 on any regression, so the CI step fails without
+//! any shell glue.
+
+use std::process::ExitCode;
+
+use oov_proto::Json;
+
+struct KernelCost {
+    name: String,
+    /// event_ms per 1000 trace instructions, default config.
+    norm: f64,
+    /// naive_ms / event_ms, default config.
+    speedup: f64,
+    /// Same pair for the queue_slots=128 section, when present.
+    q128: Option<(f64, f64)>,
+}
+
+fn costs(doc: &Json, path: &str) -> Result<Vec<KernelCost>, String> {
+    let kernels = doc
+        .get("kernels")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: missing `kernels` array"))?;
+    kernels
+        .iter()
+        .map(|k| {
+            let name = k
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{path}: kernel without a name"))?
+                .to_string();
+            let num = |field: &str| {
+                k.get(field)
+                    .and_then(Json::as_f64)
+                    .filter(|&n| n > 0.0)
+                    .ok_or_else(|| format!("{path}: {name}: bad `{field}`"))
+            };
+            let trace_len = num("trace_len")?;
+            let event_ms = num("event_ms")?;
+            let naive_ms = num("naive_ms")?;
+            let q128 = match (
+                k.get("q128_event_ms").and_then(Json::as_f64),
+                k.get("q128_naive_ms").and_then(Json::as_f64),
+            ) {
+                (Some(e), Some(n)) if e > 0.0 && n > 0.0 => Some((e / trace_len * 1e3, n / e)),
+                _ => None,
+            };
+            Ok(KernelCost {
+                name,
+                norm: event_ms / trace_len * 1e3,
+                speedup: naive_ms / event_ms,
+                q128,
+            })
+        })
+        .collect()
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(f64::total_cmp);
+    if v.is_empty() {
+        1.0
+    } else {
+        v[v.len() / 2]
+    }
+}
+
+fn read(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run() -> Result<Vec<String>, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<&str> = Vec::new();
+    let mut max_ratio = 2.0f64;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--max-ratio" => {
+                i += 1;
+                max_ratio = argv
+                    .get(i)
+                    .ok_or("missing value for --max-ratio")?
+                    .parse()
+                    .map_err(|e| format!("--max-ratio: {e}"))?;
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            file => files.push(file),
+        }
+        i += 1;
+    }
+    let [fresh_path, base_path] = files.as_slice() else {
+        return Err("usage: bench_trend <fresh.json> <baseline.json> [--max-ratio N]".into());
+    };
+    let fresh = costs(&read(fresh_path)?, fresh_path)?;
+    let base = costs(&read(base_path)?, base_path)?;
+
+    // Median cost ratio across kernels = the machine/scale factor.
+    let pairs: Vec<(&KernelCost, &KernelCost)> = fresh
+        .iter()
+        .filter_map(|f| base.iter().find(|b| b.name == f.name).map(|b| (f, b)))
+        .collect();
+    if pairs.is_empty() {
+        return Err("no kernels in common between the two artifacts".into());
+    }
+    let machine_factor = median(pairs.iter().map(|(f, b)| f.norm / b.norm).collect());
+    let q128_factor = median(
+        pairs
+            .iter()
+            .filter_map(|(f, b)| Some(f.q128?.0 / b.q128?.0))
+            .collect(),
+    );
+
+    println!("machine/scale factor: {machine_factor:.3}x (q128 {q128_factor:.3}x)");
+    println!(
+        "{:<10} {:>10} {:>11} {:>10} {:>11}   {:>10} {:>11}",
+        "kernel", "cost", "speedup", "q128 cost", "q128 spdup", "base spdup", "q128 base"
+    );
+    let mut regressions = Vec::new();
+    for (f, b) in &pairs {
+        let mut check = |section: &str, metric: &str, ratio: f64| {
+            if ratio > max_ratio {
+                regressions.push(format!(
+                    "{} [{section}]: {metric} regressed {ratio:.2}x (> {max_ratio:.1}x)",
+                    f.name
+                ));
+            }
+        };
+        let cost = f.norm / b.norm / machine_factor;
+        check("default", "normalised cost", cost);
+        check("default", "engine speedup", b.speedup / f.speedup);
+        let q128 = f.q128.zip(b.q128).map(|((fc, fs), (bc, bs))| {
+            let qcost = fc / bc / q128_factor;
+            check("q128", "normalised cost", qcost);
+            check("q128", "engine speedup", bs / fs);
+            (qcost, fs, bs)
+        });
+        match q128 {
+            Some((qcost, fs, bs)) => println!(
+                "{:<10} {:>9.2}x {:>10.1}x {:>9.2}x {:>10.1}x   {:>9.1}x {:>10.1}x",
+                f.name, cost, f.speedup, qcost, fs, b.speedup, bs
+            ),
+            None => println!(
+                "{:<10} {:>9.2}x {:>10.1}x   (no q128 section) {:>9.1}x",
+                f.name, cost, f.speedup, b.speedup
+            ),
+        }
+    }
+    Ok(regressions)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(regressions) if regressions.is_empty() => {
+            println!("bench trend: OK");
+            ExitCode::SUCCESS
+        }
+        Ok(regressions) => {
+            eprintln!("bench trend: {} regression(s):", regressions.len());
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

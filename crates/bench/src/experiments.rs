@@ -4,12 +4,10 @@
 //! exhibit as text (tables and ASCII charts). The binaries print them;
 //! the `all` binary also assembles `EXPERIMENTS.md`.
 
-use oov_core::OooSim;
 use oov_isa::{CommitMode, LatencyModel, LoadElimMode, OooConfig, RefConfig};
-use oov_ref::RefSim;
 use oov_stats::{BarChart, SimStats, Table};
 
-use crate::Suite;
+use crate::{ooo_run, Suite};
 
 /// Memory latencies swept by Figures 3 and 4.
 pub const REF_LATENCIES: [u32; 4] = [1, 20, 70, 100];
@@ -20,11 +18,7 @@ pub const REG_SWEEP: [usize; 5] = [9, 12, 16, 32, 64];
 pub const DEFAULT_LATENCY: u32 = 50;
 
 fn ref_run(prog: &oov_vcc::CompiledProgram, latency: u32) -> SimStats {
-    RefSim::new(RefConfig::default().with_memory_latency(latency)).run(&prog.trace)
-}
-
-fn ooo_run(prog: &oov_vcc::CompiledProgram, cfg: OooConfig) -> SimStats {
-    OooSim::new(cfg, &prog.trace).run().stats
+    crate::ref_run(prog, RefConfig::default().with_memory_latency(latency))
 }
 
 fn base_cfg() -> OooConfig {

@@ -1,5 +1,6 @@
 //! Experiment harness: regenerates every table and figure of the
-//! paper's evaluation.
+//! paper's evaluation, and hosts the run helpers shared with
+//! `oov-serve`.
 //!
 //! Each `figure*` / `table*` function in [`experiments`] renders one
 //! exhibit from live simulation; the `all` binary runs the full set and
@@ -9,13 +10,23 @@
 //! cargo run -p oov-bench --release --bin all
 //! cargo run -p oov-bench --release --bin figure5
 //! ```
+//!
+//! The compiled [`Suite`], the [`ref_run`]/[`ooo_run`]/[`machine_run`]
+//! helpers and the JSON bench artifacts (via [`oov_proto::Json`]) live
+//! here rather than in the binaries so the long-lived simulation
+//! server reuses exactly the code paths the experiments are validated
+//! against.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
 
+use oov_core::{OooSim, Stepper};
+use oov_isa::{MachineConfig, OooConfig, RefConfig};
 use oov_kernels::{Program, Scale};
+use oov_ref::RefSim;
+use oov_stats::SimStats;
 use oov_vcc::CompiledProgram;
 
 /// The compiled benchmark suite, built once and shared by experiments.
@@ -46,6 +57,16 @@ impl Suite {
         self.programs.iter().map(|(p, c)| (*p, c))
     }
 
+    /// The compiled form of one program.
+    #[must_use]
+    pub fn get(&self, program: Program) -> &CompiledProgram {
+        self.programs
+            .iter()
+            .find(|(p, _)| *p == program)
+            .map(|(_, c)| c)
+            .expect("Suite::compile builds every program")
+    }
+
     /// Runs `f` over every program concurrently (one scoped thread per
     /// program) and returns the results in suite order. The experiment
     /// functions use this so each figure's kernel × config grid
@@ -67,5 +88,102 @@ impl Suite {
                 .map(|h| h.join().expect("experiment worker panicked"))
                 .collect()
         })
+    }
+}
+
+/// Result of one simulation request — what the wire protocol carries
+/// back and the experiment helpers consume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// Aggregate counters.
+    pub stats: SimStats,
+    /// The trace's IDEAL lower bound (paper §4.2).
+    pub ideal_cycles: u64,
+    /// Precise traps taken (OOOVA late-commit fault injection only).
+    pub faults_taken: u64,
+}
+
+/// Runs the reference (in-order) machine over a compiled program.
+#[must_use]
+pub fn ref_run(prog: &CompiledProgram, cfg: RefConfig) -> SimStats {
+    RefSim::new(cfg).run(&prog.trace)
+}
+
+/// Runs the OOOVA over a compiled program with the default
+/// (event-driven) stepper.
+#[must_use]
+pub fn ooo_run(prog: &CompiledProgram, cfg: OooConfig) -> SimStats {
+    OooSim::new(cfg, &prog.trace).run().stats
+}
+
+/// Runs either machine over a compiled program — the single entry
+/// point `oov-serve` shards execute, so a served result is produced by
+/// exactly the same code as a direct in-process run.
+///
+/// `stepper` and `fault_at` only apply to the OOOVA; the reference
+/// machine is analytic/event-driven by construction and models no
+/// precise traps, so both are ignored there. `fault_at` is likewise
+/// ignored under the early-commit model (precise traps require late
+/// commit). [`RunOutcome::faults_taken`] is the simulator's own
+/// counter, so it reports what actually happened.
+#[must_use]
+pub fn machine_run(
+    prog: &CompiledProgram,
+    cfg: &MachineConfig,
+    stepper: Stepper,
+    fault_at: Option<usize>,
+) -> RunOutcome {
+    match cfg {
+        MachineConfig::Ref(c) => RunOutcome {
+            stats: ref_run(prog, *c),
+            ideal_cycles: prog.trace.ideal_cycles(),
+            faults_taken: 0,
+        },
+        MachineConfig::Ooo(c) => {
+            let mut sim = OooSim::new(*c, &prog.trace).with_stepper(stepper);
+            // Fault injection requires the late-commit model
+            // (`with_fault_at` asserts it); anywhere else the fault
+            // request is ignored, per this function's contract.
+            if let Some(idx) = fault_at {
+                if c.commit == oov_isa::CommitMode::Late {
+                    sim = sim.with_fault_at(idx);
+                }
+            }
+            let r = sim.run();
+            RunOutcome {
+                stats: r.stats,
+                ideal_cycles: r.ideal_cycles,
+                faults_taken: r.faults_taken,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_run_matches_direct_simulation() {
+        let prog = Program::Trfd.compile(Scale::Smoke);
+        let cfg = OooConfig::default();
+        let direct = OooSim::new(cfg, &prog.trace).run();
+        let via = machine_run(&prog, &MachineConfig::Ooo(cfg), Stepper::EventDriven, None);
+        assert_eq!(via.stats, direct.stats);
+        assert_eq!(via.ideal_cycles, direct.ideal_cycles);
+        assert_eq!(via.faults_taken, 0);
+
+        let rcfg = RefConfig::default();
+        let direct_ref = RefSim::new(rcfg).run(&prog.trace);
+        let via_ref = machine_run(&prog, &MachineConfig::Ref(rcfg), Stepper::EventDriven, None);
+        assert_eq!(via_ref.stats, direct_ref);
+    }
+
+    #[test]
+    fn suite_get_returns_each_program() {
+        let suite = Suite::compile(Scale::Smoke);
+        for (p, c) in suite.iter() {
+            assert_eq!(suite.get(p).trace.len(), c.trace.len());
+        }
     }
 }

@@ -29,10 +29,31 @@
 //!    free times, register avail/read-port times, bus release, memory
 //!    completions, fetch resume, deferred BTB updates), the machine
 //!    provably re-enters the same dead cycle until the earliest such
-//!    time. [`OooSim::next_event`] computes that global minimum and the
-//!    run loop jumps `now` straight to it. Per-cycle stall counters
+//!    time. The skip target comes first from a **monotone min-heap of
+//!    event times**: every site that writes a future time
+//!    (`set_avail`, FU and bus reservations, read-port claims, the ROB
+//!    head's completion, fetch resume, BTB updates) also notes it —
+//!    plus the `+1` variants chained/indexed consumers compare against
+//!    — via [`OooSim::note_event`] (staged in a plain `Vec` during
+//!    progress cycles; heapified only when a dead cycle needs a
+//!    target), and a dead cycle pops stale entries and jumps `now` to
+//!    the smallest future one in O(log n) with no state rescan. A
+//!    popped time may wake the machine *early* (the guarded action is
+//!    still blocked on a state condition); when that happens the old
+//!    full rescan — [`OooSim::next_event_scan`], exact but
+//!    O(queue entries) — takes over for the rest of that span and
+//!    purges the heap candidates it disproves, so a span costs at most
+//!    one stale phase walk. (Measured on the ten-kernel suite this
+//!    hybrid matters: pure heap wake-ups walk ~2.5× more dead cycles
+//!    than the scan because completion/port-release times often land
+//!    mid-span; and the pure rescan never actually grows with
+//!    `queue_slots` because the 64-entry ROB bounds queue occupancy —
+//!    see `BENCH_oov.json`'s `q128` columns.) Debug builds assert the
+//!    heap never wakes *later* than the scan — a missed event would
+//!    desynchronise the engines. Per-cycle stall counters
 //!    (rename/queue/ROB) are replayed arithmetically for the skipped
-//!    span — a dead cycle increments them by a state-dependent constant.
+//!    span — a dead cycle increments them by a state-dependent
+//!    constant.
 //! 2. **Indexed wakeup.** Instead of polling `sources_ready` over every
 //!    queue entry each cycle, each entry counts its not-yet-produced
 //!    sources (`RobEntry::waiting_srcs`); a per-`(RegClass, PhysReg)`
@@ -50,7 +71,8 @@
 //! facade crate asserts identical `SimStats` across the full
 //! kernel × commit-mode × load-elimination grid.
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 use oov_isa::{
     ArchReg, CommitMode, FuClass, Instruction, LoadElimMode, MemKind, OooConfig, Opcode, RegClass,
@@ -161,6 +183,8 @@ pub struct RunResult {
     pub stats: SimStats,
     /// The trace's IDEAL lower bound (paper §4.2).
     pub ideal_cycles: u64,
+    /// Precise traps taken during the run (§5 fault injection).
+    pub faults_taken: u64,
 }
 
 /// The out-of-order vector architecture simulator.
@@ -179,6 +203,19 @@ pub struct OooSim<'t> {
     /// Wakeup index: per `(class, phys)`, sequence numbers of queue
     /// entries waiting for that register to be produced.
     waiters: [Vec<Vec<u64>>; 4],
+    /// Monotone min-heap of future event times (event-driven stepper
+    /// only). Every write of a future time also records it; dead
+    /// cycles pop their skip target instead of rescanning the queues.
+    events: BinaryHeap<Reverse<u64>>,
+    /// Staging buffer for event times noted during progress cycles.
+    /// Heap maintenance is deferred to the next dead cycle, so the
+    /// common case (a progress cycle) pays one `Vec::push` per noted
+    /// time instead of a heap sift.
+    pending_events: Vec<u64>,
+    /// `true` while the latest heap wake-up has not been vindicated by
+    /// a progress cycle — the signal that the exact state scan should
+    /// choose the next skip target (see [`OooSim::pop_next_event`]).
+    last_wake_stale: bool,
     q_a: SlotQueue,
     q_s: SlotQueue,
     q_v: SlotQueue,
@@ -247,6 +284,9 @@ impl<'t> OooSim<'t> {
                 vec![Vec::new(); n[2]],
                 vec![Vec::new(); n[3]],
             ],
+            events: BinaryHeap::with_capacity(64),
+            pending_events: Vec::with_capacity(64),
+            last_wake_stale: false,
             q_a: SlotQueue::new(),
             q_s: SlotQueue::new(),
             q_v: SlotQueue::new(),
@@ -352,8 +392,9 @@ impl<'t> OooSim<'t> {
             self.dispatch();
             self.fetch();
             if self.stepper == Stepper::Naive || self.progressed {
+                self.last_wake_stale = false;
                 self.now += 1;
-            } else if let Some(t) = self.next_event() {
+            } else if let Some(t) = self.pop_next_event() {
                 // Dead cycle: no phase mutated state, so cycles
                 // `now+1..t` replay it exactly (every `now` comparison
                 // in every phase flips no earlier than `t`). Stall
@@ -405,6 +446,7 @@ impl<'t> OooSim<'t> {
         RunResult {
             stats: self.stats,
             ideal_cycles: self.trace.ideal_cycles(),
+            faults_taken: self.faults_taken,
         }
     }
 
@@ -473,10 +515,107 @@ impl<'t> OooSim<'t> {
         true
     }
 
+    /// Records a future event time (event-driven stepper only; the
+    /// naive oracle must not pay for the pushes).
+    ///
+    /// Times at or before `now` are dropped: the dead-cycle argument
+    /// only ever needs times at which a `now` comparison can *flip*,
+    /// and a comparison against a past time never flips again. The
+    /// time lands in a staging `Vec`; the min-heap is only maintained
+    /// when a dead cycle actually needs a skip target, so progress
+    /// cycles — the overwhelming majority on scalar-heavy kernels —
+    /// pay a plain push, not a heap sift.
+    fn note_event(&mut self, t: u64) {
+        if self.stepper != Stepper::EventDriven || t <= self.now {
+            return;
+        }
+        self.pending_events.push(t);
+    }
+
+    /// Computes the dead-cycle skip target.
+    ///
+    /// First chance goes to the min-heap: merge the staged notes,
+    /// discard entries that have already passed, and wake at the
+    /// earliest surviving candidate — O(log n), no state rescan. A
+    /// candidate can be *early* (its guarded action is still blocked
+    /// on something else): the woken cycle walks the phases, proves
+    /// dead again, and lands back here with `last_wake_stale` set. In
+    /// that case the exact (but O(queue-entries)) state scan takes
+    /// over for this span, and every heap candidate the scan proves
+    /// non-eventful is purged — so one span costs at most one stale
+    /// walk, and spans the heap predicts exactly (the common case)
+    /// cost no scan at all. Debug builds cross-check every answer
+    /// against the scan: waking early is harmless, waking *late* would
+    /// mean a push site is missing and the engines would diverge.
+    fn pop_next_event(&mut self) -> Option<u64> {
+        let now = self.now;
+        self.events.extend(
+            self.pending_events
+                .drain(..)
+                .filter(|&t| t > now)
+                .map(Reverse),
+        );
+        while let Some(&Reverse(t)) = self.events.peek() {
+            if t > now {
+                break;
+            }
+            self.events.pop();
+        }
+        let heap_t = self.events.peek().map(|&Reverse(t)| t);
+        #[cfg(debug_assertions)]
+        match (heap_t, self.next_event_scan()) {
+            (Some(h), Some(s)) => debug_assert!(
+                h <= s,
+                "event heap missed an event at cycle {now}: heap wakes at {h}, scan at {s}",
+            ),
+            (None, Some(s)) => {
+                panic!("event heap empty at cycle {now} but the state scan finds an event at {s}")
+            }
+            _ => {}
+        }
+        let target = if self.last_wake_stale || heap_t.is_none() {
+            // The previous heap wake-up was premature (or the heap is
+            // empty): ask the state scan for the exact next event and
+            // drop every heap candidate it disproves.
+            let s = self.next_event_scan();
+            if let Some(s) = s {
+                while let Some(&Reverse(t)) = self.events.peek() {
+                    if t >= s {
+                        break;
+                    }
+                    self.events.pop();
+                }
+            }
+            s
+        } else {
+            heap_t
+        };
+        if let Some(t) = target {
+            while self.events.peek() == Some(&Reverse(t)) {
+                self.events.pop();
+            }
+        }
+        self.last_wake_stale = true;
+        target
+    }
+
     /// Marks a register produced and wakes every queue entry waiting on
     /// it (decrementing its outstanding-source count). All production
     /// sites go through here so the wakeup index stays exact.
+    ///
+    /// The noted times cover every comparison a consumer derives from
+    /// them: non-chained consumption reads `last` (all classes),
+    /// chained consumption reads `first + 1` (non-scalar classes
+    /// only), and indexed gathers wait for `last + 1` (index vectors
+    /// are always V class).
     fn set_avail(&mut self, class: RegClass, phys: PhysReg, first: u64, last: u64) {
+        self.note_event(last);
+        if !class.is_scalar() {
+            self.note_event(first + 1);
+            if class == RegClass::V {
+                self.note_event(last + 1);
+            }
+        }
         self.timing.set_avail(class, phys, first, last);
         let woken = std::mem::take(&mut self.waiters[class_ix(class)][phys as usize]);
         for seq in woken {
@@ -507,7 +646,8 @@ impl<'t> OooSim<'t> {
     }
 
     /// Earliest future cycle at which any phase's behaviour can change,
-    /// given that the cycle just simulated was dead (mutated nothing).
+    /// given that the cycle just simulated was dead (mutated nothing),
+    /// computed by a full rescan of the machine state.
     ///
     /// Every `now` comparison in the phase code reads one of the times
     /// enumerated here; everything else the phases consult is machine
@@ -516,7 +656,12 @@ impl<'t> OooSim<'t> {
     /// blocked on another condition) — that costs one extra dead-cycle
     /// scan, never correctness. Returns `None` when no future event
     /// exists (a provable deadlock).
-    fn next_event(&self) -> Option<u64> {
+    ///
+    /// This O(queue entries) rescan was the hot path of the skip logic
+    /// before the event heap (it dominated at `queue_slots = 128`); it
+    /// survives as the debug cross-check and the heap-empty fallback in
+    /// [`OooSim::pop_next_event`].
+    fn next_event_scan(&self) -> Option<u64> {
         let now = self.now;
         let mut best = u64::MAX;
         let mut add = |t: u64| {
@@ -673,6 +818,13 @@ impl<'t> OooSim<'t> {
                 }
             }
             if !self.ready_to_commit(head) {
+                // The head is the only entry whose completion gates
+                // commit; note it here (covers entries that issued
+                // before reaching the head).
+                let pending = (head.issued() && !head.eliminated).then_some(head.complete_time);
+                if let Some(t) = pending {
+                    self.note_event(t);
+                }
                 return;
             }
             let e = self.rob.pop().expect("head vanished");
@@ -887,6 +1039,7 @@ impl<'t> OooSim<'t> {
         }
         let now = self.now;
         let trace_idx = e.trace_idx;
+        self.note_event(now + 1);
         let entry = self.rob.get_mut(seq).expect("entry vanished");
         entry.eliminated = true;
         entry.state = EntryState::Issued;
@@ -932,6 +1085,7 @@ impl<'t> OooSim<'t> {
                 .push((d.class, d.new, d.class, provider, now));
         }
         self.tags.table_mut(d.class).set(d.new, probe);
+        self.note_event(now + 1);
         let entry = self.rob.get_mut(seq).expect("entry vanished");
         entry.eliminated = true;
         entry.state = EntryState::Issued;
@@ -975,6 +1129,7 @@ impl<'t> OooSim<'t> {
             };
             if let Some(provider) = probe_hit {
                 self.progressed = true;
+                self.note_event(self.now + 1);
                 let (new, old) = self.rename.table_mut(RegClass::V).alias(arch, provider);
                 let entry = self.rob.get_mut(seq).expect("entry vanished");
                 entry.srcs.extend(resolved);
@@ -1163,6 +1318,7 @@ impl<'t> OooSim<'t> {
         }
         let grant = self.bus.reserve(self.now, u64::from(vl));
         debug_assert_eq!(grant.start, self.now);
+        self.note_event(self.bus.free_at());
         self.occ.busy(VectorUnit::Mem, grant.start, grant.last);
         if is_load {
             self.traffic.record_load(u64::from(vl), is_spill, is_vector);
@@ -1182,10 +1338,18 @@ impl<'t> OooSim<'t> {
             if let Some((c, p)) = data_src {
                 if c == RegClass::V {
                     self.timing.read_port_free[p as usize] = grant.last + 1;
+                    self.note_event(grant.last + 1);
                 }
             }
             grant.last
         };
+        // Only the ROB head's completion gates commit; pushing every
+        // entry's completion would wake dead spans for nothing. A
+        // non-head entry's completion is re-noted by `commit` when the
+        // entry reaches the head (a progress cycle) still incomplete.
+        if self.rob.head_seq() == Some(seq) {
+            self.note_event(complete);
+        }
         self.max_complete = self.max_complete.max(complete);
         let entry = self.rob.get_mut(seq).expect("entry vanished");
         entry.state = EntryState::Issued;
@@ -1231,6 +1395,7 @@ impl<'t> OooSim<'t> {
             let dst = e.dst;
             let now = self.now;
             let busy_until = now + vl.max(1);
+            self.note_event(busy_until);
             if use_fu2 {
                 self.fu2_free = busy_until;
                 self.occ.busy(VectorUnit::Fu2, now, busy_until - 1);
@@ -1256,6 +1421,9 @@ impl<'t> OooSim<'t> {
             } else {
                 now + leff + vl - 1
             };
+            if self.rob.head_seq() == Some(seq) {
+                self.note_event(complete);
+            }
             self.max_complete = self.max_complete.max(complete);
             let entry = self.rob.get_mut(seq).expect("entry vanished");
             entry.state = EntryState::Issued;
@@ -1291,6 +1459,9 @@ impl<'t> OooSim<'t> {
             let dst = e.dst;
             let (is_control, pc, branch, mispredicted) =
                 (e.op.is_control(), e.pc, e.branch, e.mispredicted);
+            if self.rob.head_seq() == Some(seq) {
+                self.note_event(complete);
+            }
             if let Some(d) = dst {
                 self.set_avail(d.class, d.new, complete, complete);
             }
@@ -1304,8 +1475,9 @@ impl<'t> OooSim<'t> {
                     self.btb_updates.push((complete, pc, b.taken, b.target));
                 }
                 if mispredicted {
-                    self.fetch_resume_at =
-                        Some(complete + u64::from(self.cfg.lat.mispredict_penalty));
+                    let resume = complete + u64::from(self.cfg.lat.mispredict_penalty);
+                    self.note_event(resume);
+                    self.fetch_resume_at = Some(resume);
                 }
             }
             if a_queue {

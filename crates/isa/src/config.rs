@@ -1,4 +1,11 @@
 //! Machine parameter blocks for the two simulated implementations.
+//!
+//! Every config block serialises to and from [`oov_proto::Json`] (the
+//! `oov-serve` wire protocol carries configurations by value) and
+//! carries a stable 64-bit [fingerprint](MachineConfig::fingerprint)
+//! used for shard routing and result-cache keys.
+
+use oov_proto::{fingerprint_bytes, Json};
 
 use crate::LatencyModel;
 
@@ -45,6 +52,53 @@ pub enum LoadElimMode {
     SleVleSse,
 }
 
+impl CommitMode {
+    /// Wire/CLI name of the mode.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CommitMode::Early => "early",
+            CommitMode::Late => "late",
+        }
+    }
+
+    /// Parses a [`CommitMode::name`].
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "early" => Some(CommitMode::Early),
+            "late" => Some(CommitMode::Late),
+            _ => None,
+        }
+    }
+}
+
+impl LoadElimMode {
+    /// Wire/CLI name of the mode (matching the `simulate` binary's
+    /// `--elim` flag values).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            LoadElimMode::Off => "off",
+            LoadElimMode::Sle => "sle",
+            LoadElimMode::SleVle => "sle+vle",
+            LoadElimMode::SleVleSse => "sle+vle+sse",
+        }
+    }
+
+    /// Parses a [`LoadElimMode::name`].
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "off" => Some(LoadElimMode::Off),
+            "sle" => Some(LoadElimMode::Sle),
+            "sle+vle" => Some(LoadElimMode::SleVle),
+            "sle+vle+sse" => Some(LoadElimMode::SleVleSse),
+            _ => None,
+        }
+    }
+}
+
 /// Scalar data-cache parameters.
 ///
 /// Both machines cache *scalar* data only (the paper: data caches "have
@@ -54,7 +108,7 @@ pub enum LoadElimMode {
 /// reloads (which always follow a store to the same slot) miss and
 /// travel to main memory, preserving the paper's §6 premise that spill
 /// loads are expensive.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ScalarCacheCfg {
     /// Total size in bytes (power of two).
     pub size_bytes: u64,
@@ -79,7 +133,7 @@ impl Default for ScalarCacheCfg {
 /// Defaults follow paper §2.1: 8 vector registers of 128 elements paired
 /// into 4 banks of 2 read + 1 write port, chaining between functional
 /// units and to the store unit but *not* from memory loads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RefConfig {
     /// Latency table.
     pub lat: LatencyModel,
@@ -117,7 +171,7 @@ impl RefConfig {
 }
 
 /// Parameters of the out-of-order machine (paper §2.2 "Machine Parameters").
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct OooConfig {
     /// Latency table.
     pub lat: LatencyModel,
@@ -218,6 +272,245 @@ impl OooConfig {
     }
 }
 
+impl ScalarCacheCfg {
+    /// Encodes the cache parameters as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("size_bytes", self.size_bytes.into()),
+            ("line_bytes", self.line_bytes.into()),
+            ("hit_latency", self.hit_latency.into()),
+        ])
+    }
+
+    /// Decodes the [`ScalarCacheCfg::to_json`] encoding, enforcing the
+    /// bounds `ScalarCache::new` asserts (both sizes powers of two, at
+    /// least one line) so a wire-supplied configuration can never
+    /// panic the simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing, malformed or out-of-range
+    /// field.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let field = |name: &str| {
+            v.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("scalar cache: bad or missing field `{name}`"))
+        };
+        let cfg = ScalarCacheCfg {
+            size_bytes: field("size_bytes")?,
+            line_bytes: field("line_bytes")?,
+            hit_latency: u32::try_from(field("hit_latency")?)
+                .map_err(|_| "scalar cache: hit_latency out of range".to_string())?,
+        };
+        if !cfg.size_bytes.is_power_of_two() || !cfg.line_bytes.is_power_of_two() {
+            return Err("scalar cache: sizes must be powers of two".into());
+        }
+        if cfg.size_bytes < cfg.line_bytes {
+            return Err("scalar cache: smaller than one line".into());
+        }
+        Ok(cfg)
+    }
+}
+
+fn cache_to_json(cache: &Option<ScalarCacheCfg>) -> Json {
+    cache.as_ref().map_or(Json::Null, ScalarCacheCfg::to_json)
+}
+
+fn cache_from_json(v: Option<&Json>) -> Result<Option<ScalarCacheCfg>, String> {
+    match v {
+        None | Some(Json::Null) => Ok(None),
+        Some(obj) => ScalarCacheCfg::from_json(obj).map(Some),
+    }
+}
+
+impl RefConfig {
+    /// Encodes the configuration as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("lat", self.lat.to_json()),
+            ("banked_ports", self.banked_ports.into()),
+            ("chain_fu", self.chain_fu.into()),
+            ("chain_loads", self.chain_loads.into()),
+            ("scalar_cache", cache_to_json(&self.scalar_cache)),
+        ])
+    }
+
+    /// Decodes the [`RefConfig::to_json`] encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or malformed field.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let flag = |name: &str| {
+            v.get(name)
+                .and_then(Json::as_bool)
+                .ok_or_else(|| format!("ref config: bad or missing field `{name}`"))
+        };
+        Ok(RefConfig {
+            lat: LatencyModel::from_json(
+                v.get("lat")
+                    .ok_or_else(|| "ref config: missing `lat`".to_string())?,
+            )?,
+            banked_ports: flag("banked_ports")?,
+            chain_fu: flag("chain_fu")?,
+            chain_loads: flag("chain_loads")?,
+            scalar_cache: cache_from_json(v.get("scalar_cache"))?,
+        })
+    }
+}
+
+impl OooConfig {
+    /// Encodes the configuration as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("lat", self.lat.to_json()),
+            ("phys_v_regs", self.phys_v_regs.into()),
+            ("phys_a_regs", self.phys_a_regs.into()),
+            ("phys_s_regs", self.phys_s_regs.into()),
+            ("phys_mask_regs", self.phys_mask_regs.into()),
+            ("queue_slots", self.queue_slots.into()),
+            ("rob_entries", self.rob_entries.into()),
+            ("commit_width", self.commit_width.into()),
+            ("btb_entries", self.btb_entries.into()),
+            ("ras_depth", self.ras_depth.into()),
+            ("commit", self.commit.name().into()),
+            ("load_elim", self.load_elim.name().into()),
+            ("scalar_cache", cache_to_json(&self.scalar_cache)),
+        ])
+    }
+
+    /// Decodes the [`OooConfig::to_json`] encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or malformed field, or the
+    /// structural-parameter validation that failed (the same bounds the
+    /// builder methods assert).
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let field = |name: &str| {
+            v.get(name)
+                .and_then(Json::as_usize)
+                .ok_or_else(|| format!("ooo config: bad or missing field `{name}`"))
+        };
+        let commit_name = v
+            .get("commit")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "ooo config: bad or missing field `commit`".to_string())?;
+        let elim_name = v
+            .get("load_elim")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "ooo config: bad or missing field `load_elim`".to_string())?;
+        let cfg = OooConfig {
+            lat: LatencyModel::from_json(
+                v.get("lat")
+                    .ok_or_else(|| "ooo config: missing `lat`".to_string())?,
+            )?,
+            phys_v_regs: field("phys_v_regs")?,
+            phys_a_regs: field("phys_a_regs")?,
+            phys_s_regs: field("phys_s_regs")?,
+            phys_mask_regs: field("phys_mask_regs")?,
+            queue_slots: field("queue_slots")?,
+            rob_entries: field("rob_entries")?,
+            commit_width: field("commit_width")?,
+            btb_entries: field("btb_entries")?,
+            ras_depth: field("ras_depth")?,
+            commit: CommitMode::from_name(commit_name)
+                .ok_or_else(|| format!("ooo config: unknown commit mode `{commit_name}`"))?,
+            load_elim: LoadElimMode::from_name(elim_name)
+                .ok_or_else(|| format!("ooo config: unknown load-elim mode `{elim_name}`"))?,
+            scalar_cache: cache_from_json(v.get("scalar_cache"))?,
+        };
+        if cfg.phys_v_regs < 9 || cfg.phys_a_regs < 9 || cfg.phys_s_regs < 9 {
+            return Err(format!(
+                "ooo config: each physical register file needs at least 9 registers \
+                 (8 architectural mappings plus one in flight), got \
+                 a={} s={} v={}",
+                cfg.phys_a_regs, cfg.phys_s_regs, cfg.phys_v_regs
+            ));
+        }
+        if cfg.queue_slots < 1 || cfg.rob_entries < 1 || cfg.commit_width < 1 {
+            return Err("ooo config: queues, ROB and commit width need at least one slot".into());
+        }
+        if cfg.btb_entries < 1 {
+            return Err("ooo config: the BTB needs at least one entry".into());
+        }
+        if cfg.load_elim != LoadElimMode::Off && cfg.commit != CommitMode::Late {
+            return Err("ooo config: load elimination requires late commit".into());
+        }
+        Ok(cfg)
+    }
+}
+
+/// Configuration for either simulated machine — the unit the `oov-serve`
+/// wire protocol, shard router and result cache work in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MachineConfig {
+    /// The in-order reference machine.
+    Ref(RefConfig),
+    /// The out-of-order OOOVA.
+    Ooo(OooConfig),
+}
+
+impl MachineConfig {
+    /// Which machine the configuration describes.
+    #[must_use]
+    pub fn kind(&self) -> MachineKind {
+        match self {
+            MachineConfig::Ref(_) => MachineKind::Reference,
+            MachineConfig::Ooo(_) => MachineKind::OutOfOrder,
+        }
+    }
+
+    /// Encodes the configuration, tagged with the machine kind.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        match self {
+            MachineConfig::Ref(c) => {
+                Json::obj(vec![("machine", "ref".into()), ("cfg", c.to_json())])
+            }
+            MachineConfig::Ooo(c) => {
+                Json::obj(vec![("machine", "ooo".into()), ("cfg", c.to_json())])
+            }
+        }
+    }
+
+    /// Decodes the [`MachineConfig::to_json`] encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or malformed field.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let kind = v
+            .get("machine")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "machine config: bad or missing field `machine`".to_string())?;
+        let cfg = v
+            .get("cfg")
+            .ok_or_else(|| "machine config: missing field `cfg`".to_string())?;
+        match kind {
+            "ref" => RefConfig::from_json(cfg).map(MachineConfig::Ref),
+            "ooo" => OooConfig::from_json(cfg).map(MachineConfig::Ooo),
+            other => Err(format!("machine config: unknown machine `{other}`")),
+        }
+    }
+
+    /// Stable 64-bit fingerprint of the configuration: FNV-1a over the
+    /// raw bytes of the canonical JSON encoding, so it is identical
+    /// across processes, platforms and toolchains (`str`'s `Hash` impl
+    /// appends an unspecified suffix; `DefaultHasher` is seeded per
+    /// process — neither is stable). `oov-serve` routes requests to
+    /// worker shards by this value and keys its result cache on a hash
+    /// derived from it.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        fingerprint_bytes(self.to_json().to_string().as_bytes())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,5 +561,122 @@ mod tests {
     #[should_panic(expected = "at least 9")]
     fn too_few_phys_regs_rejected() {
         let _ = OooConfig::default().with_phys_v_regs(8);
+    }
+
+    #[test]
+    fn mode_names_round_trip() {
+        for m in [CommitMode::Early, CommitMode::Late] {
+            assert_eq!(CommitMode::from_name(m.name()), Some(m));
+        }
+        for m in [
+            LoadElimMode::Off,
+            LoadElimMode::Sle,
+            LoadElimMode::SleVle,
+            LoadElimMode::SleVleSse,
+        ] {
+            assert_eq!(LoadElimMode::from_name(m.name()), Some(m));
+        }
+        assert_eq!(CommitMode::from_name("nope"), None);
+        assert_eq!(LoadElimMode::from_name("nope"), None);
+    }
+
+    #[test]
+    fn machine_config_json_round_trips() {
+        let ooo = MachineConfig::Ooo(
+            OooConfig::default()
+                .with_phys_v_regs(32)
+                .with_queue_slots(128)
+                .with_memory_latency(100)
+                .with_load_elim(LoadElimMode::SleVle),
+        );
+        let rf = MachineConfig::Ref(RefConfig {
+            scalar_cache: None,
+            ..RefConfig::default().with_memory_latency(20)
+        });
+        for cfg in [ooo, rf] {
+            let v = cfg.to_json();
+            assert_eq!(MachineConfig::from_json(&v).unwrap(), cfg);
+            // The encoding survives a textual round trip too (the wire
+            // sends it as a line of JSON).
+            let reparsed = Json::parse(&v.to_string()).unwrap();
+            assert_eq!(MachineConfig::from_json(&reparsed).unwrap(), cfg);
+        }
+    }
+
+    #[test]
+    fn from_json_validates_structural_bounds() {
+        let mut v = OooConfig::default().to_json();
+        if let Json::Obj(pairs) = &mut v {
+            for (k, val) in pairs.iter_mut() {
+                if k == "phys_v_regs" {
+                    *val = 4u64.into();
+                }
+            }
+        }
+        let err = OooConfig::from_json(&v).unwrap_err();
+        assert!(err.contains("at least 9"), "{err}");
+    }
+
+    #[test]
+    fn from_json_rejects_wire_reachable_panic_values() {
+        // Each of these would assert/divide-by-zero inside the
+        // simulator if it got past decode.
+        let poison = |field: &str, value: Json| {
+            let mut v = OooConfig::default().to_json();
+            if let Json::Obj(pairs) = &mut v {
+                for (k, val) in pairs.iter_mut() {
+                    if k == field {
+                        *val = value.clone();
+                    }
+                }
+            }
+            OooConfig::from_json(&v)
+        };
+        assert!(poison("btb_entries", 0u64.into()).is_err());
+        assert!(poison("phys_a_regs", 4u64.into()).is_err());
+        assert!(poison("phys_s_regs", 0u64.into()).is_err());
+        assert!(poison(
+            "scalar_cache",
+            Json::obj(vec![
+                ("size_bytes", 100u64.into()), // not a power of two
+                ("line_bytes", 32u64.into()),
+                ("hit_latency", 2u64.into()),
+            ]),
+        )
+        .is_err());
+        assert!(poison(
+            "scalar_cache",
+            Json::obj(vec![
+                ("size_bytes", 16u64.into()), // smaller than one line
+                ("line_bytes", 32u64.into()),
+                ("hit_latency", 2u64.into()),
+            ]),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn from_json_rejects_elim_without_late_commit() {
+        let mut v = OooConfig::default()
+            .with_load_elim(LoadElimMode::Sle)
+            .to_json();
+        if let Json::Obj(pairs) = &mut v {
+            for (k, val) in pairs.iter_mut() {
+                if k == "commit" {
+                    *val = "early".into();
+                }
+            }
+        }
+        assert!(OooConfig::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_config_sensitive() {
+        let a = MachineConfig::Ooo(OooConfig::default());
+        let b = MachineConfig::Ooo(OooConfig::default().with_queue_slots(128));
+        let c = MachineConfig::Ref(RefConfig::default());
+        assert_eq!(a.fingerprint(), a.fingerprint());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
     }
 }

@@ -38,7 +38,9 @@ mod opcode;
 mod reg;
 mod trace;
 
-pub use config::{CommitMode, LoadElimMode, MachineKind, OooConfig, RefConfig, ScalarCacheCfg};
+pub use config::{
+    CommitMode, LoadElimMode, MachineConfig, MachineKind, OooConfig, RefConfig, ScalarCacheCfg,
+};
 pub use inst::{BranchInfo, Instruction, MemKind, MemRef};
 pub use latency::LatencyModel;
 pub use opcode::{FuClass, LatClass, Opcode};

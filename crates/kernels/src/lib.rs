@@ -46,6 +46,25 @@ pub enum Scale {
 }
 
 impl Scale {
+    /// Wire/CLI name of the scale.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Paper => "paper",
+        }
+    }
+
+    /// Parses a [`Scale::name`].
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "smoke" => Some(Scale::Smoke),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
     /// Scales an inner trip count.
     #[must_use]
     pub fn trips(self, full: u32) -> u32 {

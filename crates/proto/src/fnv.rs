@@ -1,0 +1,86 @@
+//! 64-bit FNV-1a hashing for stable fingerprints.
+//!
+//! `DefaultHasher` is randomly seeded per process, so its output cannot
+//! be used for anything that crosses a process boundary (cache keys
+//! reported to clients, shard routing decisions that tests reproduce).
+//! FNV-1a is fixed, fast for the short canonical encodings fingerprints
+//! hash, and good enough for distributing configurations over shards.
+
+use std::hash::Hasher;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A 64-bit FNV-1a [`Hasher`].
+///
+/// # Example
+///
+/// ```
+/// use std::hash::{Hash, Hasher};
+/// use oov_proto::Fnv1a;
+///
+/// let mut h = Fnv1a::new();
+/// 42u64.hash(&mut h);
+/// let a = h.finish();
+/// let mut h = Fnv1a::new();
+/// 42u64.hash(&mut h);
+/// assert_eq!(a, h.finish(), "deterministic across hasher instances");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// A fresh hasher at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// FNV-1a fingerprint of a byte string.
+#[must_use]
+pub fn fingerprint_bytes(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fingerprint_bytes(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fingerprint_bytes(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fingerprint_bytes(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_outputs() {
+        assert_ne!(
+            fingerprint_bytes(b"config-a"),
+            fingerprint_bytes(b"config-b")
+        );
+    }
+}

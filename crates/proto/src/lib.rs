@@ -1,0 +1,32 @@
+//! Wire-format plumbing shared by the bench artifacts and `oov-serve`.
+//!
+//! The workspace is dependency-free (no serde), so this crate provides
+//! the minimal machinery the rest of the system needs to speak
+//! newline-delimited JSON and to fingerprint requests:
+//!
+//! * [`Json`] — a JSON value model with a writer (compact and pretty)
+//!   and a recursive-descent parser, grown out of the hand-rolled
+//!   emitter the engine bench used for `BENCH_oov.json`;
+//! * [`Fnv1a`] — the 64-bit FNV-1a hash, used for stable config and
+//!   request fingerprints (stable across processes and platforms,
+//!   unlike `std::collections::hash_map::DefaultHasher`).
+//!
+//! # Example
+//!
+//! ```
+//! use oov_proto::Json;
+//!
+//! let v = Json::parse(r#"{"name": "swm256", "cycles": 12750}"#).unwrap();
+//! assert_eq!(v.get("name").and_then(Json::as_str), Some("swm256"));
+//! assert_eq!(v.get("cycles").and_then(Json::as_u64), Some(12750));
+//! assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fnv;
+mod json;
+
+pub use fnv::{fingerprint_bytes, Fnv1a};
+pub use json::{Json, ParseError};

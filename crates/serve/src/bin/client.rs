@@ -1,0 +1,299 @@
+//! Command-line client for a running `oov-serve` daemon.
+//!
+//! ```text
+//! client --addr 127.0.0.1:7540 ping
+//! client --addr 127.0.0.1:7540 stats
+//! client --addr 127.0.0.1:7540 sim --program trfd --regs 32 --latency 100 --commit late
+//! client --addr 127.0.0.1:7540 sweep --program all --regs 9,12,16,32,64 --ref
+//! client --addr 127.0.0.1:7540 shutdown
+//! ```
+//!
+//! `sim` prints one result; `sweep` fans a program × register grid out
+//! in a single batched request and renders the same table shape as the
+//! `oov-bench` figures (with `--ref`, cells are speedups over the
+//! served reference machine; without it, raw OOOVA cycles).
+//!
+//! Shared flags (both `sim` and `sweep`):
+//!
+//! * `--machine <ref|ooo>`            default `ooo` (`sim` only)
+//! * `--regs <n[,n...]>`              physical V registers, default 16
+//! * `--queues <n>`                   issue-queue slots, default 16
+//! * `--latency <cycles>`             memory latency, default 50
+//! * `--commit <early|late>`          default `early`
+//! * `--elim <off|sle|sle+vle|sle+vle+sse>`  default `off`
+//! * `--scale <smoke|paper>`          default `paper`
+//! * `--stepper <event|naive>`        default `event`
+//! * `--fault-at <idx>`               inject a precise trap (`sim` only)
+
+use oov_core::Stepper;
+use oov_isa::{CommitMode, LoadElimMode, MachineConfig, OooConfig, RefConfig};
+use oov_kernels::{Program, Scale};
+use oov_serve::{Client, SimRequest};
+use oov_stats::Table;
+
+struct Args {
+    addr: String,
+    command: String,
+    programs: Vec<Program>,
+    machine: String,
+    regs: Vec<usize>,
+    queues: usize,
+    latency: u32,
+    commit: CommitMode,
+    elim: LoadElimMode,
+    scale: Scale,
+    stepper: Stepper,
+    fault_at: Option<usize>,
+    with_ref: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7540".into(),
+        command: String::new(),
+        programs: vec![],
+        machine: "ooo".into(),
+        regs: vec![16],
+        queues: 16,
+        latency: 50,
+        commit: CommitMode::Early,
+        elim: LoadElimMode::Off,
+        scale: Scale::Paper,
+        stepper: Stepper::EventDriven,
+        fault_at: None,
+        with_ref: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value for {}", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => args.addr = value(&mut i)?,
+            "--program" | "--programs" => {
+                let v = value(&mut i)?;
+                for name in v.split(',') {
+                    if name == "all" {
+                        args.programs.extend(Program::ALL);
+                    } else {
+                        args.programs.push(
+                            Program::from_name(name)
+                                .ok_or_else(|| format!("unknown program {name}"))?,
+                        );
+                    }
+                }
+            }
+            "--machine" => args.machine = value(&mut i)?,
+            "--regs" => {
+                args.regs = value(&mut i)?
+                    .split(',')
+                    .map(|v| v.parse().map_err(|e| format!("--regs: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--queues" => {
+                args.queues = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--queues: {e}"))?;
+            }
+            "--latency" => {
+                args.latency = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--latency: {e}"))?;
+            }
+            "--commit" => {
+                let v = value(&mut i)?;
+                args.commit =
+                    CommitMode::from_name(&v).ok_or_else(|| format!("unknown commit mode {v}"))?;
+            }
+            "--elim" => {
+                let v = value(&mut i)?;
+                args.elim = LoadElimMode::from_name(&v)
+                    .ok_or_else(|| format!("unknown elimination mode {v}"))?;
+            }
+            "--scale" => {
+                let v = value(&mut i)?;
+                args.scale = Scale::from_name(&v).ok_or_else(|| format!("unknown scale {v}"))?;
+            }
+            "--stepper" => {
+                args.stepper = match value(&mut i)?.as_str() {
+                    "event" => Stepper::EventDriven,
+                    "naive" => Stepper::Naive,
+                    other => return Err(format!("unknown stepper {other}")),
+                };
+            }
+            "--fault-at" => {
+                args.fault_at = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--fault-at: {e}"))?,
+                );
+            }
+            "--ref" => args.with_ref = true,
+            cmd if !cmd.starts_with("--") && args.command.is_empty() => {
+                args.command = cmd.to_string();
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    if args.command.is_empty() {
+        return Err("missing command (ping|stats|sim|sweep|shutdown)".into());
+    }
+    Ok(args)
+}
+
+fn ooo_config(args: &Args, regs: usize) -> OooConfig {
+    let mut cfg = OooConfig::default()
+        .with_phys_v_regs(regs)
+        .with_queue_slots(args.queues)
+        .with_memory_latency(args.latency)
+        .with_commit(args.commit);
+    if args.elim != LoadElimMode::Off {
+        cfg = cfg.with_load_elim(args.elim);
+    }
+    cfg
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let mut client = Client::connect(&args.addr)?;
+    match args.command.as_str() {
+        "ping" => {
+            client.ping()?;
+            println!("pong from {}", args.addr);
+        }
+        "stats" => {
+            let s = client.stats()?;
+            println!("requests:             {}", s.requests);
+            println!("result cache hits:    {}", s.result_hits);
+            println!("result cache misses:  {}", s.result_misses);
+            println!("suite lookups:        {}", s.suite_requests);
+            println!(
+                "suite compiles:       smoke {}, paper {}",
+                s.suite_compiles_smoke, s.suite_compiles_paper
+            );
+            println!("per-shard requests:   {:?}", s.per_shard_requests);
+        }
+        "shutdown" => {
+            client.shutdown()?;
+            println!("server at {} is shutting down", args.addr);
+        }
+        "sim" => {
+            let program = *args.programs.first().ok_or("sim: --program is required")?;
+            let machine = match args.machine.as_str() {
+                "ref" => MachineConfig::Ref(RefConfig::default().with_memory_latency(args.latency)),
+                "ooo" => MachineConfig::Ooo(ooo_config(&args, args.regs[0])),
+                other => return Err(format!("unknown machine {other} (use ref|ooo)")),
+            };
+            let req = SimRequest {
+                program,
+                scale: args.scale,
+                machine,
+                stepper: args.stepper,
+                fault_at: args.fault_at,
+            };
+            let r = client.sim(&req)?;
+            println!(
+                "{}: {} (shard {}, {})",
+                program,
+                r.stats,
+                r.shard,
+                if r.cached { "cache hit" } else { "simulated" }
+            );
+            println!(
+                "  ideal {} cycles ({:.2}x away), {} faults taken",
+                r.ideal_cycles,
+                r.stats.cycles as f64 / r.ideal_cycles as f64,
+                r.faults_taken
+            );
+        }
+        "sweep" => {
+            let programs = if args.programs.is_empty() {
+                Program::ALL.to_vec()
+            } else {
+                args.programs.clone()
+            };
+            // One batched request: per program, optionally the REF
+            // baseline, then one OOOVA point per register count.
+            let mut points = Vec::new();
+            for &p in &programs {
+                if args.with_ref {
+                    points.push(SimRequest {
+                        program: p,
+                        scale: args.scale,
+                        machine: MachineConfig::Ref(
+                            RefConfig::default().with_memory_latency(args.latency),
+                        ),
+                        stepper: args.stepper,
+                        fault_at: None,
+                    });
+                }
+                for &regs in &args.regs {
+                    points.push(SimRequest {
+                        program: p,
+                        scale: args.scale,
+                        machine: MachineConfig::Ooo(ooo_config(&args, regs)),
+                        stepper: args.stepper,
+                        fault_at: None,
+                    });
+                }
+            }
+            let mut results = Vec::with_capacity(points.len());
+            let count = client.sweep(&points, |_, r| results.push(r))?;
+            if count != points.len() {
+                return Err(format!("sweep returned {count}/{} rows", points.len()));
+            }
+            let mut header = vec!["program".to_string()];
+            for &r in &args.regs {
+                header.push(format!("r{r}"));
+            }
+            let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
+            let per_program = usize::from(args.with_ref) + args.regs.len();
+            for (pi, &p) in programs.iter().enumerate() {
+                let rows = &results[pi * per_program..(pi + 1) * per_program];
+                let mut cells = vec![p.name().to_string()];
+                let (refc, ooo_rows) = if args.with_ref {
+                    (Some(rows[0].stats.cycles), &rows[1..])
+                } else {
+                    (None, rows)
+                };
+                for r in ooo_rows {
+                    match refc {
+                        Some(base) => {
+                            cells.push(format!("{:.2}", base as f64 / r.stats.cycles as f64));
+                        }
+                        None => cells.push(r.stats.cycles.to_string()),
+                    }
+                }
+                t.row_owned(cells);
+            }
+            let what = if args.with_ref {
+                "speedup over REF"
+            } else {
+                "OOOVA cycles"
+            };
+            println!(
+                "Sweep ({what}; latency {}, queues {}, commit {}, elim {}):\n{t}",
+                args.latency,
+                args.queues,
+                args.commit.name(),
+                args.elim.name()
+            );
+            let cached = results.iter().filter(|r| r.cached).count();
+            println!("{count} rows, {cached} served from cache");
+        }
+        other => return Err(format!("unknown command {other}")),
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}\n(see the doc comment at the top of client.rs for usage)");
+        std::process::exit(2);
+    }
+}

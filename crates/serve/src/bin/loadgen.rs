@@ -1,0 +1,302 @@
+//! Load generator: K concurrent clients × M requests against a
+//! running (or `--spawn`ed) `oov-serve` daemon. Emits
+//! `BENCH_serve.json` with throughput, latency percentiles and the
+//! server's cache counters — the artifact that proves suite
+//! memoisation (one compile per scale) and, with `--verify`,
+//! bit-identical parity between served and in-process results.
+//!
+//! ```text
+//! cargo run -p oov-serve --release --bin loadgen -- \
+//!     --spawn --shards 4 --clients 8 --requests 64 --scale smoke --verify
+//! ```
+//!
+//! Flags (all optional):
+//!
+//! * `--addr <host:port>`   target server, default `127.0.0.1:7540`
+//! * `--spawn`              start an in-process server on an ephemeral
+//!   port instead (and shut it down at the end)
+//! * `--shards <n>`         shards for `--spawn`, default 4
+//! * `--clients <k>`        concurrent client connections, default 4
+//! * `--requests <m>`       requests per client, default 50
+//! * `--scale <smoke|paper>`  default `smoke`
+//! * `--verify`             recompute every unique point in-process
+//!   and assert the served `SimStats` are bit-identical
+//! * `--out <path>`         artifact path, default `BENCH_serve.json`
+//!   at the repository root
+
+use std::time::Instant;
+
+use oov_isa::{CommitMode, LoadElimMode, MachineConfig, OooConfig, RefConfig};
+use oov_kernels::{Program, Scale};
+use oov_proto::Json;
+use oov_serve::{Client, Server, SimRequest};
+
+/// SplitMix64 step — deterministic per-client request ordering.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The unique request pool: every program × a spread of machine
+/// configurations (including the reference machine), so the run
+/// exercises shard routing, both machines and the result cache.
+fn request_pool(scale: Scale) -> Vec<SimRequest> {
+    let machines = [
+        MachineConfig::Ooo(OooConfig::default()),
+        MachineConfig::Ooo(OooConfig::default().with_queue_slots(128)),
+        MachineConfig::Ooo(OooConfig::default().with_memory_latency(100)),
+        MachineConfig::Ooo(OooConfig::default().with_commit(CommitMode::Late)),
+        MachineConfig::Ooo(OooConfig::default().with_load_elim(LoadElimMode::SleVle)),
+        MachineConfig::Ref(RefConfig::default()),
+    ];
+    Program::ALL
+        .iter()
+        .flat_map(|&program| {
+            machines.iter().map(move |&machine| SimRequest {
+                machine,
+                ..SimRequest::ooo_default(program, scale)
+            })
+        })
+        .collect()
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * (sorted_us.len() - 1) as f64).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)]
+}
+
+fn us(v: f64) -> Json {
+    Json::Num((v * 10.0).round() / 10.0)
+}
+
+struct Args {
+    addr: String,
+    spawn: bool,
+    shards: usize,
+    clients: usize,
+    requests: usize,
+    scale: Scale,
+    verify: bool,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7540".into(),
+        spawn: false,
+        shards: 4,
+        clients: 4,
+        requests: 50,
+        scale: Scale::Smoke,
+        verify: false,
+        out: concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").into(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value for {}", argv[*i - 1]))
+    };
+    let number = |i: &mut usize| -> Result<usize, String> {
+        let flag = argv[*i].clone();
+        value(i)?
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("{flag} needs a positive integer"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => args.addr = value(&mut i)?,
+            "--spawn" => args.spawn = true,
+            "--shards" => args.shards = number(&mut i)?,
+            "--clients" => args.clients = number(&mut i)?,
+            "--requests" => args.requests = number(&mut i)?,
+            "--scale" => {
+                let v = value(&mut i)?;
+                args.scale = Scale::from_name(&v).ok_or_else(|| format!("unknown scale {v}"))?;
+            }
+            "--verify" => args.verify = true,
+            "--out" => args.out = value(&mut i)?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let server = if args.spawn {
+        let handle =
+            Server::start("127.0.0.1:0", args.shards).map_err(|e| format!("spawn server: {e}"))?;
+        println!("spawned in-process server on {}", handle.addr());
+        Some(handle)
+    } else {
+        None
+    };
+    let addr = server
+        .as_ref()
+        .map_or(args.addr.clone(), |h| h.addr().to_string());
+
+    let pool = request_pool(args.scale);
+    // Expected outcomes for --verify: compile the suite once locally
+    // and run every unique point through the same helper the server
+    // shards use.
+    let expected: Vec<Option<oov_stats::SimStats>> = if args.verify {
+        println!("verify: computing {} in-process baselines...", pool.len());
+        let suite = oov_bench::Suite::compile(args.scale);
+        pool.iter()
+            .map(|req| {
+                Some(
+                    oov_bench::machine_run(
+                        suite.get(req.program),
+                        &req.machine,
+                        req.stepper,
+                        req.fault_at,
+                    )
+                    .stats,
+                )
+            })
+            .collect()
+    } else {
+        vec![None; pool.len()]
+    };
+
+    println!(
+        "driving {} clients x {} requests over {} unique points at {addr}...",
+        args.clients,
+        args.requests,
+        pool.len()
+    );
+    let t0 = Instant::now();
+    let per_client: Vec<(Vec<f64>, usize, usize)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|client_ix| {
+                let pool = &pool;
+                let expected = &expected;
+                let addr = &addr;
+                s.spawn(move || {
+                    let mut client = Client::connect(addr.as_str()).expect("loadgen connect");
+                    let mut rng = 0x5eed_0000u64 + client_ix as u64;
+                    let mut latencies = Vec::with_capacity(args.requests);
+                    let mut hits = 0;
+                    let mut verified = 0;
+                    for _ in 0..args.requests {
+                        let ix = (splitmix(&mut rng) % pool.len() as u64) as usize;
+                        let req = &pool[ix];
+                        let t = Instant::now();
+                        let result = client.sim(req).expect("sim request failed");
+                        latencies.push(t.elapsed().as_secs_f64() * 1e6);
+                        hits += usize::from(result.cached);
+                        if let Some(want) = &expected[ix] {
+                            assert_eq!(
+                                &result.stats, want,
+                                "served stats diverged from in-process run for {:?}",
+                                req.program
+                            );
+                            verified += 1;
+                        }
+                    }
+                    (latencies, hits, verified)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen client panicked"))
+            .collect()
+    });
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let mut latencies: Vec<f64> = per_client.iter().flat_map(|(l, _, _)| l.clone()).collect();
+    latencies.sort_by(f64::total_cmp);
+    let client_hits: usize = per_client.iter().map(|(_, h, _)| h).sum();
+    let verified: usize = per_client.iter().map(|(_, _, v)| v).sum();
+    let total = latencies.len();
+    let mean = latencies.iter().sum::<f64>() / total.max(1) as f64;
+
+    let stats = Client::connect(addr.as_str())?.stats()?;
+    if let Some(handle) = server {
+        Client::connect(addr.as_str())?.shutdown()?;
+        handle.join();
+    }
+
+    let throughput = total as f64 / (wall_ms / 1e3);
+    println!(
+        "{total} requests in {wall_ms:.1} ms = {throughput:.0} req/s \
+         (p50 {:.0} us, p99 {:.0} us)",
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 99.0)
+    );
+    println!(
+        "cache: {} hits / {} misses (client saw {client_hits} cached); \
+         suite compiles: smoke {}, paper {}; verified {verified}",
+        stats.result_hits,
+        stats.result_misses,
+        stats.suite_compiles_smoke,
+        stats.suite_compiles_paper
+    );
+
+    let doc = Json::obj(vec![
+        ("bench", "oov_serve".into()),
+        ("scale", args.scale.name().into()),
+        ("clients", args.clients.into()),
+        ("requests_per_client", args.requests.into()),
+        ("total_requests", total.into()),
+        ("unique_points", pool.len().into()),
+        ("wall_ms", us(wall_ms)),
+        ("throughput_rps", us(throughput)),
+        (
+            "latency_us",
+            Json::obj(vec![
+                ("mean", us(mean)),
+                ("p50", us(percentile(&latencies, 50.0))),
+                ("p90", us(percentile(&latencies, 90.0))),
+                ("p99", us(percentile(&latencies, 99.0))),
+                ("max", us(percentile(&latencies, 100.0))),
+            ]),
+        ),
+        (
+            "cache",
+            Json::obj(vec![
+                ("result_hits", stats.result_hits.into()),
+                ("result_misses", stats.result_misses.into()),
+                (
+                    "hit_rate",
+                    Json::Num(if stats.requests > 0 {
+                        ((stats.result_hits as f64 / stats.requests as f64) * 1e3).round() / 1e3
+                    } else {
+                        0.0
+                    }),
+                ),
+                ("suite_requests", stats.suite_requests.into()),
+                ("suite_compiles_smoke", stats.suite_compiles_smoke.into()),
+                ("suite_compiles_paper", stats.suite_compiles_paper.into()),
+            ]),
+        ),
+        (
+            "per_shard_requests",
+            Json::Arr(stats.per_shard_requests.iter().map(|&n| n.into()).collect()),
+        ),
+        ("verified", verified.into()),
+    ]);
+    std::fs::write(&args.out, doc.pretty()).map_err(|e| format!("{}: {e}", args.out))?;
+    println!("wrote {}", args.out);
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}\n(see the doc comment at the top of loadgen.rs for usage)");
+        std::process::exit(1);
+    }
+}

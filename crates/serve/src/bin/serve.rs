@@ -1,0 +1,62 @@
+//! The `oov-serve` daemon.
+//!
+//! ```text
+//! cargo run -p oov-serve --release --bin serve -- --addr 127.0.0.1:7540 --shards 4
+//! ```
+//!
+//! Flags (all optional):
+//!
+//! * `--addr <host:port>`  bind address, default `127.0.0.1:7540`
+//!   (port 0 picks an ephemeral port and prints it)
+//! * `--shards <n>`        worker shards, default `min(cores, 8)`
+//!
+//! The process runs until a client sends a `shutdown` request (e.g.
+//! `client --addr ... shutdown`) or it is killed.
+
+use oov_serve::Server;
+
+fn main() {
+    let mut addr = "127.0.0.1:7540".to_string();
+    let mut shards = std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(4);
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => {
+                i += 1;
+                addr = argv.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("error: missing value for --addr");
+                    std::process::exit(2);
+                });
+            }
+            "--shards" => {
+                i += 1;
+                shards = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("error: --shards needs a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            other => {
+                eprintln!("error: unknown flag {other} (see the doc comment in serve.rs)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let handle = match Server::start(&addr, shards) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: failed to start server on {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("oov-serve listening on {} ({shards} shards)", handle.addr());
+    handle.join();
+    println!("oov-serve stopped");
+}

@@ -1,0 +1,124 @@
+//! A blocking wire-protocol client, shared by the `client` and
+//! `loadgen` binaries and the integration tests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::proto::{Request, Response, SimRequest, SimResult, StatsSnapshot};
+
+/// One connection to a running `oov-serve` daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect failure as text.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone().map_err(|e| format!("connect: {e}"))?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    fn send(&mut self, req: &Request) -> Result<(), String> {
+        writeln!(self.writer, "{}", req.encode()).map_err(|e| format!("send: {e}"))?;
+        self.writer.flush().map_err(|e| format!("send: {e}"))
+    }
+
+    fn recv(&mut self) -> Result<Response, String> {
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| format!("recv: {e}"))?;
+        if n == 0 {
+            return Err("recv: server closed the connection".into());
+        }
+        Response::decode(line.trim())
+    }
+
+    /// Round-trips a ping.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure or an unexpected reply.
+    pub fn ping(&mut self) -> Result<(), String> {
+        self.send(&Request::Ping)?;
+        match self.recv()? {
+            Response::Pong => Ok(()),
+            other => Err(format!("expected pong, got {other:?}")),
+        }
+    }
+
+    /// Fetches the server's counter snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure or an unexpected reply.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, String> {
+        self.send(&Request::Stats)?;
+        match self.recv()? {
+            Response::Stats(s) => Ok(s),
+            Response::Error { message } => Err(message),
+            other => Err(format!("expected stats, got {other:?}")),
+        }
+    }
+
+    /// Asks the server to shut down.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure or an unexpected reply.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        self.send(&Request::Shutdown)?;
+        match self.recv()? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(format!("expected shutting_down, got {other:?}")),
+        }
+    }
+
+    /// Runs one simulation on the server.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure, a server-side error, or an unexpected reply.
+    pub fn sim(&mut self, req: &SimRequest) -> Result<SimResult, String> {
+        self.send(&Request::Sim(*req))?;
+        match self.recv()? {
+            Response::Result(r) => Ok(r),
+            Response::Error { message } => Err(message),
+            other => Err(format!("expected result, got {other:?}")),
+        }
+    }
+
+    /// Runs a sweep, invoking `on_row` for every row as it streams in
+    /// (rows arrive in request order). Returns the row count the
+    /// server confirmed.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure, a server-side error, or an unexpected reply.
+    pub fn sweep(
+        &mut self,
+        points: &[SimRequest],
+        mut on_row: impl FnMut(usize, SimResult),
+    ) -> Result<usize, String> {
+        self.send(&Request::Sweep(points.to_vec()))?;
+        loop {
+            match self.recv()? {
+                Response::SweepRow { index, result } => on_row(index, result),
+                Response::SweepDone { count } => return Ok(count),
+                Response::Error { message } => return Err(message),
+                other => return Err(format!("expected sweep row, got {other:?}")),
+            }
+        }
+    }
+}

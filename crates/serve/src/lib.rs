@@ -1,0 +1,67 @@
+//! `oov-serve`: a long-lived, sharded simulation server.
+//!
+//! The paper's evaluation — and every parameter study a reproduction
+//! like this invites — is a large grid of (program × machine
+//! configuration) simulation requests. Rerunning the harness
+//! recompiles the ten-kernel suite and resimulates every point from
+//! scratch each time. This crate turns the harness into a *service*:
+//! a daemon that compiles each [`Scale`](oov_kernels::Scale)'s suite
+//! exactly once, caches every simulation result by request
+//! fingerprint, and answers many concurrent clients over a
+//! dependency-free, newline-delimited JSON protocol.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  client ──TCP──▶ acceptor ──▶ connection thread (1 per client)
+//!                                   │ parse line → Request
+//!                                   │ route by config fingerprint
+//!                                   ▼
+//!                    ┌─────────┬─────────┬─────────┐
+//!                    │ shard 0 │ shard 1 │  ... N  │   worker threads
+//!                    │ result  │ result  │ result  │   (mpsc queues)
+//!                    │ cache   │ cache   │ cache   │
+//!                    └────┬────┴────┬────┴────┬────┘
+//!                         └── suite cache (one compile per scale) ──┘
+//! ```
+//!
+//! * **Sharding.** Each request is routed to one of N worker shards by
+//!   its machine-config fingerprint
+//!   ([`MachineConfig::fingerprint`](oov_isa::MachineConfig::fingerprint)),
+//!   so all requests for one configuration land on the same shard and
+//!   its result cache needs no cross-shard coordination (each shard
+//!   owns a plain `HashMap`).
+//! * **Suite memoisation.** `Suite::compile(scale)` runs at most once
+//!   per scale for the life of the process, behind a lazily-populated
+//!   [`cache::SuiteCache`]; the compile counters are exported over the
+//!   wire so load tests can *prove* memoisation happened.
+//! * **Batching.** A `sweep` request fans its points out across the
+//!   shards and streams rows back **in request order** (a small
+//!   reorder buffer in the connection thread), so a client renders
+//!   tables incrementally while later points still simulate.
+//! * **Identical results.** Shards execute
+//!   [`oov_bench::machine_run`] — the same helper the experiment
+//!   harness uses — so a served result is bit-identical to a direct
+//!   in-process simulation (the integration tests and `loadgen
+//!   --verify` assert this).
+//!
+//! # Binaries
+//!
+//! * `serve` — the daemon: `serve --addr 127.0.0.1:7540 --shards 4`
+//! * `client` — one-shot and sweep modes rendering the same tables as
+//!   `oov-bench`
+//! * `loadgen` — K concurrent clients × M requests; writes
+//!   `BENCH_serve.json` with throughput, latency percentiles and cache
+//!   hit rates
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::Client;
+pub use proto::{Request, Response, SimRequest, SimResult, StatsSnapshot};
+pub use server::{Server, ServerHandle};

@@ -1,0 +1,527 @@
+//! The wire protocol: newline-delimited JSON messages.
+//!
+//! Every message is one [`Json`] object on one line, tagged by a
+//! `"type"` field. Requests flow client → server, responses server →
+//! client. The encodings are exact inverses ([`Request::decode`] ∘
+//! [`Request::encode`] is the identity, same for [`Response`]), which
+//! the wire tests assert for every variant, and [`SimStats`] crosses
+//! the wire losslessly so served results can be compared bit-for-bit
+//! with in-process simulation.
+//!
+//! ```text
+//! → {"type": "sim", "program": "trfd", "scale": "smoke", "machine": {...}, "stepper": "event", "fault_at": null}
+//! ← {"type": "result", "cached": false, "shard": 2, "ideal_cycles": 9156, "faults_taken": 0, "stats": {...}}
+//! → {"type": "sweep", "points": [{...}, {...}]}
+//! ← {"type": "sweep_row", "index": 0, ...}
+//! ← {"type": "sweep_row", "index": 1, ...}
+//! ← {"type": "sweep_done", "count": 2}
+//! ```
+
+use oov_core::Stepper;
+use oov_isa::{CommitMode, MachineConfig};
+use oov_kernels::{Program, Scale};
+use oov_proto::Json;
+use oov_stats::SimStats;
+
+fn stepper_name(s: Stepper) -> &'static str {
+    match s {
+        Stepper::Naive => "naive",
+        Stepper::EventDriven => "event",
+    }
+}
+
+fn stepper_from_name(name: &str) -> Option<Stepper> {
+    match name {
+        "naive" => Some(Stepper::Naive),
+        "event" => Some(Stepper::EventDriven),
+        _ => None,
+    }
+}
+
+/// One simulation request: which program, at which scale, on which
+/// machine, with which engine, and an optional injected precise trap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimRequest {
+    /// Benchmark program to simulate.
+    pub program: Program,
+    /// Trace scale.
+    pub scale: Scale,
+    /// Machine configuration (either machine).
+    pub machine: MachineConfig,
+    /// Simulation engine (OOOVA only; ignored for the reference
+    /// machine).
+    pub stepper: Stepper,
+    /// Inject a precise trap at this trace index (OOOVA late-commit
+    /// only).
+    pub fault_at: Option<usize>,
+}
+
+impl SimRequest {
+    /// A default-machine OOOVA request — the common case.
+    #[must_use]
+    pub fn ooo_default(program: Program, scale: Scale) -> Self {
+        SimRequest {
+            program,
+            scale,
+            machine: MachineConfig::Ooo(oov_isa::OooConfig::default()),
+            stepper: Stepper::EventDriven,
+            fault_at: None,
+        }
+    }
+
+    /// Encodes the request body (without the `"type"` tag).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("program", self.program.name().into()),
+            ("scale", self.scale.name().into()),
+            ("machine", self.machine.to_json()),
+            ("stepper", stepper_name(self.stepper).into()),
+            (
+                "fault_at",
+                self.fault_at.map_or(Json::Null, |idx| idx.into()),
+            ),
+        ])
+    }
+
+    /// Decodes and validates a request body.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed field, or the semantic
+    /// rule a well-formed request violates (fault injection requires
+    /// the OOOVA's late-commit model).
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let program_name = v
+            .get("program")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "sim request: bad or missing field `program`".to_string())?;
+        let scale_name = v
+            .get("scale")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "sim request: bad or missing field `scale`".to_string())?;
+        let stepper_str = v
+            .get("stepper")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "sim request: bad or missing field `stepper`".to_string())?;
+        let fault_at = match v.get("fault_at") {
+            None | Some(Json::Null) => None,
+            Some(idx) => Some(
+                idx.as_usize()
+                    .ok_or_else(|| "sim request: `fault_at` is not an index".to_string())?,
+            ),
+        };
+        let req = SimRequest {
+            program: Program::from_name(program_name)
+                .ok_or_else(|| format!("sim request: unknown program `{program_name}`"))?,
+            scale: Scale::from_name(scale_name)
+                .ok_or_else(|| format!("sim request: unknown scale `{scale_name}`"))?,
+            machine: MachineConfig::from_json(
+                v.get("machine")
+                    .ok_or_else(|| "sim request: missing field `machine`".to_string())?,
+            )?,
+            stepper: stepper_from_name(stepper_str)
+                .ok_or_else(|| format!("sim request: unknown stepper `{stepper_str}`"))?,
+            fault_at,
+        };
+        if req.fault_at.is_some() {
+            match req.machine {
+                MachineConfig::Ooo(c) if c.commit == CommitMode::Late => {}
+                MachineConfig::Ooo(_) => {
+                    return Err(
+                        "sim request: fault injection requires the late-commit model".into(),
+                    )
+                }
+                MachineConfig::Ref(_) => {
+                    return Err("sim request: the reference machine models no precise traps".into())
+                }
+            }
+        }
+        Ok(req)
+    }
+
+    /// Stable fingerprint of the *full* request — the result-cache
+    /// key. Two requests fingerprint equal iff every field that can
+    /// influence the simulation outcome is equal. FNV-1a over the raw
+    /// canonical-encoding bytes, for the same cross-toolchain
+    /// stability as [`MachineConfig::fingerprint`].
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        oov_proto::fingerprint_bytes(self.to_json().to_string().as_bytes())
+    }
+}
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Server counter snapshot.
+    Stats,
+    /// Graceful shutdown of the whole server.
+    Shutdown,
+    /// One simulation.
+    Sim(SimRequest),
+    /// A batch of simulations; rows stream back in order.
+    Sweep(Vec<SimRequest>),
+}
+
+impl Request {
+    /// Encodes to one line of JSON (no trailing newline).
+    #[must_use]
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Ping => Json::obj(vec![("type", "ping".into())]).to_string(),
+            Request::Stats => Json::obj(vec![("type", "stats".into())]).to_string(),
+            Request::Shutdown => Json::obj(vec![("type", "shutdown".into())]).to_string(),
+            Request::Sim(req) => {
+                let mut pairs = vec![("type".to_string(), Json::Str("sim".into()))];
+                if let Json::Obj(body) = req.to_json() {
+                    pairs.extend(body);
+                }
+                Json::Obj(pairs).to_string()
+            }
+            Request::Sweep(points) => Json::obj(vec![
+                ("type", "sweep".into()),
+                (
+                    "points",
+                    Json::Arr(points.iter().map(SimRequest::to_json).collect()),
+                ),
+            ])
+            .to_string(),
+        }
+    }
+
+    /// Decodes one line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed JSON, an unknown `type`, or an
+    /// invalid request body.
+    pub fn decode(line: &str) -> Result<Self, String> {
+        let v = Json::parse(line).map_err(|e| format!("malformed request: {e}"))?;
+        let kind = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "request: bad or missing field `type`".to_string())?;
+        match kind {
+            "ping" => Ok(Request::Ping),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            "sim" => SimRequest::from_json(&v).map(Request::Sim),
+            "sweep" => {
+                let points = v
+                    .get("points")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| "sweep request: bad or missing field `points`".to_string())?;
+                if points.is_empty() {
+                    return Err("sweep request: empty point list".into());
+                }
+                points
+                    .iter()
+                    .map(SimRequest::from_json)
+                    .collect::<Result<Vec<_>, _>>()
+                    .map(Request::Sweep)
+            }
+            other => Err(format!("request: unknown type `{other}`")),
+        }
+    }
+}
+
+/// The outcome of one served simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Aggregate counters — bit-identical to a direct in-process run.
+    pub stats: SimStats,
+    /// The trace's IDEAL lower bound.
+    pub ideal_cycles: u64,
+    /// Precise traps taken during the run.
+    pub faults_taken: u64,
+    /// Whether the server answered from its result cache.
+    pub cached: bool,
+    /// Which shard executed (or cached) the request.
+    pub shard: usize,
+}
+
+impl SimResult {
+    fn body(&self) -> Vec<(String, Json)> {
+        vec![
+            ("cached".to_string(), self.cached.into()),
+            ("shard".to_string(), self.shard.into()),
+            ("ideal_cycles".to_string(), self.ideal_cycles.into()),
+            ("faults_taken".to_string(), self.faults_taken.into()),
+            ("stats".to_string(), self.stats.to_json()),
+        ]
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let field = |name: &str| {
+            v.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("sim result: bad or missing field `{name}`"))
+        };
+        Ok(SimResult {
+            stats: SimStats::from_json(
+                v.get("stats")
+                    .ok_or_else(|| "sim result: missing field `stats`".to_string())?,
+            )?,
+            ideal_cycles: field("ideal_cycles")?,
+            faults_taken: field("faults_taken")?,
+            cached: v
+                .get("cached")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| "sim result: bad or missing field `cached`".to_string())?,
+            shard: field("shard")? as usize,
+        })
+    }
+}
+
+/// A snapshot of the server's counters, exported over the wire.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Simulation requests handled (cache hits included).
+    pub requests: u64,
+    /// Requests answered from a shard's result cache.
+    pub result_hits: u64,
+    /// Requests that had to simulate.
+    pub result_misses: u64,
+    /// Suite lookups (every simulation performs one).
+    pub suite_requests: u64,
+    /// Smoke-scale suite compilations (memoisation holds this at ≤ 1).
+    pub suite_compiles_smoke: u64,
+    /// Paper-scale suite compilations (memoisation holds this at ≤ 1).
+    pub suite_compiles_paper: u64,
+    /// Requests executed per shard, indexed by shard.
+    pub per_shard_requests: Vec<u64>,
+}
+
+impl StatsSnapshot {
+    /// Encodes the snapshot body (without the `"type"` tag).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("requests", self.requests.into()),
+            ("result_hits", self.result_hits.into()),
+            ("result_misses", self.result_misses.into()),
+            ("suite_requests", self.suite_requests.into()),
+            ("suite_compiles_smoke", self.suite_compiles_smoke.into()),
+            ("suite_compiles_paper", self.suite_compiles_paper.into()),
+            (
+                "per_shard_requests",
+                Json::Arr(self.per_shard_requests.iter().map(|&n| n.into()).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let field = |name: &str| {
+            v.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("stats snapshot: bad or missing field `{name}`"))
+        };
+        Ok(StatsSnapshot {
+            requests: field("requests")?,
+            result_hits: field("result_hits")?,
+            result_misses: field("result_misses")?,
+            suite_requests: field("suite_requests")?,
+            suite_compiles_smoke: field("suite_compiles_smoke")?,
+            suite_compiles_paper: field("suite_compiles_paper")?,
+            per_shard_requests: v
+                .get("per_shard_requests")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| "stats snapshot: missing `per_shard_requests`".to_string())?
+                .iter()
+                .map(|n| {
+                    n.as_u64()
+                        .ok_or_else(|| "stats snapshot: bad shard counter".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        })
+    }
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// The request failed; the connection stays open.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+    /// Acknowledgement of [`Request::Shutdown`].
+    ShuttingDown,
+    /// Reply to [`Request::Sim`].
+    Result(SimResult),
+    /// One row of a [`Request::Sweep`], streamed in request order.
+    SweepRow {
+        /// Position of this row in the sweep's point list.
+        index: usize,
+        /// The row's outcome.
+        result: SimResult,
+    },
+    /// Terminates a sweep's row stream.
+    SweepDone {
+        /// Number of rows streamed.
+        count: usize,
+    },
+    /// Reply to [`Request::Stats`].
+    Stats(StatsSnapshot),
+}
+
+impl Response {
+    /// Encodes to one line of JSON (no trailing newline).
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let tagged = |tag: &str, body: Vec<(String, Json)>| {
+            let mut pairs = vec![("type".to_string(), Json::Str(tag.into()))];
+            pairs.extend(body);
+            Json::Obj(pairs).to_string()
+        };
+        match self {
+            Response::Pong => tagged("pong", vec![]),
+            Response::Error { message } => tagged(
+                "error",
+                vec![("message".to_string(), message.clone().into())],
+            ),
+            Response::ShuttingDown => tagged("shutting_down", vec![]),
+            Response::Result(r) => tagged("result", r.body()),
+            Response::SweepRow { index, result } => {
+                let mut body = vec![("index".to_string(), (*index).into())];
+                body.extend(result.body());
+                tagged("sweep_row", body)
+            }
+            Response::SweepDone { count } => {
+                tagged("sweep_done", vec![("count".to_string(), (*count).into())])
+            }
+            Response::Stats(s) => {
+                if let Json::Obj(body) = s.to_json() {
+                    tagged("stats", body)
+                } else {
+                    unreachable!("snapshot encodes to an object")
+                }
+            }
+        }
+    }
+
+    /// Decodes one line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed JSON, an unknown `type`, or an
+    /// invalid response body.
+    pub fn decode(line: &str) -> Result<Self, String> {
+        let v = Json::parse(line).map_err(|e| format!("malformed response: {e}"))?;
+        let kind = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "response: bad or missing field `type`".to_string())?;
+        match kind {
+            "pong" => Ok(Response::Pong),
+            "shutting_down" => Ok(Response::ShuttingDown),
+            "error" => Ok(Response::Error {
+                message: v
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown error")
+                    .to_string(),
+            }),
+            "result" => SimResult::from_json(&v).map(Response::Result),
+            "sweep_row" => Ok(Response::SweepRow {
+                index: v
+                    .get("index")
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| "sweep row: bad or missing field `index`".to_string())?,
+                result: SimResult::from_json(&v)?,
+            }),
+            "sweep_done" => Ok(Response::SweepDone {
+                count: v
+                    .get("count")
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| "sweep done: bad or missing field `count`".to_string())?,
+            }),
+            "stats" => StatsSnapshot::from_json(&v).map(Response::Stats),
+            other => Err(format!("response: unknown type `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oov_isa::{LoadElimMode, OooConfig, RefConfig};
+
+    #[test]
+    fn sim_request_fingerprint_distinguishes_every_field() {
+        let base = SimRequest::ooo_default(Program::Trfd, Scale::Smoke);
+        let variants = [
+            SimRequest {
+                program: Program::Bdna,
+                ..base
+            },
+            SimRequest {
+                scale: Scale::Paper,
+                ..base
+            },
+            SimRequest {
+                machine: MachineConfig::Ooo(OooConfig::default().with_queue_slots(128)),
+                ..base
+            },
+            SimRequest {
+                machine: MachineConfig::Ref(RefConfig::default()),
+                ..base
+            },
+            SimRequest {
+                stepper: Stepper::Naive,
+                ..base
+            },
+            SimRequest {
+                machine: MachineConfig::Ooo(OooConfig::default().with_commit(CommitMode::Late)),
+                fault_at: Some(10),
+                ..base
+            },
+        ];
+        let mut fps = vec![base.fingerprint()];
+        for v in variants {
+            fps.push(v.fingerprint());
+        }
+        for i in 0..fps.len() {
+            for j in i + 1..fps.len() {
+                assert_ne!(fps[i], fps[j], "variants {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn fault_on_early_commit_is_rejected_at_decode() {
+        let req = SimRequest {
+            fault_at: Some(5),
+            ..SimRequest::ooo_default(Program::Trfd, Scale::Smoke)
+        };
+        let line = Request::Sim(req).encode();
+        let err = Request::decode(&line).unwrap_err();
+        assert!(err.contains("late-commit"), "{err}");
+    }
+
+    #[test]
+    fn fault_on_ref_machine_is_rejected_at_decode() {
+        let req = SimRequest {
+            machine: MachineConfig::Ref(RefConfig::default()),
+            fault_at: Some(5),
+            ..SimRequest::ooo_default(Program::Trfd, Scale::Smoke)
+        };
+        let err = Request::decode(&Request::Sim(req).encode()).unwrap_err();
+        assert!(err.contains("no precise traps"), "{err}");
+    }
+
+    #[test]
+    fn elim_config_round_trips_through_sim_request() {
+        let req = SimRequest {
+            machine: MachineConfig::Ooo(OooConfig::default().with_load_elim(LoadElimMode::SleVle)),
+            ..SimRequest::ooo_default(Program::Dyfesm, Scale::Smoke)
+        };
+        let line = Request::Sim(req).encode();
+        assert_eq!(Request::decode(&line).unwrap(), Request::Sim(req));
+    }
+}

@@ -1,0 +1,350 @@
+//! The daemon: acceptor, connection threads, and worker shards.
+//!
+//! Threading model (see the crate docs for the picture):
+//!
+//! * one **acceptor** thread owning the listening socket;
+//! * one **connection** thread per client, which parses requests and
+//!   routes each simulation point to a shard by the machine-config
+//!   fingerprint — so identical configurations always meet the same
+//!   shard's result cache;
+//! * N **worker shards**, each a thread owning a private
+//!   result-cache `HashMap` (no locks on the hot path; the only shared
+//!   state is the suite cache and a few atomic counters) and fed
+//!   through an `mpsc` queue.
+//!
+//! Replies travel back over a per-request `mpsc` channel; a sweep's
+//! connection thread holds a reorder buffer so rows stream to the
+//! client in request order no matter how the shards interleave.
+//! Connection reads use a short timeout so every thread observes the
+//! shutdown flag promptly; [`ServerHandle::stop`] (or a client's
+//! `shutdown` request) terminates the whole process tree cleanly.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use oov_bench::machine_run;
+
+use crate::cache::SuiteCache;
+use crate::proto::{Request, Response, SimRequest, SimResult, StatsSnapshot};
+
+/// How often parked connection threads re-check the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(250);
+
+/// One simulation point in flight to a shard.
+struct Job {
+    req: SimRequest,
+    tag: usize,
+    reply: mpsc::Sender<(usize, SimResult)>,
+}
+
+/// Shared server state: caches, counters, shutdown flag.
+struct Engine {
+    suites: SuiteCache,
+    result_hits: AtomicU64,
+    result_misses: AtomicU64,
+    per_shard: Vec<AtomicU64>,
+    shutdown: AtomicBool,
+}
+
+impl Engine {
+    fn new(n_shards: usize) -> Self {
+        Engine {
+            suites: SuiteCache::new(),
+            result_hits: AtomicU64::new(0),
+            result_misses: AtomicU64::new(0),
+            per_shard: (0..n_shards).map(|_| AtomicU64::new(0)).collect(),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    fn snapshot(&self) -> StatsSnapshot {
+        let per_shard_requests: Vec<u64> = self
+            .per_shard
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let (suite_compiles_smoke, suite_compiles_paper) = self.suites.compiles();
+        StatsSnapshot {
+            requests: per_shard_requests.iter().sum(),
+            result_hits: self.result_hits.load(Ordering::Relaxed),
+            result_misses: self.result_misses.load(Ordering::Relaxed),
+            suite_requests: self.suites.requests(),
+            suite_compiles_smoke,
+            suite_compiles_paper,
+            per_shard_requests,
+        }
+    }
+}
+
+/// Server configuration and entry point.
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// acceptor plus `n_shards` worker shards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and thread-spawn failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_shards` is zero.
+    pub fn start(addr: &str, n_shards: usize) -> io::Result<ServerHandle> {
+        assert!(n_shards > 0, "need at least one shard");
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let engine = Arc::new(Engine::new(n_shards));
+
+        let mut senders = Vec::with_capacity(n_shards);
+        let mut workers = Vec::with_capacity(n_shards);
+        for shard in 0..n_shards {
+            let (tx, rx) = mpsc::channel::<Job>();
+            senders.push(tx);
+            let engine = Arc::clone(&engine);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("oov-shard-{shard}"))
+                    .spawn(move || worker(shard, &rx, &engine))?,
+            );
+        }
+
+        let acceptor_engine = Arc::clone(&engine);
+        let acceptor = std::thread::Builder::new()
+            .name("oov-acceptor".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if acceptor_engine.shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let shards = senders.clone();
+                    let engine = Arc::clone(&acceptor_engine);
+                    let _ = std::thread::Builder::new()
+                        .name("oov-conn".to_string())
+                        .spawn(move || {
+                            let _ = handle_connection(stream, &shards, &engine, local_addr);
+                        });
+                }
+                // Dropping `senders` lets the shard workers drain and
+                // exit once the connection threads are gone too.
+            })?;
+
+        Ok(ServerHandle {
+            local_addr,
+            acceptor,
+            workers,
+            engine,
+        })
+    }
+}
+
+/// A running server: address plus the handles needed to stop it.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+    engine: Arc<Engine>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the real port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A snapshot of the server counters, taken in-process.
+    #[must_use]
+    pub fn snapshot(&self) -> StatsSnapshot {
+        self.engine.snapshot()
+    }
+
+    /// Requests shutdown and joins every server thread.
+    pub fn stop(self) {
+        self.engine.shutdown.store(true, Ordering::Release);
+        // Wake the acceptor out of `incoming()`.
+        let _ = TcpStream::connect(self.local_addr);
+        self.join();
+    }
+
+    /// Joins every server thread; returns once the server has shut
+    /// down (via [`ServerHandle::stop`] or a client's `shutdown`
+    /// request).
+    pub fn join(self) {
+        let _ = self.acceptor.join();
+        // Connection threads exit within `READ_POLL` of the flag; the
+        // workers exit once the last job sender (acceptor + connection
+        // threads) is gone. Drop our engine reference first so no
+        // sender can outlive the join below.
+        drop(self.engine);
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Shard main loop: execute (or answer from cache) one request at a
+/// time. The cache is private to the shard — the fingerprint router
+/// guarantees no other shard ever sees the same configuration.
+fn worker(shard: usize, rx: &mpsc::Receiver<Job>, engine: &Engine) {
+    let mut cache: HashMap<u64, SimResult> = HashMap::new();
+    while let Ok(job) = rx.recv() {
+        engine.per_shard[shard].fetch_add(1, Ordering::Relaxed);
+        let fp = job.req.fingerprint();
+        let result = if let Some(hit) = cache.get(&fp) {
+            engine.result_hits.fetch_add(1, Ordering::Relaxed);
+            SimResult {
+                cached: true,
+                ..hit.clone()
+            }
+        } else {
+            engine.result_misses.fetch_add(1, Ordering::Relaxed);
+            let suite = engine.suites.get(job.req.scale);
+            let out = machine_run(
+                suite.get(job.req.program),
+                &job.req.machine,
+                job.req.stepper,
+                job.req.fault_at,
+            );
+            let r = SimResult {
+                stats: out.stats,
+                ideal_cycles: out.ideal_cycles,
+                faults_taken: out.faults_taken,
+                cached: false,
+                shard,
+            };
+            cache.insert(fp, r.clone());
+            r
+        };
+        // A dropped reply receiver just means the client went away.
+        let _ = job.reply.send((job.tag, result));
+    }
+}
+
+/// Routes every point to its shard and returns the shared reply
+/// receiver. Points whose shard queue is gone (only possible during
+/// shutdown) are dropped; the caller times out on the missing tags.
+fn dispatch(
+    shards: &[mpsc::Sender<Job>],
+    points: &[SimRequest],
+) -> mpsc::Receiver<(usize, SimResult)> {
+    let (tx, rx) = mpsc::channel();
+    for (tag, req) in points.iter().enumerate() {
+        let shard = (req.machine.fingerprint() % shards.len() as u64) as usize;
+        let _ = shards[shard].send(Job {
+            req: *req,
+            tag,
+            reply: tx.clone(),
+        });
+    }
+    rx
+}
+
+fn write_response(writer: &mut TcpStream, resp: &Response) -> io::Result<()> {
+    writeln!(writer, "{}", resp.encode())?;
+    writer.flush()
+}
+
+/// Per-connection loop: parse a line, answer it, repeat until EOF,
+/// transport error, or server shutdown.
+fn handle_connection(
+    stream: TcpStream,
+    shards: &[mpsc::Sender<Job>],
+    engine: &Engine,
+    listen_addr: SocketAddr,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(READ_POLL))?;
+    // One small response per request: Nagle + the peer's delayed ACK
+    // would add ~40 ms to every round trip.
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // Poll for a full line; `read_line` keeps partial data in
+        // `line` across timeouts, so retrying without clearing is
+        // lossless.
+        loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => return Ok(()), // EOF
+                Ok(_) => break,
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    if engine.shutdown.load(Ordering::Acquire) {
+                        return Ok(());
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let text = line.trim();
+        if text.is_empty() {
+            continue;
+        }
+        match Request::decode(text) {
+            Err(message) => write_response(&mut writer, &Response::Error { message })?,
+            Ok(Request::Ping) => write_response(&mut writer, &Response::Pong)?,
+            Ok(Request::Stats) => {
+                write_response(&mut writer, &Response::Stats(engine.snapshot()))?;
+            }
+            Ok(Request::Shutdown) => {
+                engine.shutdown.store(true, Ordering::Release);
+                write_response(&mut writer, &Response::ShuttingDown)?;
+                // Wake the acceptor so it observes the flag.
+                let _ = TcpStream::connect(listen_addr);
+                return Ok(());
+            }
+            Ok(Request::Sim(req)) => {
+                let rx = dispatch(shards, std::slice::from_ref(&req));
+                let resp = match rx.recv() {
+                    Ok((_, result)) => Response::Result(result),
+                    Err(_) => Response::Error {
+                        message: "server is shutting down".into(),
+                    },
+                };
+                write_response(&mut writer, &resp)?;
+            }
+            Ok(Request::Sweep(points)) => {
+                let n = points.len();
+                let rx = dispatch(shards, &points);
+                let mut buf: Vec<Option<SimResult>> = vec![None; n];
+                let mut next = 0;
+                let mut received = 0;
+                while received < n {
+                    let Ok((tag, result)) = rx.recv() else { break };
+                    buf[tag] = Some(result);
+                    received += 1;
+                    // Stream the completed prefix in request order.
+                    while next < n {
+                        let Some(result) = buf[next].take() else {
+                            break;
+                        };
+                        write_response(
+                            &mut writer,
+                            &Response::SweepRow {
+                                index: next,
+                                result,
+                            },
+                        )?;
+                        next += 1;
+                    }
+                }
+                if next < n {
+                    write_response(
+                        &mut writer,
+                        &Response::Error {
+                            message: format!("sweep aborted after {next}/{n} rows (shutdown)"),
+                        },
+                    )?;
+                }
+                write_response(&mut writer, &Response::SweepDone { count: next })?;
+            }
+        }
+    }
+}

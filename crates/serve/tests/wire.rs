@@ -1,0 +1,268 @@
+//! Wire-protocol contract tests: exact encode/decode round trips for
+//! every message variant, malformed-request rejection (direct and over
+//! a live socket), and an end-to-end integration test with concurrent
+//! clients asserting served results are bit-identical to direct
+//! in-process simulation.
+
+use oov_core::{OooSim, Stepper};
+use oov_isa::{CommitMode, LoadElimMode, MachineConfig, OooConfig, RefConfig};
+use oov_kernels::{Program, Scale};
+use oov_ref::RefSim;
+use oov_serve::{Client, Request, Response, Server, SimRequest, SimResult, StatsSnapshot};
+use oov_stats::SimStats;
+
+fn sample_requests() -> Vec<SimRequest> {
+    vec![
+        SimRequest::ooo_default(Program::Trfd, Scale::Smoke),
+        SimRequest {
+            machine: MachineConfig::Ooo(
+                OooConfig::default()
+                    .with_queue_slots(128)
+                    .with_phys_v_regs(32)
+                    .with_memory_latency(100),
+            ),
+            stepper: Stepper::Naive,
+            ..SimRequest::ooo_default(Program::Swm256, Scale::Paper)
+        },
+        SimRequest {
+            machine: MachineConfig::Ooo(
+                OooConfig::default().with_load_elim(LoadElimMode::SleVleSse),
+            ),
+            ..SimRequest::ooo_default(Program::Bdna, Scale::Smoke)
+        },
+        SimRequest {
+            machine: MachineConfig::Ooo(OooConfig::default().with_commit(CommitMode::Late)),
+            fault_at: Some(17),
+            ..SimRequest::ooo_default(Program::Flo52, Scale::Smoke)
+        },
+        SimRequest {
+            machine: MachineConfig::Ref(RefConfig {
+                scalar_cache: None,
+                ..RefConfig::default()
+            }),
+            ..SimRequest::ooo_default(Program::Tomcatv, Scale::Smoke)
+        },
+    ]
+}
+
+#[test]
+fn every_request_variant_round_trips() {
+    let mut variants = vec![Request::Ping, Request::Stats, Request::Shutdown];
+    for req in sample_requests() {
+        variants.push(Request::Sim(req));
+    }
+    variants.push(Request::Sweep(sample_requests()));
+    for v in variants {
+        let line = v.encode();
+        assert!(!line.contains('\n'), "encoding must be one line: {line}");
+        assert_eq!(Request::decode(&line).unwrap(), v, "round trip of {line}");
+    }
+}
+
+#[test]
+fn every_response_variant_round_trips() {
+    let mut stats = SimStats {
+        cycles: 123_456,
+        committed: 9_999,
+        mem_requests: 1_234,
+        rename_stall_cycles: 7,
+        ..SimStats::new()
+    };
+    stats
+        .breakdown
+        .record(oov_stats::UnitState::new(true, true, false), 41);
+    let result = SimResult {
+        stats,
+        ideal_cycles: 100_000,
+        faults_taken: 1,
+        cached: true,
+        shard: 3,
+    };
+    let variants = vec![
+        Response::Pong,
+        Response::ShuttingDown,
+        Response::Error {
+            message: "bad \"quoted\" request\nwith a newline".into(),
+        },
+        Response::Result(result.clone()),
+        Response::SweepRow { index: 4, result },
+        Response::SweepDone { count: 12 },
+        Response::Stats(StatsSnapshot {
+            requests: 10,
+            result_hits: 4,
+            result_misses: 6,
+            suite_requests: 6,
+            suite_compiles_smoke: 1,
+            suite_compiles_paper: 0,
+            per_shard_requests: vec![3, 0, 7],
+        }),
+    ];
+    for v in variants {
+        let line = v.encode();
+        assert!(!line.contains('\n'), "encoding must be one line: {line}");
+        assert_eq!(Response::decode(&line).unwrap(), v, "round trip of {line}");
+    }
+}
+
+#[test]
+fn malformed_requests_are_rejected() {
+    for bad in [
+        "",
+        "not json at all",
+        "{}",
+        r#"{"type": "launch_missiles"}"#,
+        r#"{"type": "sim"}"#,
+        r#"{"type": "sim", "program": "nope", "scale": "smoke"}"#,
+        r#"{"type": "sim", "program": "trfd", "scale": "galactic"}"#,
+        r#"{"type": "sweep", "points": []}"#,
+        r#"{"type": "sweep", "points": [{"program": "trfd"}]}"#,
+        // Structurally valid JSON whose config violates machine bounds.
+        r#"{"type": "sim", "program": "trfd", "scale": "smoke", "stepper": "event",
+            "machine": {"machine": "ooo", "cfg": {"phys_v_regs": 4}}}"#,
+    ] {
+        assert!(
+            Request::decode(bad.trim()).is_err(),
+            "accepted malformed request {bad:?}"
+        );
+    }
+}
+
+/// Spawned-server integration: ≥4 concurrent clients, each mixing
+/// sims and a sweep, every served result bit-identical to a direct
+/// in-process simulation; plus malformed-line handling on a live
+/// socket and the memoisation counters.
+#[test]
+fn concurrent_clients_get_bit_identical_results() {
+    let server = Server::start("127.0.0.1:0", 3).expect("server start");
+    let addr = server.addr();
+
+    // Direct (in-process) baselines, one per point.
+    let points = [
+        (Program::Trfd, OooConfig::default()),
+        (Program::Dyfesm, OooConfig::default().with_queue_slots(128)),
+        (
+            Program::Swm256,
+            OooConfig::default().with_memory_latency(100),
+        ),
+        (
+            Program::Bdna,
+            OooConfig::default().with_load_elim(LoadElimMode::SleVle),
+        ),
+    ];
+    let baselines: Vec<SimStats> = points
+        .iter()
+        .map(|&(p, cfg)| {
+            let prog = p.compile(Scale::Smoke);
+            OooSim::new(cfg, &prog.trace).run().stats
+        })
+        .collect();
+    let ref_baseline = {
+        let prog = Program::Tomcatv.compile(Scale::Smoke);
+        RefSim::new(RefConfig::default()).run(&prog.trace)
+    };
+
+    std::thread::scope(|s| {
+        for client_ix in 0..4 {
+            let points = &points;
+            let baselines = &baselines;
+            let ref_baseline = &ref_baseline;
+            s.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                client.ping().expect("ping");
+                // Each client walks the points from a different start.
+                for k in 0..points.len() {
+                    let ix = (client_ix + k) % points.len();
+                    let (p, cfg) = points[ix];
+                    let req = SimRequest {
+                        machine: MachineConfig::Ooo(cfg),
+                        ..SimRequest::ooo_default(p, Scale::Smoke)
+                    };
+                    let got = client.sim(&req).expect("sim");
+                    assert_eq!(
+                        got.stats, baselines[ix],
+                        "client {client_ix}: served stats for {p} diverged"
+                    );
+                }
+                // A sweep mixing both machines, rows in request order.
+                let sweep: Vec<SimRequest> = points
+                    .iter()
+                    .map(|&(p, cfg)| SimRequest {
+                        machine: MachineConfig::Ooo(cfg),
+                        ..SimRequest::ooo_default(p, Scale::Smoke)
+                    })
+                    .chain(std::iter::once(SimRequest {
+                        machine: MachineConfig::Ref(RefConfig::default()),
+                        ..SimRequest::ooo_default(Program::Tomcatv, Scale::Smoke)
+                    }))
+                    .collect();
+                let mut seen = Vec::new();
+                let count = client
+                    .sweep(&sweep, |index, result| seen.push((index, result)))
+                    .expect("sweep");
+                assert_eq!(count, sweep.len());
+                let indices: Vec<usize> = seen.iter().map(|(i, _)| *i).collect();
+                assert_eq!(
+                    indices,
+                    (0..sweep.len()).collect::<Vec<_>>(),
+                    "rows out of order"
+                );
+                for (i, result) in &seen[..points.len()] {
+                    assert_eq!(&result.stats, &baselines[*i], "sweep row {i} diverged");
+                }
+                assert_eq!(
+                    &seen[points.len()].1.stats,
+                    ref_baseline,
+                    "ref row diverged"
+                );
+            });
+        }
+    });
+
+    // Malformed lines get an error response and leave the connection
+    // usable.
+    {
+        use std::io::{BufRead, BufReader, Write};
+        let mut stream = std::net::TcpStream::connect(addr).expect("raw connect");
+        stream.set_nodelay(true).ok();
+        writeln!(stream, "this is not a request").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        match Response::decode(line.trim()).unwrap() {
+            Response::Error { message } => {
+                assert!(message.contains("malformed"), "unexpected error: {message}");
+            }
+            other => panic!("expected an error response, got {other:?}"),
+        }
+        writeln!(stream, "{}", Request::Ping.encode()).unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(Response::decode(line.trim()).unwrap(), Response::Pong);
+    }
+
+    // Memoisation held: many requests, exactly one smoke-suite
+    // compile; the unique (program × config) points simulated once
+    // each and every repeat was a cache hit.
+    let stats = Client::connect(addr)
+        .expect("connect")
+        .stats()
+        .expect("stats");
+    assert_eq!(
+        stats.suite_compiles_smoke, 1,
+        "suite compiled more than once"
+    );
+    assert_eq!(stats.suite_compiles_paper, 0);
+    assert_eq!(stats.result_misses, 5, "expected one miss per unique point");
+    assert!(
+        stats.result_hits >= 4 * 9 - 5,
+        "expected most requests to hit the cache: {stats:?}"
+    );
+    assert_eq!(stats.requests, stats.result_hits + stats.result_misses);
+
+    // Client-driven shutdown terminates the server cleanly.
+    Client::connect(addr)
+        .expect("connect")
+        .shutdown()
+        .expect("shutdown");
+    server.join();
+}

@@ -89,6 +89,78 @@ impl SimStats {
     }
 }
 
+/// The scalar `u64` counters of [`SimStats`] in declaration order —
+/// one table drives the JSON encoder, decoder and field count so the
+/// three cannot drift apart when a counter is added.
+macro_rules! for_each_counter {
+    ($m:ident) => {
+        $m!(
+            cycles,
+            committed,
+            addr_bus_busy_cycles,
+            mem_requests,
+            load_requests,
+            store_requests,
+            spill_requests,
+            eliminated_scalar_loads,
+            eliminated_vector_loads,
+            eliminated_vector_words,
+            eliminated_stores,
+            eliminated_store_words,
+            branches,
+            mispredicts,
+            rename_stall_cycles,
+            queue_stall_cycles,
+            rob_stall_cycles
+        );
+    };
+}
+
+impl SimStats {
+    /// Encodes every counter (and the state breakdown) as a JSON
+    /// object. The inverse of [`SimStats::from_json`]; the round trip
+    /// is exact, which the `oov-serve` parity guarantees rely on.
+    #[must_use]
+    pub fn to_json(&self) -> oov_proto::Json {
+        let mut pairs: Vec<(String, oov_proto::Json)> = Vec::new();
+        macro_rules! emit {
+            ($($field:ident),*) => {
+                $(pairs.push((stringify!($field).to_string(), self.$field.into()));)*
+            };
+        }
+        for_each_counter!(emit);
+        pairs.push(("breakdown".to_string(), self.breakdown.to_json()));
+        oov_proto::Json::Obj(pairs)
+    }
+
+    /// Decodes the [`SimStats::to_json`] encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or malformed field.
+    pub fn from_json(v: &oov_proto::Json) -> Result<Self, String> {
+        let mut s = SimStats::new();
+        macro_rules! read {
+            ($($field:ident),*) => {
+                $(
+                    s.$field = v
+                        .get(stringify!($field))
+                        .and_then(oov_proto::Json::as_u64)
+                        .ok_or_else(|| {
+                            format!("sim stats: bad or missing field `{}`", stringify!($field))
+                        })?;
+                )*
+            };
+        }
+        for_each_counter!(read);
+        s.breakdown = StateBreakdown::from_json(
+            v.get("breakdown")
+                .ok_or_else(|| "sim stats: missing field `breakdown`".to_string())?,
+        )?;
+        Ok(s)
+    }
+}
+
 impl fmt::Display for SimStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -147,5 +219,46 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(!SimStats::new().to_string().is_empty());
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let mut s = SimStats {
+            cycles: 123_456_789,
+            committed: 42,
+            addr_bus_busy_cycles: 7,
+            mem_requests: 1000,
+            load_requests: 600,
+            store_requests: 400,
+            spill_requests: 50,
+            eliminated_scalar_loads: 3,
+            eliminated_vector_loads: 2,
+            eliminated_vector_words: 256,
+            eliminated_stores: 1,
+            eliminated_store_words: 128,
+            branches: 99,
+            mispredicts: 9,
+            rename_stall_cycles: 11,
+            queue_stall_cycles: 22,
+            rob_stall_cycles: 33,
+            ..SimStats::new()
+        };
+        s.breakdown
+            .record(crate::UnitState::new(true, false, true), 17);
+        let v = s.to_json();
+        assert_eq!(SimStats::from_json(&v).unwrap(), s);
+        // Textual round trip too (the wire carries it as one line).
+        let reparsed = oov_proto::Json::parse(&v.to_string()).unwrap();
+        assert_eq!(SimStats::from_json(&reparsed).unwrap(), s);
+    }
+
+    #[test]
+    fn from_json_rejects_missing_counter() {
+        let mut v = SimStats::new().to_json();
+        if let oov_proto::Json::Obj(pairs) = &mut v {
+            pairs.retain(|(k, _)| k != "mem_requests");
+        }
+        let err = SimStats::from_json(&v).unwrap_err();
+        assert!(err.contains("mem_requests"), "{err}");
     }
 }

@@ -14,6 +14,11 @@
 //! | [`refsim`] | `oov-ref` | in-order Convex C3400-like reference simulator |
 //! | [`core`] | `oov-core` | the OOOVA: rename, queues, ROB, disambiguation, load elimination |
 //! | [`stats`] | `oov-stats` | cycle-state breakdowns, counters, tables, charts |
+//! | [`proto`] | `oov-proto` | dep-free JSON + fingerprints for bench artifacts and the wire protocol |
+//!
+//! The simulation server (`oov-serve`, with its `serve`/`client`/
+//! `loadgen` binaries) sits on top of the harness crate `oov-bench`;
+//! both are workspace members rather than facade modules.
 //!
 //! # Quickstart
 //!
@@ -38,6 +43,7 @@ pub use oov_exec as exec;
 pub use oov_isa as isa;
 pub use oov_kernels as kernels;
 pub use oov_mem as mem;
+pub use oov_proto as proto;
 pub use oov_ref as refsim;
 pub use oov_stats as stats;
 pub use oov_vcc as vcc;

@@ -93,16 +93,44 @@ fn engine_parity_under_queue_and_register_pressure() {
 }
 
 #[test]
-fn engine_parity_with_precise_traps() {
-    for p in [Program::Flo52, Program::Trfd] {
-        let prog = p.compile(Scale::Smoke);
-        let cfg = OooConfig::default().with_commit(CommitMode::Late);
-        let fault_at = prog.trace.len() / 3;
-        let naive = OooSim::new(cfg, &prog.trace)
-            .with_stepper(Stepper::Naive)
-            .with_fault_at(fault_at)
-            .run();
-        let event = OooSim::new(cfg, &prog.trace).with_fault_at(fault_at).run();
-        assert_eq!(naive.stats, event.stats, "{p}: trap recovery diverged");
-    }
+fn engine_parity_with_precise_traps_swept_over_fault_points() {
+    // A single fault point only exercises one squash depth and one
+    // pipeline occupancy at recovery time; sweeping a grid of fault
+    // points (start-of-trace, interior points at several fractions,
+    // and the final instruction) covers shallow and deep squashes,
+    // recovery mid-vector and recovery at the drain. Each (program,
+    // fault point) runs on its own scoped thread.
+    std::thread::scope(|s| {
+        for p in [Program::Flo52, Program::Trfd, Program::Dyfesm] {
+            s.spawn(move || {
+                let prog = p.compile(Scale::Smoke);
+                let len = prog.trace.len();
+                let mut fault_points: Vec<usize> = [
+                    0,
+                    1,
+                    len / 8,
+                    len / 3,
+                    len / 2,
+                    2 * len / 3,
+                    7 * len / 8,
+                    len - 1,
+                ]
+                .to_vec();
+                fault_points.sort_unstable();
+                fault_points.dedup();
+                let cfg = OooConfig::default().with_commit(CommitMode::Late);
+                for fault_at in fault_points {
+                    let naive = OooSim::new(cfg, &prog.trace)
+                        .with_stepper(Stepper::Naive)
+                        .with_fault_at(fault_at)
+                        .run();
+                    let event = OooSim::new(cfg, &prog.trace).with_fault_at(fault_at).run();
+                    assert_eq!(
+                        naive.stats, event.stats,
+                        "{p}: trap recovery diverged at fault point {fault_at}/{len}"
+                    );
+                }
+            });
+        }
+    });
 }
