@@ -35,12 +35,33 @@ struct Row {
     name: &'static str,
     trace_len: usize,
     cycles: u64,
+    /// Cycles in which any stage progressed — the cycles the
+    /// stage-graph engine must actually walk (dead cycles are
+    /// skipped). Engine-invariant, so it normalises the progress-cycle
+    /// cost columns across machines.
+    progress_cycles: u64,
     naive_ms: f64,
     event_ms: f64,
     ref_ms: f64,
     exec_ms: f64,
     q128_naive_ms: f64,
     q128_event_ms: f64,
+}
+
+impl Row {
+    /// Event-engine nanoseconds per progress cycle — the "cheaper
+    /// progress cycles" metric the stage-graph refactor targets on
+    /// scalar-heavy kernels (dyfesm-class workloads are ~30% progress
+    /// cycles, so skipping alone cannot help them).
+    fn event_ns_per_pcycle(&self) -> f64 {
+        self.event_ms * 1e6 / self.progress_cycles.max(1) as f64
+    }
+
+    /// Same metric for the naive full walk (its per-cycle cost is flat
+    /// across dead and progress cycles).
+    fn naive_ns_per_cycle(&self) -> f64 {
+        self.naive_ms * 1e6 / self.cycles.max(1) as f64
+    }
 }
 
 /// Best-of-`reps` wall time in milliseconds, plus the last result (so
@@ -70,7 +91,7 @@ fn main() {
     let (scale, scale_name, reps) = if smoke {
         (Scale::Smoke, "smoke", 3)
     } else {
-        (Scale::Paper, "paper", 2)
+        (Scale::Paper, "paper", 3)
     };
     eprintln!("compiling suite ({scale_name})...");
     let t0 = Instant::now();
@@ -122,6 +143,7 @@ fn main() {
                 name: p.name(),
                 trace_len: prog.trace.len(),
                 cycles: event.stats.cycles,
+                progress_cycles: event.stats.progress_cycles,
                 naive_ms,
                 event_ms,
                 ref_ms,
@@ -140,30 +162,36 @@ fn main() {
     let q128_speedup = total_q128_naive / total_q128_event;
 
     println!(
-        "{:<10} {:>9} {:>12} {:>11} {:>11} {:>9} {:>9} {:>8} {:>11} {:>11} {:>8}",
+        "{:<10} {:>9} {:>12} {:>9} {:>11} {:>11} {:>9} {:>9} {:>8} {:>8} {:>8} {:>11} {:>11} {:>8}",
         "kernel",
         "insts",
         "cycles",
+        "pcycles",
         "naive ms",
         "event ms",
         "ref ms",
         "exec ms",
         "speedup",
+        "nv ns/c",
+        "ev ns/pc",
         "q128 nv ms",
         "q128 ev ms",
         "q128 x"
     );
     for r in &rows {
         println!(
-            "{:<10} {:>9} {:>12} {:>11.2} {:>11.2} {:>9.3} {:>9.3} {:>7.1}x {:>11.2} {:>11.2} {:>7.1}x",
+            "{:<10} {:>9} {:>12} {:>9} {:>11.2} {:>11.2} {:>9.3} {:>9.3} {:>7.1}x {:>8.0} {:>8.0} {:>11.2} {:>11.2} {:>7.1}x",
             r.name,
             r.trace_len,
             r.cycles,
+            r.progress_cycles,
             r.naive_ms,
             r.event_ms,
             r.ref_ms,
             r.exec_ms,
             r.naive_ms / r.event_ms,
+            r.naive_ns_per_cycle(),
+            r.event_ns_per_pcycle(),
             r.q128_naive_ms,
             r.q128_event_ms,
             r.q128_naive_ms / r.q128_event_ms
@@ -192,11 +220,14 @@ fn main() {
                 ("name", r.name.into()),
                 ("trace_len", r.trace_len.into()),
                 ("cycles", r.cycles.into()),
+                ("progress_cycles", r.progress_cycles.into()),
                 ("naive_ms", ms(r.naive_ms)),
                 ("event_ms", ms(r.event_ms)),
                 ("ref_ms", ms(r.ref_ms)),
                 ("exec_ms", ms(r.exec_ms)),
                 ("speedup", ratio(r.naive_ms, r.event_ms)),
+                ("naive_ns_per_cycle", ms(r.naive_ns_per_cycle())),
+                ("event_ns_per_pcycle", ms(r.event_ns_per_pcycle())),
                 ("q128_naive_ms", ms(r.q128_naive_ms)),
                 ("q128_event_ms", ms(r.q128_event_ms)),
                 ("q128_speedup", ratio(r.q128_naive_ms, r.q128_event_ms)),

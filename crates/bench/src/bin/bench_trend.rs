@@ -28,6 +28,12 @@
 //! The q128 section is gated the same way when both artifacts carry
 //! it. Exit status 1 on any regression, so the CI step fails without
 //! any shell glue.
+//!
+//! 3. **Engine-speedup floor.** Independent of the baseline, every
+//!    kernel's *fresh* event/naive speedup (both sections) must stay
+//!    at or above `--min-speedup` (default 1.5). The relative gate (2)
+//!    tolerates a slide that happens to hit both artifacts; the floor
+//!    is the absolute line under the engine's whole point.
 
 use std::process::ExitCode;
 
@@ -100,6 +106,7 @@ fn run() -> Result<Vec<String>, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut files: Vec<&str> = Vec::new();
     let mut max_ratio = 2.0f64;
+    let mut min_speedup = 1.5f64;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -110,6 +117,14 @@ fn run() -> Result<Vec<String>, String> {
                     .ok_or("missing value for --max-ratio")?
                     .parse()
                     .map_err(|e| format!("--max-ratio: {e}"))?;
+            }
+            "--min-speedup" => {
+                i += 1;
+                min_speedup = argv
+                    .get(i)
+                    .ok_or("missing value for --min-speedup")?
+                    .parse()
+                    .map_err(|e| format!("--min-speedup: {e}"))?;
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             file => files.push(file),
@@ -145,6 +160,16 @@ fn run() -> Result<Vec<String>, String> {
     );
     let mut regressions = Vec::new();
     for (f, b) in &pairs {
+        for (section, speedup) in
+            std::iter::once(("default", f.speedup)).chain(f.q128.map(|(_, fs)| ("q128", fs)))
+        {
+            if speedup < min_speedup {
+                regressions.push(format!(
+                    "{} [{section}]: engine speedup {speedup:.2}x below the {min_speedup:.1}x floor",
+                    f.name
+                ));
+            }
+        }
         let mut check = |section: &str, metric: &str, ratio: f64| {
             if ratio > max_ratio {
                 regressions.push(format!(

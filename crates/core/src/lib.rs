@@ -43,12 +43,13 @@ mod queue;
 mod rename;
 mod rob;
 mod sim;
+mod stages;
 mod tags;
 mod verify;
 
 pub use btb::{Btb, ReturnStack};
 pub use rename::{PhysReg, RenameTable, RenameUnit};
-pub use rob::{DstInfo, EntryState, MemStage, Rob, RobEntry};
+pub use rob::{DstInfo, EntryState, MemStage, QueueKind, Rob, RobEntry};
 pub use sim::{OooSim, RunResult, Stepper};
 pub use tags::{Tag, TagTable, TagUnit};
 

@@ -217,4 +217,171 @@ mod tests {
         assert!(q.is_empty());
         assert_eq!(q.raw_len(), 0);
     }
+
+    // ----- seed-loop property harness ---------------------------------
+    //
+    // The container ships no proptest, so — like `tests/properties.rs`
+    // at the workspace root — these drive random operation sequences
+    // from a fixed span of SplitMix64 seeds against a `Vec` reference
+    // model. A failing seed is its own reproducer.
+
+    /// SplitMix64 step (same constants as the workspace harness).
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    const SEEDS: [u64; 16] = [
+        0, 1, 2, 3, 5, 8, 42, 137, 777, 1234, 2718, 3141, 4242, 5555, 7919, 9973,
+    ];
+
+    /// Asserts every observable view of `q` matches the model: live
+    /// count, iteration order and raw-position enumeration.
+    fn check_against_model(q: &SlotQueue, model: &[u64]) {
+        assert_eq!(q.len(), model.len());
+        assert_eq!(q.is_empty(), model.is_empty());
+        assert_eq!(q.iter().collect::<Vec<_>>(), model);
+        let via_raw: Vec<u64> = (0..q.raw_len()).filter_map(|p| q.raw_get(p)).collect();
+        assert_eq!(via_raw, model, "raw enumeration diverged from iter");
+    }
+
+    /// The compaction bound documented on `reclaim`: right after a
+    /// removal, live slots are never outnumbered 2:1 by storage beyond
+    /// the fixed slack. (Pushes between removals can exceed it; only
+    /// removals reclaim.)
+    fn check_compaction_bound(q: &SlotQueue, context: &str) {
+        assert!(
+            q.raw_len() <= 2 * q.len().max(8),
+            "{context}: tombstones not compacted: {} raw slots for {} live",
+            q.raw_len(),
+            q.len()
+        );
+    }
+
+    /// Random interleavings of push / scan-remove / positional-remove /
+    /// clear against the reference model: program order, tombstone
+    /// compaction and storage reset (wraparound to a fresh vector after
+    /// a full drain) hold on every seed.
+    #[test]
+    fn random_op_sequences_match_reference_model() {
+        for seed in SEEDS {
+            let mut rng = seed;
+            let mut q = SlotQueue::new();
+            let mut model: Vec<u64> = Vec::new();
+            let mut next_seq = 0u64;
+            for _ in 0..400 {
+                match splitmix(&mut rng) % 10 {
+                    // Push-heavy mix keeps the queue populated.
+                    0..=4 => {
+                        q.push_back(next_seq);
+                        model.push(next_seq);
+                        next_seq += 1;
+                    }
+                    5 | 6 => {
+                        // Remove a random live entry by scan.
+                        if !model.is_empty() {
+                            let ix = (splitmix(&mut rng) % model.len() as u64) as usize;
+                            let victim = model.remove(ix);
+                            assert!(q.remove(victim), "seed {seed}: remove({victim}) failed");
+                        } else {
+                            assert!(!q.remove(99_999));
+                        }
+                        check_compaction_bound(&q, "after remove");
+                    }
+                    7 | 8 => {
+                        // Remove a random live entry by raw position,
+                        // as the issue scans do.
+                        if !model.is_empty() {
+                            let target_ix = (splitmix(&mut rng) % model.len() as u64) as usize;
+                            let victim = model.remove(target_ix);
+                            let pos = (0..q.raw_len())
+                                .find(|&p| q.raw_get(p) == Some(victim))
+                                .expect("live entry has a raw position");
+                            q.remove_at(pos);
+                        }
+                        check_compaction_bound(&q, "after remove_at");
+                    }
+                    _ => {
+                        // Occasional full clear (the trap-squash path).
+                        if splitmix(&mut rng).is_multiple_of(8) {
+                            q.clear();
+                            model.clear();
+                        }
+                    }
+                }
+                check_against_model(&q, &model);
+            }
+        }
+    }
+
+    /// FIFO drain order survives arbitrary interior removals: whatever
+    /// was not removed comes out in insertion order, and a fully
+    /// drained queue resets its storage (head wraps back to 0) so
+    /// reuse starts compact on every seed.
+    #[test]
+    fn drain_order_and_wraparound_after_full_drain() {
+        for seed in SEEDS {
+            let mut rng = seed;
+            let mut q = SlotQueue::new();
+            for round in 0..4u64 {
+                let n = 16 + (splitmix(&mut rng) % 48);
+                let base = round * 1_000;
+                let mut expect: Vec<u64> = (base..base + n).collect();
+                for s in &expect {
+                    q.push_back(*s);
+                }
+                // Poke holes from random positions first.
+                for _ in 0..n / 3 {
+                    let ix = (splitmix(&mut rng) % expect.len() as u64) as usize;
+                    let victim = expect.remove(ix);
+                    assert!(q.remove(victim));
+                }
+                // Then drain front-to-back; order must be insertion
+                // order of the survivors.
+                for &want in &expect {
+                    let head = q.iter().next().expect("queue drained early");
+                    assert_eq!(head, want, "seed {seed}: drain order diverged");
+                    q.remove_at(
+                        (0..q.raw_len())
+                            .find(|&p| q.raw_get(p).is_some())
+                            .expect("live head has a position"),
+                    );
+                }
+                // Fully drained: storage must reset, not accumulate
+                // tombstones across rounds.
+                assert!(q.is_empty());
+                assert_eq!(q.raw_len(), 0, "seed {seed}: storage not reset after drain");
+            }
+        }
+    }
+
+    /// Compaction is bounded under a sliding-window workload (push at
+    /// the tail, remove near the head — the steady state of an issue
+    /// queue): raw storage stays within the documented 2× live + slack
+    /// bound on every step of every seed.
+    #[test]
+    fn sliding_window_keeps_storage_bounded() {
+        for seed in SEEDS {
+            let mut rng = seed;
+            let mut q = SlotQueue::new();
+            let mut model: Vec<u64> = Vec::new();
+            for step in 0..600u64 {
+                q.push_back(step);
+                model.push(step);
+                // Keep roughly 16 live entries (a paper-default queue).
+                while model.len() > 16 {
+                    // Remove from the front half — mostly the head,
+                    // sometimes an interior entry.
+                    let ix = (splitmix(&mut rng) % (model.len() as u64 / 2).max(1)) as usize;
+                    let victim = model.remove(ix);
+                    assert!(q.remove(victim));
+                    check_compaction_bound(&q, &format!("seed {seed} step {step}"));
+                }
+            }
+            check_against_model(&q, &model);
+        }
+    }
 }

@@ -26,6 +26,21 @@ pub struct DstInfo {
     pub old: PhysReg,
 }
 
+/// Which issue queue an entry waits in. Stored on the entry so the
+/// stage-graph scheduler can wake exactly the queue's issue stage when
+/// a wakeup-index decrement makes the entry runnable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueKind {
+    /// Address queue.
+    A,
+    /// Scalar queue.
+    S,
+    /// Vector queue.
+    V,
+    /// Memory queue (feeds the three-stage memory pipe).
+    M,
+}
+
 /// Progress of an instruction through the memory pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemStage {
@@ -97,6 +112,9 @@ pub struct RobEntry {
     /// Sources whose producer has not issued yet (wakeup index; the
     /// issue scans skip the entry while this is non-zero).
     pub waiting_srcs: u16,
+    /// Queue the entry currently waits in (updated when the VLE pipe
+    /// moves a vector compute from the M to the V queue).
+    pub qkind: QueueKind,
 }
 
 impl RobEntry {
@@ -248,6 +266,7 @@ mod tests {
             eliminated: false,
             mispredicted: false,
             waiting_srcs: 0,
+            qkind: QueueKind::S,
         }
     }
 

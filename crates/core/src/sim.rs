@@ -1,4 +1,8 @@
-//! The OOOVA engine.
+//! The OOOVA engine: machine state, the cycle driver, and the shared
+//! timing/wakeup infrastructure. The pipeline stages themselves live
+//! in [`crate::stages`] — one module per stage — and the module docs
+//! there carry the stage-graph diagram and the "how a cycle executes"
+//! walkthrough.
 //!
 //! Pipeline per paper §2.2 (Figure 1/2): in-order fetch (with BTB +
 //! return stack) and decode/rename, four issue queues (A, S, V, M), a
@@ -9,83 +13,68 @@
 //! Dynamic load elimination (§6) runs at the Dependence stage, where the
 //! modified pipeline (Figure 10) also renames vector registers.
 //!
-//! # Simulation engines: naive stepping vs event-driven cycle skipping
+//! # Simulation engines
 //!
-//! The original engine ([`Stepper::Naive`]) advances `now` one cycle at
-//! a time and re-runs every pipeline phase each cycle. With 50–100-cycle
-//! memory latencies and 128-element streams, the overwhelming majority
-//! of cycles change nothing — every queue scan comes up empty — yet
-//! still pay the full polling cost.
+//! [`Stepper::Naive`] advances `now` one cycle at a time and re-runs
+//! every pipeline stage each cycle — slow, but trivially correct, and
+//! kept as the parity oracle.
 //!
-//! The event-driven engine ([`Stepper::EventDriven`], the default)
-//! removes that dead work while staying **bit-for-bit identical** in
-//! every [`SimStats`] counter. Three mechanisms:
+//! [`Stepper::EventDriven`] (the default) is the stage-graph engine.
+//! It is **bit-for-bit identical** in every [`SimStats`] counter, via
+//! four mechanisms:
 //!
-//! 1. **Cycle skipping.** Each cycle runs the same phase sequence as the
-//!    naive stepper, but tracks whether any phase mutated machine state
-//!    (`progressed`). A cycle with no mutation is *dead*: because every
-//!    phase is a deterministic function of (state, `now`) and every
-//!    `now` comparison is against an enumerable set of future times (FU
-//!    free times, register avail/read-port times, bus release, memory
-//!    completions, fetch resume, deferred BTB updates), the machine
-//!    provably re-enters the same dead cycle until the earliest such
-//!    time. The skip target comes first from a **monotone min-heap of
-//!    event times**: every site that writes a future time
-//!    (`set_avail`, FU and bus reservations, read-port claims, the ROB
-//!    head's completion, fetch resume, BTB updates) also notes it —
-//!    plus the `+1` variants chained/indexed consumers compare against
-//!    — via [`OooSim::note_event`] (staged in a plain `Vec` during
+//! 1. **Active-stage masking.** A progress cycle runs only the stages
+//!    whose activity bit or wake time fires (see
+//!    [`crate::stages::Scheduler`]); the expensive issue scans sleep
+//!    whenever a failed scan proves nothing can issue before a known
+//!    time or a cross-stage edge.
+//! 2. **Cycle skipping.** A cycle in which no stage mutates state is
+//!    *dead*: because every stage is a deterministic function of
+//!    (state, `now`) and every `now` comparison is against an
+//!    enumerable set of future times, the machine provably re-enters
+//!    the same dead cycle until the earliest such time. The skip
+//!    target comes first from a **monotone min-heap of event times**
+//!    fed by [`OooSim::note_event`] (staged in a plain `Vec` during
 //!    progress cycles; heapified only when a dead cycle needs a
-//!    target), and a dead cycle pops stale entries and jumps `now` to
-//!    the smallest future one in O(log n) with no state rescan. A
-//!    popped time may wake the machine *early* (the guarded action is
-//!    still blocked on a state condition); when that happens the old
-//!    full rescan — [`OooSim::next_event_scan`], exact but
-//!    O(queue entries) — takes over for the rest of that span and
-//!    purges the heap candidates it disproves, so a span costs at most
-//!    one stale phase walk. (Measured on the ten-kernel suite this
-//!    hybrid matters: pure heap wake-ups walk ~2.5× more dead cycles
-//!    than the scan because completion/port-release times often land
-//!    mid-span; and the pure rescan never actually grows with
-//!    `queue_slots` because the 64-entry ROB bounds queue occupancy —
-//!    see `BENCH_oov.json`'s `q128` columns.) Debug builds assert the
-//!    heap never wakes *later* than the scan — a missed event would
-//!    desynchronise the engines. Per-cycle stall counters
-//!    (rename/queue/ROB) are replayed arithmetically for the skipped
-//!    span — a dead cycle increments them by a state-dependent
-//!    constant.
-//! 2. **Indexed wakeup.** Instead of polling `sources_ready` over every
-//!    queue entry each cycle, each entry counts its not-yet-produced
-//!    sources (`RobEntry::waiting_srcs`); a per-`(RegClass, PhysReg)`
-//!    waiter index decrements the count when the producer's
-//!    `set_avail` fires. Issue scans skip entries with a non-zero count
-//!    without touching the register-timing tables. (Entries with a zero
-//!    count still perform the full time-based readiness check, so issue
-//!    order and priority are unchanged.)
-//! 3. **Tombstoned slot queues.** Mid-queue removal on issue used
-//!    `VecDeque::retain` — O(n) per removal. [`crate::queue::SlotQueue`]
-//!    tombstones the slot and compacts lazily, preserving program order
-//!    for the positional disambiguation scans.
+//!    target); a premature wake hands the span to the exact state
+//!    rescan — [`OooSim::next_event_scan`], the composition of the
+//!    per-stage wake scans — which also purges disproved heap
+//!    candidates. (Measured on the ten-kernel suite this hybrid
+//!    matters: pure heap wake-ups walk ~2.5× more dead cycles than the
+//!    scan, and the pure rescan never actually grows with
+//!    `queue_slots` because the 64-entry ROB bounds queue occupancy.)
+//!    Debug builds assert the heap never wakes *later* than the scan.
+//!    Per-cycle stall counters (rename/queue/ROB) are replayed
+//!    arithmetically for the skipped span.
+//! 3. **Fused front-end bursts.** When the whole back end is provably
+//!    asleep, fetch and dispatch run in a tight loop (up to
+//!    `OooConfig::frontend_batch` cycles) touching no back-end state.
+//! 4. **Indexed wakeup.** Each queue entry counts its
+//!    not-yet-produced sources ([`RobEntry::waiting_srcs`]); a
+//!    per-`(RegClass, PhysReg)` waiter index decrements the count when
+//!    the producer's [`OooSim::set_avail`] fires, and the decrement to
+//!    zero re-arms exactly that entry's issue stage. Issue scans skip
+//!    entries with a non-zero count. (The naive oracle polls
+//!    `sources_ready` without the index, so the parity grid validates
+//!    the index itself rather than sharing its bugs.)
 //!
-//! The naive stepper remains the oracle: the `engine_parity` test in the
-//! facade crate asserts identical `SimStats` across the full
-//! kernel × commit-mode × load-elimination grid.
+//! Mid-queue removal uses tombstoned [`crate::queue::SlotQueue`]s, so
+//! program order is preserved for the positional disambiguation scans
+//! while removal stays O(1) amortised.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
-use oov_isa::{
-    ArchReg, CommitMode, FuClass, Instruction, LoadElimMode, MemKind, OooConfig, Opcode, RegClass,
-    Trace,
-};
+use oov_isa::{CommitMode, Instruction, LoadElimMode, OooConfig, RegClass, Trace};
 use oov_mem::{AddressBus, ScalarCache, TrafficCounter};
-use oov_stats::{OccupancyTracker, SimStats, VectorUnit};
+use oov_stats::{OccupancyTracker, SimStats};
 
 use crate::btb::{Btb, ReturnStack};
 use crate::queue::SlotQueue;
 use crate::rename::{PhysReg, RenameUnit};
-use crate::rob::{DstInfo, EntryState, MemStage, Rob, RobEntry};
-use crate::tags::{Tag, TagUnit};
+use crate::rob::{Rob, RobEntry};
+use crate::stages::{Scheduler, StageId};
+use crate::tags::TagUnit;
 use crate::verify::Checker;
 
 /// Simulation-engine selection for [`OooSim`].
@@ -97,17 +86,19 @@ pub enum Stepper {
     /// queues (it polls pure `sources_ready`), so the parity tests
     /// validate the index rather than sharing its bugs.
     Naive,
-    /// Skip provably-dead cycle spans and use the indexed wakeup path.
-    /// Produces bit-identical [`SimStats`] to [`Stepper::Naive`].
+    /// The stage-graph engine: active-stage masking on progress
+    /// cycles, dead-cycle skipping via the event heap, fused front-end
+    /// bursts and the indexed wakeup path. Produces bit-identical
+    /// [`SimStats`] to [`Stepper::Naive`].
     #[default]
     EventDriven,
 }
 
-const FETCH_BUF_DEPTH: usize = 8;
+pub(crate) const FETCH_BUF_DEPTH: usize = 8;
 /// Commits per watchdog window before declaring deadlock.
 const WATCHDOG_CYCLES: u64 = 2_000_000;
 
-fn class_ix(c: RegClass) -> usize {
+pub(crate) fn class_ix(c: RegClass) -> usize {
     match c {
         RegClass::A => 0,
         RegClass::S => 1,
@@ -118,7 +109,7 @@ fn class_ix(c: RegClass) -> usize {
 
 /// Timing state of the physical register files.
 #[derive(Debug)]
-struct RegTiming {
+pub(crate) struct RegTiming {
     /// Cycle the first element is readable by a chained consumer.
     avail_first: [Vec<u64>; 4],
     /// Cycle the last element is written.
@@ -126,7 +117,7 @@ struct RegTiming {
     /// Whether the producing instruction has issued (times valid).
     produced: [Vec<bool>; 4],
     /// Dedicated per-register read port (V class only).
-    read_port_free: Vec<u64>,
+    pub(crate) read_port_free: Vec<u64>,
 }
 
 impl RegTiming {
@@ -159,19 +150,19 @@ impl RegTiming {
         self.produced[ci][phys as usize] = true;
     }
 
-    fn clear(&mut self, class: RegClass, phys: PhysReg) {
+    pub(crate) fn clear(&mut self, class: RegClass, phys: PhysReg) {
         self.produced[class_ix(class)][phys as usize] = false;
     }
 
-    fn is_produced(&self, class: RegClass, phys: PhysReg) -> bool {
+    pub(crate) fn is_produced(&self, class: RegClass, phys: PhysReg) -> bool {
         self.produced[class_ix(class)][phys as usize]
     }
 
-    fn first(&self, class: RegClass, phys: PhysReg) -> u64 {
+    pub(crate) fn first(&self, class: RegClass, phys: PhysReg) -> u64 {
         self.avail_first[class_ix(class)][phys as usize]
     }
 
-    fn last(&self, class: RegClass, phys: PhysReg) -> u64 {
+    pub(crate) fn last(&self, class: RegClass, phys: PhysReg) -> u64 {
         self.avail_last[class_ix(class)][phys as usize]
     }
 }
@@ -190,66 +181,91 @@ pub struct RunResult {
 /// The out-of-order vector architecture simulator.
 #[derive(Debug)]
 pub struct OooSim<'t> {
-    cfg: OooConfig,
-    trace: &'t Trace,
-    now: u64,
-    rename: RenameUnit,
-    rob: Rob,
-    timing: RegTiming,
-    stepper: Stepper,
-    /// Set by any phase that mutates machine state this cycle; a cycle
+    pub(crate) cfg: OooConfig,
+    pub(crate) trace: &'t Trace,
+    pub(crate) now: u64,
+    pub(crate) rename: RenameUnit,
+    pub(crate) rob: Rob,
+    pub(crate) timing: RegTiming,
+    pub(crate) stepper: Stepper,
+    /// Set by any stage that mutates machine state this cycle; a cycle
     /// that ends with this still `false` is dead and skippable.
-    progressed: bool,
+    pub(crate) progressed: bool,
+    /// Per-cycle word of [`StageId`] bits, set by
+    /// [`OooSim::progress`]; folded into the per-stage counters at
+    /// cycle close.
+    pub(crate) progress_word: u16,
+    /// Stage-activity scheduler (consulted by the event engine only;
+    /// maintained cheaply in both).
+    pub(crate) sched: Scheduler,
     /// Wakeup index: per `(class, phys)`, sequence numbers of queue
     /// entries waiting for that register to be produced.
-    waiters: [Vec<Vec<u64>>; 4],
+    pub(crate) waiters: [Vec<Vec<u64>>; 4],
     /// Monotone min-heap of future event times (event-driven stepper
     /// only). Every write of a future time also records it; dead
     /// cycles pop their skip target instead of rescanning the queues.
-    events: BinaryHeap<Reverse<u64>>,
+    pub(crate) events: BinaryHeap<Reverse<u64>>,
     /// Staging buffer for event times noted during progress cycles.
     /// Heap maintenance is deferred to the next dead cycle, so the
     /// common case (a progress cycle) pays one `Vec::push` per noted
     /// time instead of a heap sift.
-    pending_events: Vec<u64>,
+    pub(crate) pending_events: Vec<u64>,
     /// `true` while the latest heap wake-up has not been vindicated by
     /// a progress cycle — the signal that the exact state scan should
     /// choose the next skip target (see [`OooSim::pop_next_event`]).
-    last_wake_stale: bool,
-    q_a: SlotQueue,
-    q_s: SlotQueue,
-    q_v: SlotQueue,
-    q_m: SlotQueue,
+    pub(crate) last_wake_stale: bool,
+    /// The `(head seq, complete time)` most recently noted by commit,
+    /// so an incomplete head is pushed to the event heap once instead
+    /// of every cycle it blocks.
+    pub(crate) noted_head: (u64, u64),
+    /// Wake accumulator for the currently-running issue stage: the
+    /// scan notes each rejected entry's exact ready time as it walks,
+    /// so a failed fire yields the stage's `next_wake` without a
+    /// second queue pass.
+    pub(crate) scan_wake: u64,
+    /// Per-stage progress-cycle counters, indexed by [`StageId`]
+    /// discriminant; folded into `stats.stages` when the run ends.
+    pub(crate) stage_cycle_counts: [u64; 9],
+    pub(crate) q_a: SlotQueue,
+    pub(crate) q_s: SlotQueue,
+    pub(crate) q_v: SlotQueue,
+    pub(crate) q_m: SlotQueue,
     /// The three memory-pipe stage registers (ROB sequence numbers).
-    stage: [Option<u64>; 3],
-    fetch_idx: usize,
-    fetch_buf: VecDeque<usize>,
+    pub(crate) stage: [Option<u64>; 3],
+    /// Queue-M entries (sequence numbers, dispatch order) not yet
+    /// pulled into the memory pipe. The pipe admits strictly in
+    /// dispatch order, so the front of this FIFO *is* the oldest
+    /// `MemStage::None` entry — an O(1) replacement for scanning
+    /// queue M at every pull.
+    pub(crate) pipe_pending: VecDeque<u64>,
+    pub(crate) fetch_idx: usize,
+    pub(crate) fetch_buf: VecDeque<usize>,
     /// Trace index of the unresolved mispredicted control transfer.
-    fetch_blocked: Option<usize>,
+    pub(crate) fetch_blocked: Option<usize>,
     /// Cycle at which fetch resumes after the blocking branch resolves.
-    fetch_resume_at: Option<u64>,
-    btb: Btb,
-    ras: ReturnStack,
+    pub(crate) fetch_resume_at: Option<u64>,
+    pub(crate) btb: Btb,
+    pub(crate) ras: ReturnStack,
     /// Deferred BTB updates applied at branch resolution.
-    btb_updates: Vec<(u64, u64, bool, u64)>,
-    fu1_free: u64,
-    fu2_free: u64,
-    bus: AddressBus,
-    traffic: TrafficCounter,
-    occ: OccupancyTracker,
-    cache: Option<ScalarCache>,
-    tags: TagUnit,
+    pub(crate) btb_updates: Vec<(u64, u64, bool, u64)>,
+    pub(crate) fu1_free: u64,
+    pub(crate) fu2_free: u64,
+    pub(crate) bus: AddressBus,
+    pub(crate) traffic: TrafficCounter,
+    pub(crate) occ: OccupancyTracker,
+    pub(crate) cache: Option<ScalarCache>,
+    pub(crate) tags: TagUnit,
     /// Eliminated scalar loads waiting for their provider's value:
     /// `(class, dst_phys, provider_class, provider_phys, min_time)`.
-    pending_copies: Vec<(RegClass, PhysReg, RegClass, PhysReg, u64)>,
-    committed: u64,
-    max_complete: u64,
-    stats: SimStats,
+    pub(crate) pending_copies: Vec<(RegClass, PhysReg, RegClass, PhysReg, u64)>,
+    pub(crate) committed: u64,
+    pub(crate) max_complete: u64,
+    pub(crate) stats: SimStats,
     /// Optional value-level checker for load elimination.
-    checker: Option<Checker>,
+    pub(crate) checker: Option<Checker>,
     /// Inject a precise trap at this trace index (late commit only).
-    fault_at: Option<usize>,
-    faults_taken: u64,
+    pub(crate) fault_at: Option<usize>,
+    pub(crate) faults_taken: u64,
 }
 
 impl<'t> OooSim<'t> {
@@ -278,6 +294,8 @@ impl<'t> OooSim<'t> {
             rob: Rob::new(cfg.rob_entries),
             stepper: Stepper::default(),
             progressed: false,
+            progress_word: 0,
+            sched: Scheduler::new(),
             waiters: [
                 vec![Vec::new(); n[0]],
                 vec![Vec::new(); n[1]],
@@ -287,11 +305,15 @@ impl<'t> OooSim<'t> {
             events: BinaryHeap::with_capacity(64),
             pending_events: Vec::with_capacity(64),
             last_wake_stale: false,
+            noted_head: (u64::MAX, u64::MAX),
+            scan_wake: u64::MAX,
+            stage_cycle_counts: [0; 9],
             q_a: SlotQueue::new(),
             q_s: SlotQueue::new(),
             q_v: SlotQueue::new(),
             q_m: SlotQueue::new(),
             stage: [None; 3],
+            pipe_pending: VecDeque::new(),
             fetch_idx: 0,
             fetch_buf: VecDeque::new(),
             fetch_blocked: None,
@@ -374,30 +396,62 @@ impl<'t> OooSim<'t> {
         let total = self.trace.len() as u64;
         let mut last_commit_cycle = 0;
         let mut last_committed = 0;
+        let masked = self.stepper == Stepper::EventDriven && self.cfg.stage_masking;
         while self.committed < total {
             self.progressed = false;
-            let stalls_before = (
+            let mut stalls_before = (
                 self.stats.rename_stall_cycles,
                 self.stats.queue_stall_cycles,
                 self.stats.rob_stall_cycles,
             );
-            self.apply_btb_updates();
-            self.resolve_pending_copies();
-            self.commit();
-            self.advance_mem_pipe();
-            self.issue_mem();
-            self.issue_vector();
-            self.issue_scalar_queue(true);
-            self.issue_scalar_queue(false);
-            self.dispatch();
-            self.fetch();
+            let mut advanced = false;
+            if masked && self.frontend_only_possible() {
+                // Fused front-end burst: the back end is provably
+                // asleep until at least the next wake, so fetch and
+                // dispatch loop without touching it. The burst ends on
+                // a dead cycle (falling through to the skip path
+                // below), on any condition that could wake the back
+                // end, or after `frontend_batch` cycles.
+                let mut left = self.cfg.frontend_batch;
+                while left > 0 {
+                    if !self.fetch_buf.is_empty() {
+                        self.dispatch();
+                    }
+                    self.fetch();
+                    self.close_cycle();
+                    if !self.progressed {
+                        break;
+                    }
+                    self.last_wake_stale = false;
+                    self.now += 1;
+                    advanced = true;
+                    left -= 1;
+                    if left == 0 || !self.frontend_only_possible() {
+                        break;
+                    }
+                    self.progressed = false;
+                    stalls_before = (
+                        self.stats.rename_stall_cycles,
+                        self.stats.queue_stall_cycles,
+                        self.stats.rob_stall_cycles,
+                    );
+                }
+            } else if masked {
+                self.walk_active();
+                self.close_cycle();
+            } else {
+                self.walk_all();
+                self.close_cycle();
+            }
             if self.stepper == Stepper::Naive || self.progressed {
-                self.last_wake_stale = false;
-                self.now += 1;
+                if !advanced {
+                    self.last_wake_stale = false;
+                    self.now += 1;
+                }
             } else if let Some(t) = self.pop_next_event() {
-                // Dead cycle: no phase mutated state, so cycles
+                // Dead cycle: no stage mutated state, so cycles
                 // `now+1..t` replay it exactly (every `now` comparison
-                // in every phase flips no earlier than `t`). Stall
+                // in every stage flips no earlier than `t`). Stall
                 // counters are the only per-cycle effect; replay them.
                 debug_assert!(t > self.now);
                 let skipped = t - self.now - 1;
@@ -435,6 +489,19 @@ impl<'t> OooSim<'t> {
             }
         }
         let cycles = self.now.max(self.max_complete + 1);
+        let [writeback, commit, mem_pipe, issue_mem, issue_v, issue_a, issue_s, dispatch, fetch] =
+            self.stage_cycle_counts;
+        self.stats.stages = oov_stats::StageCycles {
+            fetch,
+            dispatch,
+            issue_a,
+            issue_s,
+            issue_v,
+            issue_mem,
+            mem_pipe,
+            writeback,
+            commit,
+        };
         self.stats.cycles = cycles;
         self.stats.committed = self.committed;
         self.stats.addr_bus_busy_cycles = self.bus.busy_cycles();
@@ -450,25 +517,135 @@ impl<'t> OooSim<'t> {
         }
     }
 
+    // ----- cycle drivers ----------------------------------------------
+
+    /// The full stage walk (downstream first): the naive oracle's — and
+    /// the unmasked event engine's — every-cycle behaviour.
+    fn walk_all(&mut self) {
+        self.apply_btb_updates();
+        self.resolve_pending_copies();
+        self.commit();
+        self.advance_mem_pipe();
+        self.issue_mem();
+        self.issue_vector();
+        self.issue_scalar_queue(true);
+        self.issue_scalar_queue(false);
+        self.dispatch();
+        self.fetch();
+    }
+
+    /// The masked stage walk: same order as [`OooSim::walk_all`], but
+    /// each stage runs only when its exact predicate holds (cheap
+    /// stages) or its activity bit / wake time fires (issue stages).
+    fn walk_active(&mut self) {
+        if self.sched.btb_wake <= self.now {
+            self.apply_btb_updates();
+        }
+        if !self.pending_copies.is_empty() {
+            self.resolve_pending_copies();
+        }
+        if !self.rob.is_empty() {
+            self.commit();
+        }
+        if self.mem_pipe_active() {
+            self.advance_mem_pipe();
+        }
+        self.run_issue_stage(StageId::IssueMem);
+        self.run_issue_stage(StageId::IssueVector);
+        self.run_issue_stage(StageId::IssueA);
+        self.run_issue_stage(StageId::IssueS);
+        if !self.fetch_buf.is_empty() {
+            self.dispatch();
+        }
+        self.fetch();
+    }
+
+    /// Runs one masked issue stage if it fires, then records the
+    /// outcome: progress keeps it active; failure puts it to sleep
+    /// until the wake the scan accumulated on the way (each rejected
+    /// entry notes its exact ready time via
+    /// [`OooSim::note_scan_wake`]), so a failed fire costs no second
+    /// queue pass.
+    fn run_issue_stage(&mut self, stage: StageId) {
+        if !self.sched.fires(stage, self.now) {
+            return;
+        }
+        self.scan_wake = u64::MAX;
+        match stage {
+            StageId::IssueMem => self.issue_mem(),
+            StageId::IssueVector => self.issue_vector(),
+            StageId::IssueA => self.issue_scalar_queue(true),
+            StageId::IssueS => self.issue_scalar_queue(false),
+            _ => unreachable!("not a masked stage"),
+        }
+        let progressed = self.progress_word & stage.bit() != 0;
+        let wake = if progressed { u64::MAX } else { self.scan_wake };
+        self.sched.ran(stage, progressed, wake);
+    }
+
+    /// Notes a rejected entry's ready time into the running issue
+    /// stage's wake accumulator. Times that have already passed carry
+    /// no information (the rejection was a state condition, covered by
+    /// edges) and are dropped.
+    pub(crate) fn note_scan_wake(&mut self, t: u64) {
+        if t > self.now && t < self.scan_wake {
+            self.scan_wake = t;
+        }
+    }
+
+    /// `true` when every back-end stage is provably inert at `now`:
+    /// the issue stages are asleep with no fired wake, no copies or
+    /// BTB updates are pending, the memory pipe is empty and commit
+    /// cannot retire the head. Only then may the front-end burst run.
+    fn frontend_only_possible(&self) -> bool {
+        self.sched.issue_stages_asleep(self.now)
+            && self.pending_copies.is_empty()
+            && self.sched.btb_wake > self.now
+            && !self.mem_pipe_active()
+            && self.commit_ready_time() > self.now
+    }
+
+    /// Marks `stage` as having mutated machine state this cycle.
+    pub(crate) fn progress(&mut self, stage: StageId) {
+        self.progressed = true;
+        self.progress_word |= stage.bit();
+    }
+
+    /// Folds the cycle's progress word into the per-stage counters
+    /// (an index-addressed array here; named [`oov_stats::StageCycles`]
+    /// fields at the end of the run).
+    fn close_cycle(&mut self) {
+        let mut w = self.progress_word;
+        if w == 0 {
+            return;
+        }
+        self.progress_word = 0;
+        self.stats.progress_cycles += 1;
+        while w != 0 {
+            self.stage_cycle_counts[w.trailing_zeros() as usize] += 1;
+            w &= w - 1;
+        }
+    }
+
     // ----- helpers ----------------------------------------------------
 
-    fn elim_on(&self) -> bool {
+    pub(crate) fn elim_on(&self) -> bool {
         self.cfg.load_elim != LoadElimMode::Off
     }
 
-    fn vle_on(&self) -> bool {
+    pub(crate) fn vle_on(&self) -> bool {
         matches!(
             self.cfg.load_elim,
             LoadElimMode::SleVle | LoadElimMode::SleVleSse
         )
     }
 
-    fn sse_on(&self) -> bool {
+    pub(crate) fn sse_on(&self) -> bool {
         self.cfg.load_elim == LoadElimMode::SleVleSse
     }
 
     /// Does this instruction pass through the memory pipe?
-    fn uses_mem_pipe(&self, inst: &Instruction) -> bool {
+    pub(crate) fn uses_mem_pipe(&self, inst: &Instruction) -> bool {
         if inst.op.is_mem() {
             return true;
         }
@@ -484,7 +661,12 @@ impl<'t> OooSim<'t> {
 
     /// Earliest cycle a source operand can feed this consumer, or `None`
     /// if its producer has not issued yet.
-    fn src_ready_time(&self, class: RegClass, phys: PhysReg, chained: bool) -> Option<u64> {
+    pub(crate) fn src_ready_time(
+        &self,
+        class: RegClass,
+        phys: PhysReg,
+        chained: bool,
+    ) -> Option<u64> {
         if !self.timing.is_produced(class, phys) {
             return None;
         }
@@ -497,7 +679,7 @@ impl<'t> OooSim<'t> {
     }
 
     /// Readiness of all sources of an entry for vector-rate consumption.
-    fn sources_ready(&self, e: &RobEntry, chained: bool) -> bool {
+    pub(crate) fn sources_ready(&self, e: &RobEntry, chained: bool) -> bool {
         for &(class, phys) in &e.srcs {
             match self.src_ready_time(class, phys, chained && !class.is_scalar()) {
                 Some(t) if t <= self.now => {
@@ -515,8 +697,11 @@ impl<'t> OooSim<'t> {
         true
     }
 
-    /// Records a future event time (event-driven stepper only; the
-    /// naive oracle must not pay for the pushes).
+    /// Records a future event time for the *unmasked* event engine
+    /// (the naive oracle and the stage-graph scheduler must not pay
+    /// for the pushes: under masking, the cached per-stage wakes
+    /// already answer the dead-cycle question exactly, so the heap is
+    /// bypassed entirely — see [`OooSim::pop_next_event`]).
     ///
     /// Times at or before `now` are dropped: the dead-cycle argument
     /// only ever needs times at which a `now` comparison can *flip*,
@@ -525,8 +710,8 @@ impl<'t> OooSim<'t> {
     /// when a dead cycle actually needs a skip target, so progress
     /// cycles — the overwhelming majority on scalar-heavy kernels —
     /// pay a plain push, not a heap sift.
-    fn note_event(&mut self, t: u64) {
-        if self.stepper != Stepper::EventDriven || t <= self.now {
+    pub(crate) fn note_event(&mut self, t: u64) {
+        if self.stepper != Stepper::EventDriven || self.cfg.stage_masking || t <= self.now {
             return;
         }
         self.pending_events.push(t);
@@ -538,7 +723,7 @@ impl<'t> OooSim<'t> {
     /// discard entries that have already passed, and wake at the
     /// earliest surviving candidate — O(log n), no state rescan. A
     /// candidate can be *early* (its guarded action is still blocked
-    /// on something else): the woken cycle walks the phases, proves
+    /// on something else): the woken cycle walks the stages, proves
     /// dead again, and lands back here with `last_wake_stale` set. In
     /// that case the exact (but O(queue-entries)) state scan takes
     /// over for this span, and every heap candidate the scan proves
@@ -548,6 +733,14 @@ impl<'t> OooSim<'t> {
     /// against the scan: waking early is harmless, waking *late* would
     /// mean a push site is missing and the engines would diverge.
     fn pop_next_event(&mut self) -> Option<u64> {
+        // Stage-graph mode: the cached per-stage wakes plus the O(1)
+        // head/front-end rescan *are* the idle path — exact, heapless.
+        // The heap below serves the unmasked ablation engine
+        // (`stage_masking = false`), where the full state rescan is
+        // O(queue occupancy) and worth amortising.
+        if self.cfg.stage_masking {
+            return self.next_event_cached();
+        }
         let now = self.now;
         self.events.extend(
             self.pending_events
@@ -576,7 +769,9 @@ impl<'t> OooSim<'t> {
         let target = if self.last_wake_stale || heap_t.is_none() {
             // The previous heap wake-up was premature (or the heap is
             // empty): ask the state scan for the exact next event and
-            // drop every heap candidate it disproves.
+            // drop every heap candidate it disproves. (Masked runs
+            // never reach this point — they returned the cached scan
+            // above.)
             let s = self.next_event_scan();
             if let Some(s) = s {
                 while let Some(&Reverse(t)) = self.events.peek() {
@@ -608,7 +803,10 @@ impl<'t> OooSim<'t> {
     /// chained consumption reads `first + 1` (non-scalar classes
     /// only), and indexed gathers wait for `last + 1` (index vectors
     /// are always V class).
-    fn set_avail(&mut self, class: RegClass, phys: PhysReg, first: u64, last: u64) {
+    ///
+    /// Scheduler edge: an entry whose outstanding-source count hits
+    /// zero re-arms its queue's issue stage.
+    pub(crate) fn set_avail(&mut self, class: RegClass, phys: PhysReg, first: u64, last: u64) {
         self.note_event(last);
         if !class.is_scalar() {
             self.note_event(first + 1);
@@ -617,20 +815,28 @@ impl<'t> OooSim<'t> {
             }
         }
         self.timing.set_avail(class, phys, first, last);
-        let woken = std::mem::take(&mut self.waiters[class_ix(class)][phys as usize]);
+        let mut woken = std::mem::take(&mut self.waiters[class_ix(class)][phys as usize]);
+        // Squashed entries resolve to `None`; sequence numbers are
+        // never reused, so a stale wake is simply dropped.
+        woken.retain(|&seq| {
+            self.rob
+                .get_mut(seq)
+                .map(|e| {
+                    e.waiting_srcs = e.waiting_srcs.saturating_sub(1);
+                    e.waiting_srcs == 0
+                })
+                .unwrap_or(false)
+        });
         for seq in woken {
-            // Squashed entries resolve to `None`; sequence numbers are
-            // never reused, so a stale wake is simply dropped.
-            if let Some(e) = self.rob.get_mut(seq) {
-                e.waiting_srcs = e.waiting_srcs.saturating_sub(1);
-            }
+            self.merge_entry_wake(seq);
         }
     }
 
     /// Counts the entry's not-yet-produced sources and registers it in
     /// the wakeup index. Call once, after `srcs` is final (dispatch, or
-    /// stage 3 for the VLE late-rename path).
-    fn register_waits(&mut self, seq: u64) {
+    /// stage 3 for the VLE late-rename path). An entry dispatched with
+    /// every source already produced arms its queue's issue stage.
+    pub(crate) fn register_waits(&mut self, seq: u64) {
         let Some(e) = self.rob.get(seq) else { return };
         let srcs = e.srcs.clone();
         let mut waiting = 0u16;
@@ -643,25 +849,153 @@ impl<'t> OooSim<'t> {
         if let Some(e) = self.rob.get_mut(seq) {
             e.waiting_srcs = waiting;
         }
+        if waiting == 0 {
+            self.merge_entry_wake(seq);
+        }
     }
 
-    /// Earliest future cycle at which any phase's behaviour can change,
+    /// The timed half of a wakeup edge: computes the exact earliest
+    /// cycle at which `seq` could pass its issue stage's time-based
+    /// checks (mirroring the per-entry wake-scan bodies) and lowers
+    /// that stage's wake to it — instead of arming the stage for an
+    /// immediate scan that would mostly fail. `u64::MAX` (an
+    /// outstanding source, a pre-`WaitDisamb` memory entry) merges
+    /// nothing: a later edge covers those.
+    pub(crate) fn merge_entry_wake(&mut self, seq: u64) {
+        let Some(e) = self.rob.get(seq) else { return };
+        let stage = match e.qkind {
+            crate::rob::QueueKind::A => StageId::IssueA,
+            crate::rob::QueueKind::S => StageId::IssueS,
+            crate::rob::QueueKind::V => StageId::IssueVector,
+            crate::rob::QueueKind::M => StageId::IssueMem,
+        };
+        let t = self.entry_ready_time(e);
+        if t != u64::MAX {
+            self.sched.merge_wake(stage, t);
+        }
+    }
+
+    /// Earliest cycle `e` could pass its issue stage's time-based
+    /// checks, exact at call time; `u64::MAX` when only a later edge
+    /// can help. State conditions (disambiguation, the late-commit
+    /// head rule) are not modelled here — a merged wake may therefore
+    /// fire early and fail, which re-derives the stage's wake from the
+    /// full scan.
+    pub(crate) fn entry_ready_time(&self, e: &RobEntry) -> u64 {
+        use oov_isa::{FuClass, MemKind, Opcode};
+        match e.qkind {
+            crate::rob::QueueKind::A | crate::rob::QueueKind::S => {
+                let mut ready = 0u64;
+                for &(class, phys) in &e.srcs {
+                    if !self.timing.is_produced(class, phys) {
+                        return u64::MAX;
+                    }
+                    ready = ready.max(self.timing.last(class, phys));
+                }
+                ready
+            }
+            crate::rob::QueueKind::V => {
+                let mut ready = 0u64;
+                for &(class, phys) in &e.srcs {
+                    let Some(t) = self.src_ready_time(class, phys, !class.is_scalar()) else {
+                        return u64::MAX;
+                    };
+                    ready = ready.max(t);
+                    if class == RegClass::V {
+                        ready = ready.max(self.timing.read_port_free[phys as usize]);
+                    }
+                }
+                let fu = if e.op.fu_class() == FuClass::VecFu2Only {
+                    self.fu2_free
+                } else {
+                    self.fu1_free.min(self.fu2_free)
+                };
+                ready.max(fu)
+            }
+            crate::rob::QueueKind::M => {
+                if e.mem_stage != crate::rob::MemStage::WaitDisamb || e.waiting_srcs > 0 {
+                    return u64::MAX;
+                }
+                let mut ready = 0u64;
+                let mut bypasses_bus = false;
+                if let Some(mem) = e.mem {
+                    if mem.kind == MemKind::Indexed {
+                        let idx_pos = usize::from(e.op == Opcode::VScatter);
+                        if let Some(&(c, p)) = e.srcs.get(idx_pos) {
+                            if !self.timing.is_produced(c, p) {
+                                return u64::MAX;
+                            }
+                            ready = ready.max(self.timing.last(c, p) + 1);
+                        }
+                    }
+                    bypasses_bus = e.op == Opcode::SLoad
+                        && self
+                            .cache
+                            .as_ref()
+                            .map(|c| c.peek_load(mem.base))
+                            .unwrap_or(false);
+                }
+                if e.is_store() {
+                    if let Some(&(c, p)) = e.srcs.first() {
+                        let Some(t) = self.src_ready_time(c, p, true) else {
+                            return u64::MAX;
+                        };
+                        ready = ready.max(t);
+                    }
+                }
+                if !bypasses_bus {
+                    ready = ready.max(self.bus.free_at());
+                }
+                ready
+            }
+        }
+    }
+
+    /// Registers a `WaitDisamb` entry's *issue-checked* sources — a
+    /// store's chained data register, a gather/scatter's index vector —
+    /// in the wakeup index, so their production re-arms memory issue
+    /// precisely (queue-M entries otherwise bypass the index: their
+    /// readiness is checked per-operand at issue, not via
+    /// `waiting_srcs`). Addressing operands are not registered; ranges
+    /// come from the trace and gate nothing at issue.
+    pub(crate) fn register_mem_waits(&mut self, seq: u64) {
+        let Some(e) = self.rob.get(seq) else { return };
+        let mut checked: [Option<(RegClass, PhysReg)>; 2] = [None, None];
+        if e.is_store() {
+            checked[0] = e.srcs.first().copied();
+        }
+        if e.mem.map(|m| m.kind == oov_isa::MemKind::Indexed) == Some(true) {
+            let idx_pos = usize::from(e.op == oov_isa::Opcode::VScatter);
+            let idx = e.srcs.get(idx_pos).copied();
+            if idx != checked[0] {
+                checked[1] = idx;
+            }
+        }
+        let mut waiting = 0u16;
+        for (class, phys) in checked.into_iter().flatten() {
+            if !self.timing.is_produced(class, phys) {
+                waiting += 1;
+                self.waiters[class_ix(class)][phys as usize].push(seq);
+            }
+        }
+        if let Some(e) = self.rob.get_mut(seq) {
+            e.waiting_srcs = waiting;
+        }
+    }
+
+    /// Earliest future cycle at which any stage's behaviour can change,
     /// given that the cycle just simulated was dead (mutated nothing),
-    /// computed by a full rescan of the machine state.
+    /// computed by a full rescan of the machine state — the composition
+    /// of the per-stage wake scans plus the front end.
     ///
-    /// Every `now` comparison in the phase code reads one of the times
-    /// enumerated here; everything else the phases consult is machine
+    /// Every `now` comparison in the stage code reads one of the times
+    /// enumerated here; everything else the stages consult is machine
     /// state, which by assumption only changes in progress cycles. A
     /// candidate may wake the machine early (the guarded action is still
     /// blocked on another condition) — that costs one extra dead-cycle
     /// scan, never correctness. Returns `None` when no future event
     /// exists (a provable deadlock).
-    ///
-    /// This O(queue entries) rescan was the hot path of the skip logic
-    /// before the event heap (it dominated at `queue_slots = 128`); it
-    /// survives as the debug cross-check and the heap-empty fallback in
-    /// [`OooSim::pop_next_event`].
-    fn next_event_scan(&self) -> Option<u64> {
+    pub(crate) fn next_event_scan(&self) -> Option<u64> {
         let now = self.now;
         let mut best = u64::MAX;
         let mut add = |t: u64| {
@@ -669,990 +1003,57 @@ impl<'t> OooSim<'t> {
                 best = t;
             }
         };
-        // Commit: only the ROB head gates progress.
-        if let Some(h) = self.rob.head() {
-            if h.eliminated {
-                if let Some(d) = h.dst {
-                    if self.timing.is_produced(d.class, d.new) {
-                        add(self.timing.last(d.class, d.new));
-                    }
-                }
-            } else if h.issued() {
-                add(h.complete_time);
-            }
-        }
-        // Scalar queues: consumption waits for full completion (`last`).
-        for seq in self.q_a.iter().chain(self.q_s.iter()) {
-            let Some(e) = self.rob.get(seq) else { continue };
-            if e.waiting_srcs > 0 {
-                continue; // woken by `set_avail`, an event elsewhere
-            }
-            for &(class, phys) in &e.srcs {
-                if self.timing.is_produced(class, phys) {
-                    add(self.timing.last(class, phys));
-                }
-            }
-        }
-        // Vector queue: chained consumption, read ports and the FUs.
-        if !self.q_v.is_empty() {
-            add(self.fu1_free);
-            add(self.fu2_free);
-            for seq in self.q_v.iter() {
-                let Some(e) = self.rob.get(seq) else { continue };
-                if e.waiting_srcs > 0 {
-                    continue;
-                }
-                for &(class, phys) in &e.srcs {
-                    if let Some(t) = self.src_ready_time(class, phys, !class.is_scalar()) {
-                        add(t);
-                        if class == RegClass::V {
-                            add(self.timing.read_port_free[phys as usize]);
-                        }
-                    }
-                }
-            }
-        }
-        // Memory queue: bus release, indexed-gather index vectors and
-        // store-data chaining. Disambiguation and the late-commit
-        // head-of-ROB rule are state conditions, resolved by events.
-        if !self.q_m.is_empty() {
-            add(self.bus.free_at());
-            for seq in self.q_m.iter() {
-                let Some(e) = self.rob.get(seq) else { continue };
-                if e.mem_stage != MemStage::WaitDisamb {
-                    continue;
-                }
-                if let Some(mem) = e.mem {
-                    if mem.kind == MemKind::Indexed {
-                        let idx_pos = if e.op == Opcode::VScatter { 1 } else { 0 };
-                        if let Some(&(c, p)) = e.srcs.get(idx_pos) {
-                            if self.timing.is_produced(c, p) {
-                                add(self.timing.last(c, p) + 1);
-                            }
-                        }
-                    }
-                }
-                if e.is_store() {
-                    if let Some(&(c, p)) = e.srcs.first() {
-                        if let Some(t) = self.src_ready_time(c, p, true) {
-                            add(t);
-                        }
-                    }
-                }
-            }
-        }
-        // Front end.
-        if let Some(t) = self.fetch_resume_at {
-            add(t);
-        }
-        for &(t, _, _, _) in &self.btb_updates {
-            add(t);
-        }
+        self.commit_wake_scan(&mut add);
+        self.issue_scalar_wake_scan(true, &mut add);
+        self.issue_scalar_wake_scan(false, &mut add);
+        self.issue_vector_wake_scan(&mut add);
+        self.issue_mem_wake_scan(&mut add);
+        self.frontend_wake_scan(&mut add);
         (best != u64::MAX).then_some(best)
     }
 
-    // ----- cycle phases -----------------------------------------------
-
-    fn apply_btb_updates(&mut self) {
+    /// [`OooSim::next_event_scan`] with the queue rescans replaced by
+    /// the scheduler's cached per-stage wakes.
+    ///
+    /// Reaching a dead cycle under stage masking means every masked
+    /// stage either fired this cycle and failed (recomputing its wake
+    /// just now) or slept through it (its cached wake still valid — an
+    /// edge would have armed it, making the cycle a progress cycle).
+    /// Either way the cached wake is never *later* than a fresh scan —
+    /// it may be earlier when a port/bus/FU reservation has since
+    /// moved out (a spurious early wake, which costs one stale walk
+    /// and is handled by the exact-scan fallback like any premature
+    /// heap pop). Only the O(1) head/front-end times need recomputing,
+    /// so the dead path stops paying O(queue occupancy) per span.
+    ///
+    /// Debug builds assert this never wakes later than the full scan.
+    fn next_event_cached(&self) -> Option<u64> {
         let now = self.now;
-        let mut i = 0;
-        while i < self.btb_updates.len() {
-            if self.btb_updates[i].0 <= now {
-                let (_, pc, taken, target) = self.btb_updates.swap_remove(i);
-                self.btb.update(pc, taken, target);
-                self.progressed = true;
-            } else {
-                i += 1;
+        let mut best = u64::MAX;
+        let mut add = |t: u64| {
+            if t > now && t < best {
+                best = t;
             }
-        }
-    }
-
-    fn resolve_pending_copies(&mut self) {
-        let mut i = 0;
-        while i < self.pending_copies.len() {
-            let (dc, dp, pc_, pp, min_t) = self.pending_copies[i];
-            if self.timing.is_produced(pc_, pp) {
-                let t = self.timing.last(pc_, pp).max(min_t) + 1;
-                self.set_avail(dc, dp, t, t);
-                self.max_complete = self.max_complete.max(t);
-                self.pending_copies.swap_remove(i);
-                self.progressed = true;
-            } else {
-                i += 1;
-            }
-        }
-    }
-
-    fn ready_to_commit(&self, e: &RobEntry) -> bool {
-        if !e.issued() {
-            return false;
-        }
-        if e.eliminated {
-            // Complete when the provider's data is fully available.
-            if let Some(d) = e.dst {
-                return self.timing.is_produced(d.class, d.new)
-                    && self.timing.last(d.class, d.new) <= self.now;
-            }
-            return true;
-        }
-        match self.cfg.commit {
-            CommitMode::Early => {
-                // Vector instructions release state once execution begins.
-                if e.op.is_vector() || e.is_store() {
-                    true
-                } else {
-                    e.complete_time <= self.now
-                }
-            }
-            CommitMode::Late => e.complete_time <= self.now,
-        }
-    }
-
-    fn commit(&mut self) {
-        for _ in 0..self.cfg.commit_width {
-            let Some(head) = self.rob.head() else { return };
-            if let (Some(fault_idx), true) = (self.fault_at, head.issued()) {
-                if head.trace_idx == fault_idx && self.ready_to_commit(head) {
-                    self.take_fault();
-                    return;
-                }
-            }
-            if !self.ready_to_commit(head) {
-                // The head is the only entry whose completion gates
-                // commit; note it here (covers entries that issued
-                // before reaching the head).
-                let pending = (head.issued() && !head.eliminated).then_some(head.complete_time);
-                if let Some(t) = pending {
-                    self.note_event(t);
-                }
-                return;
-            }
-            let e = self.rob.pop().expect("head vanished");
-            if let Some(d) = e.dst {
-                self.rename.table_mut(d.class).release(d.old);
-            }
-            if let Some(c) = &mut self.checker {
-                c.on_commit(e.trace_idx);
-            }
-            self.committed += 1;
-            self.progressed = true;
-        }
-    }
-
-    /// Precise-trap recovery (paper §5): squash everything from the tail
-    /// back to and including the faulting instruction, restoring rename
-    /// state, then restart fetch at the fault point.
-    fn take_fault(&mut self) {
-        let fault_idx = self.fault_at.take().expect("no fault pending");
-        self.faults_taken += 1;
-        self.progressed = true;
-        while let Some(e) = self.rob.pop_tail() {
-            if let Some(d) = e.dst {
-                self.rename
-                    .table_mut(d.class)
-                    .rollback_alloc(d.arch, d.new, d.old);
-            }
-            let done = e.trace_idx == fault_idx;
-            if done {
-                break;
-            }
-        }
-        self.q_a.clear();
-        self.q_s.clear();
-        self.q_v.clear();
-        self.q_m.clear();
-        self.stage = [None; 3];
-        self.fetch_buf.clear();
-        self.fetch_blocked = None;
-        self.fetch_resume_at = None;
-        self.pending_copies.clear();
-        // Conservative: forget all register memory tags.
-        self.tags.clear();
-        self.fetch_idx = fault_idx;
-        if let Some(c) = &mut self.checker {
-            c.on_squash();
-        }
-    }
-
-    fn advance_mem_pipe(&mut self) {
-        // Stage 3 → out.
-        if let Some(seq) = self.stage[2] {
-            if self.stage3_exit(seq) {
-                self.stage[2] = None;
-                self.progressed = true;
-            }
-        }
-        // Stage 2 → 3 (range computed here; nothing blocks).
-        if self.stage[2].is_none() {
-            if let Some(seq) = self.stage[1].take() {
-                if let Some(e) = self.rob.get_mut(seq) {
-                    e.mem_stage = MemStage::S3;
-                }
-                self.stage[2] = Some(seq);
-                self.progressed = true;
-            }
-        }
-        // Stage 1 → 2.
-        if self.stage[1].is_none() {
-            if let Some(seq) = self.stage[0].take() {
-                if let Some(e) = self.rob.get_mut(seq) {
-                    e.mem_stage = MemStage::S2;
-                }
-                self.stage[1] = Some(seq);
-                self.progressed = true;
-            }
-        }
-        // Queue head (not yet in the pipe) → stage 1.
-        if self.stage[0].is_none() {
-            let candidate = self
-                .q_m
-                .iter()
-                .find(|&s| self.rob.get(s).map(|e| e.mem_stage == MemStage::None) == Some(true));
-            if let Some(seq) = candidate {
-                if let Some(e) = self.rob.get_mut(seq) {
-                    e.mem_stage = MemStage::S1;
-                }
-                self.stage[0] = Some(seq);
-                self.progressed = true;
-            }
-        }
-    }
-
-    /// Processes an entry leaving the Dependence stage. Returns `false`
-    /// if it must stall in stage 3 this cycle.
-    fn stage3_exit(&mut self, seq: u64) -> bool {
-        let Some(e) = self.rob.get(seq) else {
-            return true; // squashed
         };
-        let is_mem = e.op.is_mem();
-        let is_vec_compute = !is_mem;
-        let needs_rename = !e.deferred_srcs.is_empty() || e.deferred_dst.is_some();
-
-        if needs_rename {
-            // Late vector rename (VLE pipeline, paper Figure 10).
-            let elim = self.try_vector_eliminate(seq);
-            if elim == Stage3Rename::Stalled {
-                self.stats.rename_stall_cycles += 1;
-                return false;
-            }
-            if elim == Stage3Rename::Eliminated {
-                // Entry fully handled; leaves the M queue.
-                self.q_m.remove(seq);
-                return true;
-            }
+        self.commit_wake_scan(&mut add);
+        self.frontend_wake_scan(&mut add);
+        for stage in [
+            StageId::IssueMem,
+            StageId::IssueVector,
+            StageId::IssueA,
+            StageId::IssueS,
+        ] {
+            debug_assert!(self.sched.is_asleep(stage), "armed stage in a dead cycle");
+            add(self.sched.cached_wake(stage));
         }
-        if is_vec_compute {
-            // Vector compute under VLE: move to the V queue.
-            if self.q_v.len() >= self.cfg.queue_slots {
-                self.stats.queue_stall_cycles += 1;
-                return false;
-            }
-            if let Some(e) = self.rob.get_mut(seq) {
-                e.mem_stage = MemStage::Done;
-            }
-            self.q_m.remove(seq);
-            self.q_v.push_back(seq);
-            self.register_waits(seq);
-            return true;
+        #[cfg(debug_assertions)]
+        if let Some(fresh) = self.next_event_scan() {
+            debug_assert!(
+                best <= fresh,
+                "cached next-event scan missed an event at cycle {now}: cached {best}, fresh {fresh}",
+            );
         }
-        // Memory instruction: tag bookkeeping in program order.
-        if self.elim_on() {
-            if self.try_scalar_eliminate(seq) {
-                self.q_m.remove(seq);
-                return true;
-            }
-            if self.sse_on() && self.try_store_eliminate(seq) {
-                self.q_m.remove(seq);
-                return true;
-            }
-            self.stage3_tag_update(seq);
-        }
-        if let Some(e) = self.rob.get_mut(seq) {
-            e.mem_stage = MemStage::WaitDisamb;
-        }
-        true
-    }
-
-    /// Tag maintenance for a (non-eliminated) memory instruction at the
-    /// Dependence stage: loads tag their destination, stores invalidate
-    /// overlapping tags and tag their data register.
-    fn stage3_tag_update(&mut self, seq: u64) {
-        let Some(e) = self.rob.get(seq) else { return };
-        let Some(mem) = e.mem else { return };
-        let tag = Tag::from_mem(&mem, if e.op.is_vector() { e.vl } else { 1 });
-        if e.op.is_load() {
-            if let Some(d) = e.dst {
-                if d.class != RegClass::Mask {
-                    // Indexed gathers cover a range, not an exact shape;
-                    // never tag them (no exact match is possible anyway).
-                    if mem.kind != MemKind::Indexed {
-                        self.tags.table_mut(d.class).set(d.new, tag);
-                        if let Some(c) = &mut self.checker {
-                            c.on_tag_set(d.class, d.new, e.trace_idx);
-                        }
-                    }
-                }
-            }
-        } else {
-            self.tags.store_invalidate(mem.range_lo, mem.range_hi);
-            if mem.kind != MemKind::Indexed {
-                if let Some(&(class, phys)) = e.srcs.first() {
-                    if class != RegClass::Mask {
-                        self.tags.table_mut(class).set(phys, tag);
-                        if let Some(c) = &mut self.checker {
-                            c.on_store_tag(class, phys, e.trace_idx);
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    /// Redundant (silent) store elimination — the extension the paper
-    /// leaves as future work. If the data register's tag shows it
-    /// mirrors *exactly* the bytes the store would write, memory already
-    /// holds the data and the store is elided. Sound because tags are
-    /// invalidated whenever the mirrored memory is overwritten or the
-    /// register reallocated; the lock-step checker verifies every
-    /// elision against real values.
-    fn try_store_eliminate(&mut self, seq: u64) -> bool {
-        let Some(e) = self.rob.get(seq) else {
-            return false;
-        };
-        if !e.is_store() || e.eliminated {
-            return false;
-        }
-        let Some(mem) = e.mem else { return false };
-        if mem.kind == MemKind::Indexed {
-            return false;
-        }
-        let Some(&(class, phys)) = e.srcs.first() else {
-            return false;
-        };
-        if class == RegClass::Mask {
-            return false;
-        }
-        let vl = if e.op.is_vector() { e.vl } else { 1 };
-        let probe = Tag::from_mem(&mem, vl);
-        if self.tags.table(class).get(phys) != Some(probe) {
-            return false;
-        }
-        let now = self.now;
-        let trace_idx = e.trace_idx;
-        self.note_event(now + 1);
-        let entry = self.rob.get_mut(seq).expect("entry vanished");
-        entry.eliminated = true;
-        entry.state = EntryState::Issued;
-        entry.issue_time = now;
-        entry.complete_time = now + 1;
-        entry.mem_stage = MemStage::Done;
-        self.stats.eliminated_stores += 1;
-        self.stats.eliminated_store_words += u64::from(vl);
-        if let Some(c) = &mut self.checker {
-            c.on_store_elimination(trace_idx, class, phys);
-        }
-        true
-    }
-
-    /// Attempts scalar load elimination (SLE). Returns `true` if the
-    /// load was satisfied by a register copy.
-    fn try_scalar_eliminate(&mut self, seq: u64) -> bool {
-        let Some(e) = self.rob.get(seq) else {
-            return false;
-        };
-        if e.op != Opcode::SLoad || e.eliminated {
-            return false;
-        }
-        let Some(mem) = e.mem else { return false };
-        let Some(d) = e.dst else { return false };
-        let probe = Tag::from_mem(&mem, 1);
-        let Some(provider) = self.tags.table(d.class).find_match(&probe) else {
-            return false;
-        };
-        if provider == d.new {
-            return false;
-        }
-        let now = self.now;
-        let (trace_idx, is_spill) = (e.trace_idx, e.is_spill);
-        // The value is copied between physical registers; the rename
-        // table is untouched (paper §6.1).
-        if self.timing.is_produced(d.class, provider) {
-            let t = self.timing.last(d.class, provider).max(now) + 1;
-            self.set_avail(d.class, d.new, t, t);
-            self.max_complete = self.max_complete.max(t);
-        } else {
-            self.pending_copies
-                .push((d.class, d.new, d.class, provider, now));
-        }
-        self.tags.table_mut(d.class).set(d.new, probe);
-        self.note_event(now + 1);
-        let entry = self.rob.get_mut(seq).expect("entry vanished");
-        entry.eliminated = true;
-        entry.state = EntryState::Issued;
-        entry.issue_time = now;
-        entry.complete_time = now + 1;
-        entry.mem_stage = MemStage::Done;
-        self.stats.eliminated_scalar_loads += 1;
-        let _ = is_spill;
-        if let Some(c) = &mut self.checker {
-            c.on_scalar_elimination(trace_idx, d.class, provider);
-            c.on_tag_set(d.class, d.new, trace_idx);
-        }
-        true
-    }
-
-    /// Outcome of the stage-3 vector rename.
-    fn try_vector_eliminate(&mut self, seq: u64) -> Stage3Rename {
-        let Some(e) = self.rob.get(seq) else {
-            return Stage3Rename::Renamed;
-        };
-        // Resolve deferred sources against the current map.
-        let deferred: Vec<u8> = e.deferred_srcs.clone();
-        let ddst = e.deferred_dst;
-        let op = e.op;
-        let vl = e.vl;
-        let mem = e.mem;
-        let trace_idx = e.trace_idx;
-        let mut resolved: Vec<(RegClass, PhysReg)> = Vec::with_capacity(deferred.len());
-        for arch in &deferred {
-            resolved.push((RegClass::V, self.rename.table(RegClass::V).lookup(*arch)));
-        }
-        // Vector load elimination: probe before allocating.
-        if let Some(arch) = ddst {
-            let probe_hit = if self.vle_on() && op == Opcode::VLoad {
-                mem.filter(|m| m.kind != MemKind::Indexed).and_then(|m| {
-                    let probe = Tag::from_mem(&m, vl);
-                    self.tags.table(RegClass::V).find_match(&probe)
-                })
-            } else {
-                None
-            };
-            if let Some(provider) = probe_hit {
-                self.progressed = true;
-                self.note_event(self.now + 1);
-                let (new, old) = self.rename.table_mut(RegClass::V).alias(arch, provider);
-                let entry = self.rob.get_mut(seq).expect("entry vanished");
-                entry.srcs.extend(resolved);
-                entry.deferred_srcs.clear();
-                entry.deferred_dst = None;
-                entry.dst = Some(DstInfo {
-                    class: RegClass::V,
-                    arch,
-                    new,
-                    old,
-                });
-                entry.eliminated = true;
-                entry.state = EntryState::Issued;
-                entry.issue_time = self.now;
-                entry.complete_time = self.now + 1;
-                entry.mem_stage = MemStage::Done;
-                self.stats.eliminated_vector_loads += 1;
-                self.stats.eliminated_vector_words += u64::from(vl);
-                if let Some(c) = &mut self.checker {
-                    c.on_vector_elimination(trace_idx, provider);
-                }
-                return Stage3Rename::Eliminated;
-            }
-            // Ordinary allocation. From here on the entry is mutated, so
-            // the cycle counts as progress even if stage 3 then stalls
-            // on a full V queue.
-            let Some((new, old)) = self.rename.table_mut(RegClass::V).alloc(arch) else {
-                return Stage3Rename::Stalled;
-            };
-            self.progressed = true;
-            self.tags.table_mut(RegClass::V).invalidate_reg(new);
-            self.timing.clear(RegClass::V, new);
-            let entry = self.rob.get_mut(seq).expect("entry vanished");
-            entry.srcs.extend(resolved);
-            entry.deferred_srcs.clear();
-            entry.deferred_dst = None;
-            entry.dst = Some(DstInfo {
-                class: RegClass::V,
-                arch,
-                new,
-                old,
-            });
-            if let Some(c) = &mut self.checker {
-                c.on_dst_renamed(trace_idx, RegClass::V, new);
-            }
-            return Stage3Rename::Renamed;
-        }
-        let entry = self.rob.get_mut(seq).expect("entry vanished");
-        entry.srcs.extend(resolved);
-        entry.deferred_srcs.clear();
-        self.progressed = true;
-        Stage3Rename::Renamed
-    }
-
-    fn issue_mem(&mut self) {
-        'outer: for pos in 0..self.q_m.raw_len() {
-            let Some(seq) = self.q_m.raw_get(pos) else {
-                continue;
-            };
-            let Some(e) = self.rob.get(seq) else { continue };
-            if e.mem_stage != MemStage::WaitDisamb {
-                // Entries before stage 3 (and vector computes in the VLE
-                // pipe) cannot issue; they also block later conflicting
-                // accesses via the overlap check below.
-                continue;
-            }
-            let mem = e.mem.expect("memory entry without memref");
-            let is_store = e.is_store();
-            // Disambiguation: check every earlier, unissued memory entry.
-            for ppos in 0..pos {
-                let Some(prev) = self.q_m.raw_get(ppos) else {
-                    continue;
-                };
-                let Some(p) = self.rob.get(prev) else {
-                    continue;
-                };
-                if p.mem_stage == MemStage::Done {
-                    continue;
-                }
-                if !p.op.is_mem() {
-                    continue; // vector compute in the VLE pipe
-                }
-                let both_loads = p.op.is_load() && !is_store;
-                if both_loads {
-                    continue;
-                }
-                match p.mem {
-                    Some(pm) if pm.ranges_overlap(&mem) => continue 'outer,
-                    // Range not yet known (still in early stages): since
-                    // ours is known and theirs is not, be conservative.
-                    None => continue 'outer,
-                    _ => {}
-                }
-            }
-            // Indexed accesses need their index vector fully available.
-            if mem.kind == MemKind::Indexed {
-                let idx_pos = if e.op == Opcode::VScatter { 1 } else { 0 };
-                let Some(&(c, p)) = e.srcs.get(idx_pos) else {
-                    continue;
-                };
-                if !self.timing.is_produced(c, p) || self.timing.last(c, p) + 1 > self.now {
-                    continue;
-                }
-            }
-            if is_store {
-                // Data must chain into the store unit.
-                let Some(&(c, p)) = e.srcs.first() else {
-                    continue;
-                };
-                match self.src_ready_time(c, p, true) {
-                    Some(t) if t <= self.now => {}
-                    _ => continue,
-                }
-                // Late commit: stores execute only at the ROB head.
-                if self.cfg.commit == CommitMode::Late && self.rob.head_seq() != Some(seq) {
-                    continue;
-                }
-            }
-            // Scalar-cache hits bypass the shared address bus; everything
-            // else must wait for it.
-            let cache_hit = e.op == Opcode::SLoad
-                && self
-                    .cache
-                    .as_ref()
-                    .map(|c| c.peek_load(mem.base))
-                    .unwrap_or(false);
-            if !cache_hit && !self.bus.is_free(self.now) {
-                continue;
-            }
-            self.do_issue_mem(seq, cache_hit, pos);
-            return;
-        }
-    }
-
-    /// `q_pos` is the entry's raw position in `q_m` (for O(1) removal).
-    fn do_issue_mem(&mut self, seq: u64, cache_hit: bool, q_pos: usize) {
-        let e = self.rob.get(seq).expect("entry vanished");
-        let vl = if e.op.is_vector() { e.vl } else { 1 };
-        let is_load = e.op.is_load();
-        let is_vector = e.op.is_vector();
-        let is_spill = e.is_spill;
-        let dst = e.dst;
-        let op = e.op;
-        let mem = e.mem;
-        let data_src = if e.is_store() {
-            e.srcs.first().copied()
-        } else {
-            None
-        };
-        let latency = u64::from(self.cfg.lat.memory);
-        // Cache maintenance (timing-only).
-        if let (Some(cache), Some(m)) = (&mut self.cache, &mem) {
-            match op {
-                Opcode::SLoad => {
-                    let hit = cache.access_load(m.base);
-                    debug_assert_eq!(hit, cache_hit, "peek/access divergence");
-                    if hit {
-                        let hit_lat = u64::from(
-                            self.cfg
-                                .scalar_cache
-                                .expect("cache without config")
-                                .hit_latency,
-                        );
-                        let done = self.now + hit_lat;
-                        if let Some(d) = dst {
-                            self.set_avail(d.class, d.new, done, done);
-                        }
-                        self.max_complete = self.max_complete.max(done);
-                        let entry = self.rob.get_mut(seq).expect("entry vanished");
-                        entry.state = EntryState::Issued;
-                        entry.issue_time = self.now;
-                        entry.complete_time = done;
-                        entry.mem_stage = MemStage::Done;
-                        self.q_m.remove_at(q_pos);
-                        self.progressed = true;
-                        return;
-                    }
-                }
-                Opcode::SStore => {
-                    cache.access_store(m.base);
-                }
-                _ => {
-                    cache.invalidate_range(m.range_lo, m.range_hi);
-                }
-            }
-        }
-        let grant = self.bus.reserve(self.now, u64::from(vl));
-        debug_assert_eq!(grant.start, self.now);
-        self.note_event(self.bus.free_at());
-        self.occ.busy(VectorUnit::Mem, grant.start, grant.last);
-        if is_load {
-            self.traffic.record_load(u64::from(vl), is_spill, is_vector);
-        } else {
-            self.traffic
-                .record_store(u64::from(vl), is_spill, is_vector);
-        }
-        let complete = if is_load {
-            let first = grant.start + latency;
-            let last = grant.last + latency;
-            if let Some(d) = dst {
-                self.set_avail(d.class, d.new, first, last);
-            }
-            last
-        } else {
-            // Store data streams from its register: occupy the read port.
-            if let Some((c, p)) = data_src {
-                if c == RegClass::V {
-                    self.timing.read_port_free[p as usize] = grant.last + 1;
-                    self.note_event(grant.last + 1);
-                }
-            }
-            grant.last
-        };
-        // Only the ROB head's completion gates commit; pushing every
-        // entry's completion would wake dead spans for nothing. A
-        // non-head entry's completion is re-noted by `commit` when the
-        // entry reaches the head (a progress cycle) still incomplete.
-        if self.rob.head_seq() == Some(seq) {
-            self.note_event(complete);
-        }
-        self.max_complete = self.max_complete.max(complete);
-        let entry = self.rob.get_mut(seq).expect("entry vanished");
-        entry.state = EntryState::Issued;
-        entry.issue_time = grant.start;
-        entry.complete_time = complete;
-        entry.mem_stage = MemStage::Done;
-        self.q_m.remove_at(q_pos);
-        self.progressed = true;
-    }
-
-    fn issue_vector(&mut self) {
-        let lat = self.cfg.lat;
-        for pos in 0..self.q_v.raw_len() {
-            let Some(seq) = self.q_v.raw_get(pos) else {
-                continue;
-            };
-            let Some(e) = self.rob.get(seq) else { continue };
-            // Wakeup index: a producer has not issued yet, so the full
-            // timing check cannot pass — skip without touching it. The
-            // naive oracle polls `sources_ready` unconditionally so the
-            // parity tests cross-check the index itself.
-            let skip_unwoken = self.stepper == Stepper::EventDriven && e.waiting_srcs > 0;
-            if skip_unwoken || !self.sources_ready(e, true) {
-                continue;
-            }
-            let fu2_only = e.op.fu_class() == FuClass::VecFu2Only;
-            let use_fu2 = if fu2_only {
-                if self.fu2_free > self.now {
-                    continue;
-                }
-                true
-            } else if self.fu1_free <= self.now {
-                false
-            } else if self.fu2_free <= self.now {
-                true
-            } else {
-                continue;
-            };
-            // Issue.
-            let vl = u64::from(e.vl);
-            let leff = u64::from(lat.first_result(e.op));
-            let srcs = e.srcs.clone();
-            let dst = e.dst;
-            let now = self.now;
-            let busy_until = now + vl.max(1);
-            self.note_event(busy_until);
-            if use_fu2 {
-                self.fu2_free = busy_until;
-                self.occ.busy(VectorUnit::Fu2, now, busy_until - 1);
-            } else {
-                self.fu1_free = busy_until;
-                self.occ.busy(VectorUnit::Fu1, now, busy_until - 1);
-            }
-            for (c, p) in srcs {
-                if c == RegClass::V {
-                    self.timing.read_port_free[p as usize] = busy_until;
-                }
-            }
-            let complete = if let Some(d) = dst {
-                let (first, last) = if d.class.is_scalar() {
-                    // Reductions deliver after draining the vector.
-                    let done = now + leff + vl;
-                    (done, done)
-                } else {
-                    (now + leff, now + leff + vl - 1)
-                };
-                self.set_avail(d.class, d.new, first, last);
-                last
-            } else {
-                now + leff + vl - 1
-            };
-            if self.rob.head_seq() == Some(seq) {
-                self.note_event(complete);
-            }
-            self.max_complete = self.max_complete.max(complete);
-            let entry = self.rob.get_mut(seq).expect("entry vanished");
-            entry.state = EntryState::Issued;
-            entry.issue_time = now;
-            entry.complete_time = complete;
-            self.q_v.remove_at(pos);
-            self.progressed = true;
-            return;
-        }
-    }
-
-    fn issue_scalar_queue(&mut self, a_queue: bool) {
-        let qlen = if a_queue {
-            self.q_a.raw_len()
-        } else {
-            self.q_s.raw_len()
-        };
-        for pos in 0..qlen {
-            let got = if a_queue {
-                self.q_a.raw_get(pos)
-            } else {
-                self.q_s.raw_get(pos)
-            };
-            let Some(seq) = got else { continue };
-            let Some(e) = self.rob.get(seq) else { continue };
-            let skip_unwoken = self.stepper == Stepper::EventDriven && e.waiting_srcs > 0;
-            if skip_unwoken || !self.sources_ready(e, false) {
-                continue;
-            }
-            let exec = u64::from(self.cfg.lat.exec(e.op));
-            let now = self.now;
-            let complete = now + exec;
-            let dst = e.dst;
-            let (is_control, pc, branch, mispredicted) =
-                (e.op.is_control(), e.pc, e.branch, e.mispredicted);
-            if self.rob.head_seq() == Some(seq) {
-                self.note_event(complete);
-            }
-            if let Some(d) = dst {
-                self.set_avail(d.class, d.new, complete, complete);
-            }
-            self.max_complete = self.max_complete.max(complete);
-            let entry = self.rob.get_mut(seq).expect("entry vanished");
-            entry.state = EntryState::Issued;
-            entry.issue_time = now;
-            entry.complete_time = complete;
-            if is_control {
-                if let Some(b) = branch {
-                    self.btb_updates.push((complete, pc, b.taken, b.target));
-                }
-                if mispredicted {
-                    let resume = complete + u64::from(self.cfg.lat.mispredict_penalty);
-                    self.note_event(resume);
-                    self.fetch_resume_at = Some(resume);
-                }
-            }
-            if a_queue {
-                self.q_a.remove_at(pos);
-            } else {
-                self.q_s.remove_at(pos);
-            }
-            self.progressed = true;
-            return;
-        }
-    }
-
-    fn route_queue(&self, inst: &Instruction) -> QueueKind {
-        if self.uses_mem_pipe(inst) {
-            return QueueKind::M;
-        }
-        if inst.op.is_vector() {
-            return QueueKind::V;
-        }
-        match inst.op {
-            Opcode::SAddA | Opcode::SetVl | Opcode::SetVs => QueueKind::A,
-            Opcode::SLui if matches!(inst.dst, Some(ArchReg::A(_))) => QueueKind::A,
-            _ => QueueKind::S,
-        }
-    }
-
-    fn queue_of(&mut self, kind: QueueKind) -> &mut SlotQueue {
-        match kind {
-            QueueKind::A => &mut self.q_a,
-            QueueKind::S => &mut self.q_s,
-            QueueKind::V => &mut self.q_v,
-            QueueKind::M => &mut self.q_m,
-        }
-    }
-
-    fn dispatch(&mut self) {
-        let Some(&idx) = self.fetch_buf.front() else {
-            return;
-        };
-        let inst = &self.trace.instructions()[idx];
-        if self.rob.is_full() {
-            self.stats.rob_stall_cycles += 1;
-            return;
-        }
-        let kind = self.route_queue(inst);
-        if self.queue_of(kind).len() >= self.cfg.queue_slots {
-            self.stats.queue_stall_cycles += 1;
-            return;
-        }
-        let defer_vector = kind == QueueKind::M && self.vle_on();
-        // Rename sources.
-        let mut srcs: Vec<(RegClass, PhysReg)> = Vec::with_capacity(3);
-        let mut deferred_srcs: Vec<u8> = Vec::new();
-        for s in inst.sources() {
-            let class = s.class();
-            if defer_vector && class == RegClass::V {
-                deferred_srcs.push(s.index());
-            } else {
-                srcs.push((class, self.rename.table(class).lookup(s.index())));
-            }
-        }
-        // Rename destination.
-        let mut dst: Option<DstInfo> = None;
-        let mut deferred_dst: Option<u8> = None;
-        if let Some(d) = inst.dst {
-            let class = d.class();
-            if defer_vector && class == RegClass::V {
-                deferred_dst = Some(d.index());
-            } else {
-                if !self.rename.table(class).can_alloc() {
-                    self.stats.rename_stall_cycles += 1;
-                    return;
-                }
-                let (new, old) = self
-                    .rename
-                    .table_mut(class)
-                    .alloc(d.index())
-                    .expect("can_alloc lied");
-                if class != RegClass::Mask && self.elim_on() {
-                    self.tags.table_mut(class).invalidate_reg(new);
-                }
-                self.timing.clear(class, new);
-                dst = Some(DstInfo {
-                    class,
-                    arch: d.index(),
-                    new,
-                    old,
-                });
-            }
-        }
-        let mispredicted = self.fetch_blocked == Some(idx);
-        let entry = RobEntry {
-            seq: 0,
-            trace_idx: idx,
-            op: inst.op,
-            vl: inst.vl,
-            is_spill: inst.is_spill,
-            mem: inst.mem,
-            branch: inst.branch,
-            pc: inst.pc,
-            srcs,
-            deferred_srcs,
-            dst,
-            deferred_dst,
-            state: EntryState::Waiting,
-            issue_time: 0,
-            complete_time: 0,
-            mem_stage: MemStage::None,
-            eliminated: false,
-            mispredicted,
-            waiting_srcs: 0,
-        };
-        if let Some(c) = &mut self.checker {
-            c.on_dispatch(idx);
-            if let Some(d) = entry.dst {
-                c.on_dst_renamed(idx, d.class, d.new);
-            }
-        }
-        let seq = self.rob.push(entry);
-        self.queue_of(kind).push_back(seq);
-        // M-queue entries are tracked by the memory pipe, not the
-        // source-wakeup index (their readiness checks are per-operand at
-        // issue); everything else registers its outstanding sources.
-        if kind != QueueKind::M {
-            self.register_waits(seq);
-        }
-        self.fetch_buf.pop_front();
-        if inst.op == Opcode::Branch {
-            self.stats.branches += 1;
-        }
-        self.progressed = true;
-    }
-
-    fn fetch(&mut self) {
-        if let Some(t) = self.fetch_resume_at {
-            if t <= self.now {
-                self.fetch_blocked = None;
-                self.fetch_resume_at = None;
-                self.progressed = true;
-            }
-        }
-        if self.fetch_blocked.is_some() {
-            return;
-        }
-        if self.fetch_buf.len() >= FETCH_BUF_DEPTH || self.fetch_idx >= self.trace.len() {
-            return;
-        }
-        let idx = self.fetch_idx;
-        let inst = &self.trace.instructions()[idx];
-        self.fetch_idx += 1;
-        if inst.op.is_control() {
-            let actual = inst.branch.expect("control without outcome");
-            let mispredict = match inst.op {
-                Opcode::Branch => {
-                    let (pred_taken, pred_target) = self.btb.predict(inst.pc);
-                    pred_taken != actual.taken
-                        || (actual.taken && pred_target != Some(actual.target))
-                }
-                Opcode::Jump | Opcode::Call => {
-                    if inst.op == Opcode::Call {
-                        self.ras.push(inst.pc + 4);
-                    }
-                    let (_, pred_target) = self.btb.predict(inst.pc);
-                    pred_target != Some(actual.target)
-                }
-                Opcode::Ret => self.ras.pop() != Some(actual.target),
-                _ => unreachable!(),
-            };
-            if mispredict {
-                self.stats.mispredicts += 1;
-                self.fetch_blocked = Some(idx);
-            }
-        }
-        self.fetch_buf.push_back(idx);
-        self.progressed = true;
+        (best != u64::MAX).then_some(best)
     }
 
     /// Consistency check used by tests: every physical register is
@@ -1673,20 +1074,4 @@ impl<'t> OooSim<'t> {
         }
         true
     }
-}
-
-/// Outcome of the stage-3 vector rename.
-#[derive(Debug, PartialEq, Eq)]
-enum Stage3Rename {
-    Renamed,
-    Eliminated,
-    Stalled,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum QueueKind {
-    A,
-    S,
-    V,
-    M,
 }

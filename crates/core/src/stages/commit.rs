@@ -1,0 +1,168 @@
+//! Commit stage: in-order retirement from the reorder buffer, up to
+//! `commit_width` instructions per cycle, plus precise-trap recovery
+//! (paper §5).
+//!
+//! The stage's predicate is simply a non-empty ROB — checking a
+//! not-yet-ready head is O(1). [`crate::OooSim::commit_ready_time`]
+//! is the time-based half of that readiness, used both by the
+//! front-end burst (to prove commit stays blocked) and by the exact
+//! next-event scan.
+
+use oov_isa::CommitMode;
+
+use crate::sim::OooSim;
+use crate::stages::StageId;
+
+impl OooSim<'_> {
+    pub(crate) fn ready_to_commit(&self, e: &crate::rob::RobEntry) -> bool {
+        if !e.issued() {
+            return false;
+        }
+        if e.eliminated {
+            // Complete when the provider's data is fully available.
+            if let Some(d) = e.dst {
+                return self.timing.is_produced(d.class, d.new)
+                    && self.timing.last(d.class, d.new) <= self.now;
+            }
+            return true;
+        }
+        match self.cfg.commit {
+            CommitMode::Early => {
+                // Vector instructions release state once execution begins.
+                if e.op.is_vector() || e.is_store() {
+                    true
+                } else {
+                    e.complete_time <= self.now
+                }
+            }
+            CommitMode::Late => e.complete_time <= self.now,
+        }
+    }
+
+    /// Earliest cycle at which the ROB head could become committable
+    /// by the passage of time alone, given current state. `u64::MAX`
+    /// means only another stage's progress (an issue, a production)
+    /// can unblock it. Mirrors [`OooSim::ready_to_commit`] exactly:
+    /// the head is ready iff this is `<= now`.
+    pub(crate) fn commit_ready_time(&self) -> u64 {
+        let Some(h) = self.rob.head() else {
+            return u64::MAX;
+        };
+        if !h.issued() {
+            return u64::MAX;
+        }
+        if h.eliminated {
+            return match h.dst {
+                Some(d) if self.timing.is_produced(d.class, d.new) => {
+                    self.timing.last(d.class, d.new)
+                }
+                Some(_) => u64::MAX,
+                None => self.now,
+            };
+        }
+        match self.cfg.commit {
+            CommitMode::Early if h.op.is_vector() || h.is_store() => self.now,
+            _ => h.complete_time,
+        }
+    }
+
+    /// Future times at which the ROB head's commit-gating conditions
+    /// can flip: its completion, or — for an eliminated head — its
+    /// provider's full availability. Only the head gates progress.
+    pub(crate) fn commit_wake_scan(&self, add: &mut impl FnMut(u64)) {
+        if let Some(h) = self.rob.head() {
+            if h.eliminated {
+                if let Some(d) = h.dst {
+                    if self.timing.is_produced(d.class, d.new) {
+                        add(self.timing.last(d.class, d.new));
+                    }
+                }
+            } else if h.issued() {
+                add(h.complete_time);
+            }
+        }
+    }
+
+    pub(crate) fn commit(&mut self) {
+        for _ in 0..self.cfg.commit_width {
+            let Some(head) = self.rob.head() else { return };
+            if let (Some(fault_idx), true) = (self.fault_at, head.issued()) {
+                if head.trace_idx == fault_idx && self.ready_to_commit(head) {
+                    self.take_fault();
+                    return;
+                }
+            }
+            if !self.ready_to_commit(head) {
+                // The head is the only entry whose completion gates
+                // commit; note it here (covers entries that issued
+                // before reaching the head) — once per (head, time),
+                // not once per blocked cycle. The heap entry survives
+                // until its time comes (purges only drop times the
+                // exact scan — which always re-adds the head — has
+                // disproved), at which point the head commits and the
+                // next head re-notes.
+                let pending = (head.issued() && !head.eliminated).then_some(head.complete_time);
+                if let Some(t) = pending {
+                    let key = (head.seq, t);
+                    if self.noted_head != key {
+                        self.noted_head = key;
+                        self.note_event(t);
+                    }
+                }
+                return;
+            }
+            let e = self.rob.pop().expect("head vanished");
+            if let Some(d) = e.dst {
+                self.rename.table_mut(d.class).release(d.old);
+            }
+            if let Some(c) = &mut self.checker {
+                c.on_commit(e.trace_idx);
+            }
+            self.committed += 1;
+            self.progress(StageId::Commit);
+            // Late commit gates stores on reaching the ROB head, a
+            // state condition memory issue cannot see coming — re-arm
+            // it whenever the head moves.
+            if self.cfg.commit == CommitMode::Late {
+                self.sched.arm(StageId::IssueMem);
+            }
+        }
+    }
+
+    /// Precise-trap recovery (paper §5): squash everything from the tail
+    /// back to and including the faulting instruction, restoring rename
+    /// state, then restart fetch at the fault point.
+    pub(crate) fn take_fault(&mut self) {
+        let fault_idx = self.fault_at.take().expect("no fault pending");
+        self.faults_taken += 1;
+        self.progress(StageId::Commit);
+        while let Some(e) = self.rob.pop_tail() {
+            if let Some(d) = e.dst {
+                self.rename
+                    .table_mut(d.class)
+                    .rollback_alloc(d.arch, d.new, d.old);
+            }
+            let done = e.trace_idx == fault_idx;
+            if done {
+                break;
+            }
+        }
+        self.q_a.clear();
+        self.q_s.clear();
+        self.q_v.clear();
+        self.q_m.clear();
+        self.stage = [None; 3];
+        self.pipe_pending.clear();
+        self.fetch_buf.clear();
+        self.fetch_blocked = None;
+        self.fetch_resume_at = None;
+        self.pending_copies.clear();
+        // Conservative: forget all register memory tags.
+        self.tags.clear();
+        self.fetch_idx = fault_idx;
+        self.sched.reset_after_squash();
+        if let Some(c) = &mut self.checker {
+            c.on_squash();
+        }
+    }
+}

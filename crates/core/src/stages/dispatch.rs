@@ -1,0 +1,140 @@
+//! Decode/rename/dispatch: pulls one instruction per cycle from the
+//! fetch buffer, renames its registers (deferring vector operands to
+//! the Dependence stage under VLE), allocates a reorder-buffer slot
+//! and routes the entry to its issue queue. Stalls — and their
+//! per-cycle counters — happen here when the ROB, the target queue or
+//! the rename free list is exhausted.
+
+use oov_isa::{ArchReg, Instruction, Opcode, RegClass};
+
+use crate::queue::SlotQueue;
+use crate::rename::PhysReg;
+use crate::rob::{DstInfo, EntryState, MemStage, QueueKind, RobEntry};
+use crate::sim::OooSim;
+use crate::stages::StageId;
+
+impl OooSim<'_> {
+    pub(crate) fn route_queue(&self, inst: &Instruction) -> QueueKind {
+        if self.uses_mem_pipe(inst) {
+            return QueueKind::M;
+        }
+        if inst.op.is_vector() {
+            return QueueKind::V;
+        }
+        match inst.op {
+            Opcode::SAddA | Opcode::SetVl | Opcode::SetVs => QueueKind::A,
+            Opcode::SLui if matches!(inst.dst, Some(ArchReg::A(_))) => QueueKind::A,
+            _ => QueueKind::S,
+        }
+    }
+
+    pub(crate) fn queue_of(&mut self, kind: QueueKind) -> &mut SlotQueue {
+        match kind {
+            QueueKind::A => &mut self.q_a,
+            QueueKind::S => &mut self.q_s,
+            QueueKind::V => &mut self.q_v,
+            QueueKind::M => &mut self.q_m,
+        }
+    }
+
+    pub(crate) fn dispatch(&mut self) {
+        let Some(&idx) = self.fetch_buf.front() else {
+            return;
+        };
+        let inst = &self.trace.instructions()[idx];
+        if self.rob.is_full() {
+            self.stats.rob_stall_cycles += 1;
+            return;
+        }
+        let kind = self.route_queue(inst);
+        if self.queue_of(kind).len() >= self.cfg.queue_slots {
+            self.stats.queue_stall_cycles += 1;
+            return;
+        }
+        let defer_vector = kind == QueueKind::M && self.vle_on();
+        // Rename sources.
+        let mut srcs: Vec<(RegClass, PhysReg)> = Vec::with_capacity(3);
+        let mut deferred_srcs: Vec<u8> = Vec::new();
+        for s in inst.sources() {
+            let class = s.class();
+            if defer_vector && class == RegClass::V {
+                deferred_srcs.push(s.index());
+            } else {
+                srcs.push((class, self.rename.table(class).lookup(s.index())));
+            }
+        }
+        // Rename destination.
+        let mut dst: Option<DstInfo> = None;
+        let mut deferred_dst: Option<u8> = None;
+        if let Some(d) = inst.dst {
+            let class = d.class();
+            if defer_vector && class == RegClass::V {
+                deferred_dst = Some(d.index());
+            } else {
+                if !self.rename.table(class).can_alloc() {
+                    self.stats.rename_stall_cycles += 1;
+                    return;
+                }
+                let (new, old) = self
+                    .rename
+                    .table_mut(class)
+                    .alloc(d.index())
+                    .expect("can_alloc lied");
+                if class != RegClass::Mask && self.elim_on() {
+                    self.tags.table_mut(class).invalidate_reg(new);
+                }
+                self.timing.clear(class, new);
+                dst = Some(DstInfo {
+                    class,
+                    arch: d.index(),
+                    new,
+                    old,
+                });
+            }
+        }
+        let mispredicted = self.fetch_blocked == Some(idx);
+        let entry = RobEntry {
+            seq: 0,
+            trace_idx: idx,
+            op: inst.op,
+            vl: inst.vl,
+            is_spill: inst.is_spill,
+            mem: inst.mem,
+            branch: inst.branch,
+            pc: inst.pc,
+            srcs,
+            deferred_srcs,
+            dst,
+            deferred_dst,
+            state: EntryState::Waiting,
+            issue_time: 0,
+            complete_time: 0,
+            mem_stage: MemStage::None,
+            eliminated: false,
+            mispredicted,
+            waiting_srcs: 0,
+            qkind: kind,
+        };
+        if let Some(c) = &mut self.checker {
+            c.on_dispatch(idx);
+            if let Some(d) = entry.dst {
+                c.on_dst_renamed(idx, d.class, d.new);
+            }
+        }
+        let seq = self.rob.push(entry);
+        self.queue_of(kind).push_back(seq);
+        // M-queue entries are tracked by the memory pipe, not the
+        // source-wakeup index (their readiness checks are per-operand at
+        // issue); everything else registers its outstanding sources.
+        if kind == QueueKind::M {
+            self.pipe_pending.push_back(seq);
+        } else {
+            self.register_waits(seq);
+        }
+        self.fetch_buf.pop_front();
+        if inst.op == Opcode::Branch {
+            self.stats.branches += 1;
+        }
+        self.progress(StageId::Dispatch);
+    }
+}

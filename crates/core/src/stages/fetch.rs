@@ -1,0 +1,66 @@
+//! Instruction fetch: fills the fetch buffer in trace order, predicts
+//! control transfers through the BTB and return stack, and stalls on a
+//! misprediction until the resolving issue schedules the resume time.
+//! O(1) per cycle, so it runs unconditionally in every engine.
+
+use oov_isa::Opcode;
+
+use crate::sim::{OooSim, FETCH_BUF_DEPTH};
+use crate::stages::StageId;
+
+impl OooSim<'_> {
+    /// Future times the front end is waiting on: a misprediction
+    /// resume and pending deferred BTB updates.
+    pub(crate) fn frontend_wake_scan(&self, add: &mut impl FnMut(u64)) {
+        if let Some(t) = self.fetch_resume_at {
+            add(t);
+        }
+        for &(t, _, _, _) in &self.btb_updates {
+            add(t);
+        }
+    }
+
+    pub(crate) fn fetch(&mut self) {
+        if let Some(t) = self.fetch_resume_at {
+            if t <= self.now {
+                self.fetch_blocked = None;
+                self.fetch_resume_at = None;
+                self.progress(StageId::Fetch);
+            }
+        }
+        if self.fetch_blocked.is_some() {
+            return;
+        }
+        if self.fetch_buf.len() >= FETCH_BUF_DEPTH || self.fetch_idx >= self.trace.len() {
+            return;
+        }
+        let idx = self.fetch_idx;
+        let inst = &self.trace.instructions()[idx];
+        self.fetch_idx += 1;
+        if inst.op.is_control() {
+            let actual = inst.branch.expect("control without outcome");
+            let mispredict = match inst.op {
+                Opcode::Branch => {
+                    let (pred_taken, pred_target) = self.btb.predict(inst.pc);
+                    pred_taken != actual.taken
+                        || (actual.taken && pred_target != Some(actual.target))
+                }
+                Opcode::Jump | Opcode::Call => {
+                    if inst.op == Opcode::Call {
+                        self.ras.push(inst.pc + 4);
+                    }
+                    let (_, pred_target) = self.btb.predict(inst.pc);
+                    pred_target != Some(actual.target)
+                }
+                Opcode::Ret => self.ras.pop() != Some(actual.target),
+                _ => unreachable!(),
+            };
+            if mispredict {
+                self.stats.mispredicts += 1;
+                self.fetch_blocked = Some(idx);
+            }
+        }
+        self.fetch_buf.push_back(idx);
+        self.progress(StageId::Fetch);
+    }
+}

@@ -1,0 +1,239 @@
+//! Out-of-order memory issue under range-based disambiguation
+//! (paper §2.2): `WaitDisamb` entries issue their element streams over
+//! the shared address bus once no earlier, unissued, overlapping
+//! access blocks them — with indexed accesses gated on their index
+//! vector, stores on chained data (and, under late commit, on reaching
+//! the ROB head), and scalar loads able to bypass the bus on a cache
+//! hit.
+//!
+//! This is the most expensive scan of the pipeline (the
+//! disambiguation check is quadratic in queue occupancy), which is why
+//! it is a masked stage: it sleeps whenever a failed scan proves
+//! nothing can issue, waking on its time scan
+//! ([`OooSim::issue_mem_wake_scan`]) or the state edges the module
+//! docs of [`crate::stages`] enumerate.
+
+use oov_isa::{CommitMode, MemKind, Opcode, RegClass};
+
+use crate::rob::{EntryState, MemStage};
+use crate::sim::OooSim;
+use crate::stages::StageId;
+
+impl OooSim<'_> {
+    /// Future times at which a queue-M entry's *time-based* issue
+    /// conditions can flip: each entry's [`OooSim::entry_ready_time`]
+    /// — the max of its index-vector availability, store-data chaining
+    /// and (unless it is a scalar load the cache would hit, which
+    /// bypasses the bus) the address bus release, exact at scan time.
+    /// Disambiguation and the late-commit head-of-ROB rule are state
+    /// conditions, re-armed by edges, as are entries whose registered
+    /// data/index sources are still unproduced or that have not yet
+    /// reached `WaitDisamb` — those resolve to "edge-only".
+    pub(crate) fn issue_mem_wake_scan(&self, add: &mut impl FnMut(u64)) {
+        if self.q_m.is_empty() {
+            return;
+        }
+        for seq in self.q_m.iter() {
+            if let Some(e) = self.rob.get(seq) {
+                let t = self.entry_ready_time(e);
+                if t != u64::MAX {
+                    add(t);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn issue_mem(&mut self) {
+        'outer: for pos in 0..self.q_m.raw_len() {
+            let Some(seq) = self.q_m.raw_get(pos) else {
+                continue;
+            };
+            let Some(e) = self.rob.get(seq) else { continue };
+            if e.mem_stage != MemStage::WaitDisamb {
+                // Entries before stage 3 (and vector computes in the VLE
+                // pipe) cannot issue; they also block later conflicting
+                // accesses via the overlap check below.
+                continue;
+            }
+            // Wakeup index + fused wake accumulation (event engine
+            // only): a store/gather whose registered data/index source
+            // is unproduced is an edge wake; an entry whose index,
+            // data-chaining or bus time has not come notes that exact
+            // time and skips the disambiguation walk. The naive oracle
+            // performs the full checks so parity validates both.
+            if self.stepper == crate::Stepper::EventDriven {
+                if e.waiting_srcs > 0 {
+                    continue;
+                }
+                let t = self.entry_ready_time(e);
+                if t > self.now {
+                    self.note_scan_wake(t);
+                    continue;
+                }
+            }
+            let Some(e) = self.rob.get(seq) else { continue };
+            let mem = e.mem.expect("memory entry without memref");
+            let is_store = e.is_store();
+            // Disambiguation: check every earlier, unissued memory entry.
+            for ppos in 0..pos {
+                let Some(prev) = self.q_m.raw_get(ppos) else {
+                    continue;
+                };
+                let Some(p) = self.rob.get(prev) else {
+                    continue;
+                };
+                if p.mem_stage == MemStage::Done {
+                    continue;
+                }
+                if !p.op.is_mem() {
+                    continue; // vector compute in the VLE pipe
+                }
+                let both_loads = p.op.is_load() && !is_store;
+                if both_loads {
+                    continue;
+                }
+                match p.mem {
+                    Some(pm) if pm.ranges_overlap(&mem) => continue 'outer,
+                    // Range not yet known (still in early stages): since
+                    // ours is known and theirs is not, be conservative.
+                    None => continue 'outer,
+                    _ => {}
+                }
+            }
+            // Indexed accesses need their index vector fully available.
+            if mem.kind == MemKind::Indexed {
+                let idx_pos = if e.op == Opcode::VScatter { 1 } else { 0 };
+                let Some(&(c, p)) = e.srcs.get(idx_pos) else {
+                    continue;
+                };
+                if !self.timing.is_produced(c, p) || self.timing.last(c, p) + 1 > self.now {
+                    continue;
+                }
+            }
+            if is_store {
+                // Data must chain into the store unit.
+                let Some(&(c, p)) = e.srcs.first() else {
+                    continue;
+                };
+                match self.src_ready_time(c, p, true) {
+                    Some(t) if t <= self.now => {}
+                    _ => continue,
+                }
+                // Late commit: stores execute only at the ROB head.
+                if self.cfg.commit == CommitMode::Late && self.rob.head_seq() != Some(seq) {
+                    continue;
+                }
+            }
+            // Scalar-cache hits bypass the shared address bus; everything
+            // else must wait for it.
+            let cache_hit = e.op == Opcode::SLoad
+                && self
+                    .cache
+                    .as_ref()
+                    .map(|c| c.peek_load(mem.base))
+                    .unwrap_or(false);
+            if !cache_hit && !self.bus.is_free(self.now) {
+                continue;
+            }
+            self.do_issue_mem(seq, cache_hit, pos);
+            return;
+        }
+    }
+
+    /// `q_pos` is the entry's raw position in `q_m` (for O(1) removal).
+    fn do_issue_mem(&mut self, seq: u64, cache_hit: bool, q_pos: usize) {
+        let e = self.rob.get(seq).expect("entry vanished");
+        let vl = if e.op.is_vector() { e.vl } else { 1 };
+        let is_load = e.op.is_load();
+        let is_vector = e.op.is_vector();
+        let is_spill = e.is_spill;
+        let dst = e.dst;
+        let op = e.op;
+        let mem = e.mem;
+        let data_src = if e.is_store() {
+            e.srcs.first().copied()
+        } else {
+            None
+        };
+        let latency = u64::from(self.cfg.lat.memory);
+        // Cache maintenance (timing-only).
+        if let (Some(cache), Some(m)) = (&mut self.cache, &mem) {
+            match op {
+                Opcode::SLoad => {
+                    let hit = cache.access_load(m.base);
+                    debug_assert_eq!(hit, cache_hit, "peek/access divergence");
+                    if hit {
+                        let hit_lat = u64::from(
+                            self.cfg
+                                .scalar_cache
+                                .expect("cache without config")
+                                .hit_latency,
+                        );
+                        let done = self.now + hit_lat;
+                        if let Some(d) = dst {
+                            self.set_avail(d.class, d.new, done, done);
+                        }
+                        self.max_complete = self.max_complete.max(done);
+                        let entry = self.rob.get_mut(seq).expect("entry vanished");
+                        entry.state = EntryState::Issued;
+                        entry.issue_time = self.now;
+                        entry.complete_time = done;
+                        entry.mem_stage = MemStage::Done;
+                        self.q_m.remove_at(q_pos);
+                        self.progress(StageId::IssueMem);
+                        return;
+                    }
+                }
+                Opcode::SStore => {
+                    cache.access_store(m.base);
+                }
+                _ => {
+                    cache.invalidate_range(m.range_lo, m.range_hi);
+                }
+            }
+        }
+        let grant = self.bus.reserve(self.now, u64::from(vl));
+        debug_assert_eq!(grant.start, self.now);
+        self.note_event(self.bus.free_at());
+        self.occ
+            .busy(oov_stats::VectorUnit::Mem, grant.start, grant.last);
+        if is_load {
+            self.traffic.record_load(u64::from(vl), is_spill, is_vector);
+        } else {
+            self.traffic
+                .record_store(u64::from(vl), is_spill, is_vector);
+        }
+        let complete = if is_load {
+            let first = grant.start + latency;
+            let last = grant.last + latency;
+            if let Some(d) = dst {
+                self.set_avail(d.class, d.new, first, last);
+            }
+            last
+        } else {
+            // Store data streams from its register: occupy the read port.
+            if let Some((c, p)) = data_src {
+                if c == RegClass::V {
+                    self.timing.read_port_free[p as usize] = grant.last + 1;
+                    self.note_event(grant.last + 1);
+                }
+            }
+            grant.last
+        };
+        // Only the ROB head's completion gates commit; pushing every
+        // entry's completion would wake dead spans for nothing. A
+        // non-head entry's completion is re-noted by `commit` when the
+        // entry reaches the head (a progress cycle) still incomplete.
+        if self.rob.head_seq() == Some(seq) {
+            self.note_event(complete);
+        }
+        self.max_complete = self.max_complete.max(complete);
+        let entry = self.rob.get_mut(seq).expect("entry vanished");
+        entry.state = EntryState::Issued;
+        entry.issue_time = grant.start;
+        entry.complete_time = complete;
+        entry.mem_stage = MemStage::Done;
+        self.q_m.remove_at(q_pos);
+        self.progress(StageId::IssueMem);
+    }
+}

@@ -1,0 +1,108 @@
+//! Scalar issue: the A (address) and S (scalar) queues, each issuing
+//! one ready instruction per cycle out of order. Scalar consumption is
+//! non-chained (a consumer waits for its producer's last write) and
+//! there is no structural hazard beyond the queues themselves, so the
+//! two queues share one implementation parameterised by queue.
+//!
+//! Resolved control transfers schedule their deferred BTB update here
+//! and, on a misprediction, the fetch-resume time.
+
+use crate::rob::EntryState;
+use crate::sim::OooSim;
+use crate::stages::StageId;
+
+impl OooSim<'_> {
+    /// Future times at which a scalar-queue entry's issue conditions
+    /// can flip: each entry's [`OooSim::entry_ready_time`] (the single
+    /// definition of per-entry readiness, shared with the fused
+    /// in-scan accumulation and the wakeup-edge merge). Entries with
+    /// an unproduced source resolve to "edge-only" and contribute
+    /// nothing: their producers' `set_avail` re-arms the stage.
+    pub(crate) fn issue_scalar_wake_scan(&self, a_queue: bool, add: &mut impl FnMut(u64)) {
+        let q = if a_queue { &self.q_a } else { &self.q_s };
+        if q.is_empty() {
+            return;
+        }
+        for seq in q.iter() {
+            if let Some(e) = self.rob.get(seq) {
+                let t = self.entry_ready_time(e);
+                if t != u64::MAX {
+                    add(t);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn issue_scalar_queue(&mut self, a_queue: bool) {
+        let qlen = if a_queue {
+            self.q_a.raw_len()
+        } else {
+            self.q_s.raw_len()
+        };
+        for pos in 0..qlen {
+            let got = if a_queue {
+                self.q_a.raw_get(pos)
+            } else {
+                self.q_s.raw_get(pos)
+            };
+            let Some(seq) = got else { continue };
+            let Some(e) = self.rob.get(seq) else { continue };
+            if self.stepper == crate::Stepper::EventDriven {
+                // Wakeup index + fused wake accumulation: entries with
+                // an outstanding producer are edge-woken; a time-blocked
+                // entry notes its exact ready time (max over source
+                // `last` times — equivalent to `sources_ready`) into
+                // the stage's wake. The naive oracle polls
+                // `sources_ready` unconditionally so the parity tests
+                // cross-check both the index and the accumulator.
+                if e.waiting_srcs > 0 {
+                    continue;
+                }
+                let t = self.entry_ready_time(e);
+                if t > self.now {
+                    self.note_scan_wake(t);
+                    continue;
+                }
+            } else if !self.sources_ready(e, false) {
+                continue;
+            }
+            let Some(e) = self.rob.get(seq) else { continue };
+            let exec = u64::from(self.cfg.lat.exec(e.op));
+            let now = self.now;
+            let complete = now + exec;
+            let dst = e.dst;
+            let (is_control, pc, branch, mispredicted) =
+                (e.op.is_control(), e.pc, e.branch, e.mispredicted);
+            if self.rob.head_seq() == Some(seq) {
+                self.note_event(complete);
+            }
+            if let Some(d) = dst {
+                self.set_avail(d.class, d.new, complete, complete);
+            }
+            self.max_complete = self.max_complete.max(complete);
+            let entry = self.rob.get_mut(seq).expect("entry vanished");
+            entry.state = EntryState::Issued;
+            entry.issue_time = now;
+            entry.complete_time = complete;
+            if is_control {
+                if let Some(b) = branch {
+                    self.btb_updates.push((complete, pc, b.taken, b.target));
+                    self.sched.btb_wake = self.sched.btb_wake.min(complete);
+                }
+                if mispredicted {
+                    let resume = complete + u64::from(self.cfg.lat.mispredict_penalty);
+                    self.note_event(resume);
+                    self.fetch_resume_at = Some(resume);
+                }
+            }
+            if a_queue {
+                self.q_a.remove_at(pos);
+                self.progress(StageId::IssueA);
+            } else {
+                self.q_s.remove_at(pos);
+                self.progress(StageId::IssueS);
+            }
+            return;
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Vector-queue issue: out-of-order selection of one ready vector
+//! instruction per cycle onto FU1 or FU2 (divides and square roots are
+//! FU2-only), with chained source consumption, dedicated per-register
+//! read ports, and reductions draining the full vector before their
+//! scalar result lands.
+
+use oov_isa::{FuClass, RegClass};
+
+use crate::rob::EntryState;
+use crate::sim::OooSim;
+use crate::stages::StageId;
+
+impl OooSim<'_> {
+    /// Future times at which a vector-queue entry's issue conditions
+    /// can flip: each entry's [`OooSim::entry_ready_time`] — the max
+    /// over its chained source times, its sources' read-port releases
+    /// and the release of a usable functional unit, exact *at scan
+    /// time*. Reservations made after the scan (a port claimed by a
+    /// store stream, an FU taken by another issue) can only delay the
+    /// entry further — a spurious early wake, never a missed one.
+    /// Entries with an unproduced source resolve to "edge-only":
+    /// their producers' `set_avail` re-arms the stage.
+    pub(crate) fn issue_vector_wake_scan(&self, add: &mut impl FnMut(u64)) {
+        if self.q_v.is_empty() {
+            return;
+        }
+        for seq in self.q_v.iter() {
+            if let Some(e) = self.rob.get(seq) {
+                let t = self.entry_ready_time(e);
+                if t != u64::MAX {
+                    add(t);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn issue_vector(&mut self) {
+        let lat = self.cfg.lat;
+        for pos in 0..self.q_v.raw_len() {
+            let Some(seq) = self.q_v.raw_get(pos) else {
+                continue;
+            };
+            let Some(e) = self.rob.get(seq) else { continue };
+            if self.stepper == crate::Stepper::EventDriven {
+                // Wakeup index + fused wake accumulation: a producer
+                // that has not issued is an edge wake; a time-blocked
+                // entry (chained sources, read ports or both FUs busy
+                // — `entry_ready_time` folds them all, so `t <= now`
+                // is exactly "`sources_ready` and an FU is free")
+                // notes its ready time into the stage's wake. The
+                // naive oracle runs the full polls so the parity tests
+                // cross-check index and accumulator alike.
+                if e.waiting_srcs > 0 {
+                    continue;
+                }
+                let t = self.entry_ready_time(e);
+                if t > self.now {
+                    self.note_scan_wake(t);
+                    continue;
+                }
+            } else if !self.sources_ready(e, true) {
+                continue;
+            }
+            let Some(e) = self.rob.get(seq) else { continue };
+            let fu2_only = e.op.fu_class() == FuClass::VecFu2Only;
+            let use_fu2 = if fu2_only {
+                if self.fu2_free > self.now {
+                    continue;
+                }
+                true
+            } else if self.fu1_free <= self.now {
+                false
+            } else if self.fu2_free <= self.now {
+                true
+            } else {
+                continue;
+            };
+            // Issue.
+            let vl = u64::from(e.vl);
+            let leff = u64::from(lat.first_result(e.op));
+            let srcs = e.srcs.clone();
+            let dst = e.dst;
+            let now = self.now;
+            let busy_until = now + vl.max(1);
+            self.note_event(busy_until);
+            if use_fu2 {
+                self.fu2_free = busy_until;
+                self.occ
+                    .busy(oov_stats::VectorUnit::Fu2, now, busy_until - 1);
+            } else {
+                self.fu1_free = busy_until;
+                self.occ
+                    .busy(oov_stats::VectorUnit::Fu1, now, busy_until - 1);
+            }
+            for (c, p) in srcs {
+                if c == RegClass::V {
+                    self.timing.read_port_free[p as usize] = busy_until;
+                }
+            }
+            let complete = if let Some(d) = dst {
+                let (first, last) = if d.class.is_scalar() {
+                    // Reductions deliver after draining the vector.
+                    let done = now + leff + vl;
+                    (done, done)
+                } else {
+                    (now + leff, now + leff + vl - 1)
+                };
+                self.set_avail(d.class, d.new, first, last);
+                last
+            } else {
+                now + leff + vl - 1
+            };
+            if self.rob.head_seq() == Some(seq) {
+                self.note_event(complete);
+            }
+            self.max_complete = self.max_complete.max(complete);
+            let entry = self.rob.get_mut(seq).expect("entry vanished");
+            entry.state = EntryState::Issued;
+            entry.issue_time = now;
+            entry.complete_time = complete;
+            self.q_v.remove_at(pos);
+            self.progress(StageId::IssueVector);
+            return;
+        }
+    }
+}

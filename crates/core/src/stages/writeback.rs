@@ -1,0 +1,59 @@
+//! Writeback phase: deferred BTB updates and pending eliminated-load
+//! copies.
+//!
+//! Two small, unordered pools of delayed effects resolve here:
+//!
+//! * **BTB updates** — a resolved control transfer updates the branch
+//!   target buffer at its completion time, not at issue
+//!   ([`crate::OooSim::apply_btb_updates`]). The scheduler tracks the
+//!   earliest pending time in `Scheduler::btb_wake`, so the sweep only
+//!   runs when an update is due.
+//! * **Eliminated-load copies** — a scalar load eliminated against a
+//!   provider that had not yet produced its value waits here for the
+//!   provider, then completes as a register-to-register copy
+//!   ([`crate::OooSim::resolve_pending_copies`]). The pool is almost
+//!   always empty; the predicate is simply non-emptiness.
+
+use crate::sim::OooSim;
+use crate::stages::StageId;
+
+impl OooSim<'_> {
+    /// Applies every deferred BTB update whose time has come, and
+    /// recomputes the earliest remaining one for the scheduler.
+    pub(crate) fn apply_btb_updates(&mut self) {
+        let now = self.now;
+        let mut i = 0;
+        while i < self.btb_updates.len() {
+            if self.btb_updates[i].0 <= now {
+                let (_, pc, taken, target) = self.btb_updates.swap_remove(i);
+                self.btb.update(pc, taken, target);
+                self.progress(StageId::Writeback);
+            } else {
+                i += 1;
+            }
+        }
+        self.sched.btb_wake = self
+            .btb_updates
+            .iter()
+            .map(|u| u.0)
+            .min()
+            .unwrap_or(u64::MAX);
+    }
+
+    /// Completes eliminated scalar loads whose provider has produced.
+    pub(crate) fn resolve_pending_copies(&mut self) {
+        let mut i = 0;
+        while i < self.pending_copies.len() {
+            let (dc, dp, pc_, pp, min_t) = self.pending_copies[i];
+            if self.timing.is_produced(pc_, pp) {
+                let t = self.timing.last(pc_, pp).max(min_t) + 1;
+                self.set_avail(dc, dp, t, t);
+                self.max_complete = self.max_complete.max(t);
+                self.pending_copies.swap_remove(i);
+                self.progress(StageId::Writeback);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}

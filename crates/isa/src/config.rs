@@ -201,6 +201,15 @@ pub struct OooConfig {
     pub load_elim: LoadElimMode,
     /// Scalar data cache (`None` disables it — an ablation knob).
     pub scalar_cache: Option<ScalarCacheCfg>,
+    /// Engine knob (no timing effect): maximum number of consecutive
+    /// front-end-only cycles the stage-graph scheduler runs in one
+    /// fused fetch+dispatch burst before re-checking the back-end
+    /// active set. `1` disables batching.
+    pub frontend_batch: u32,
+    /// Engine knob (no timing effect): `false` makes the event-driven
+    /// stepper walk every stage on every progress cycle instead of
+    /// only the active set — an ablation/debugging fallback.
+    pub stage_masking: bool,
 }
 
 impl Default for OooConfig {
@@ -219,6 +228,8 @@ impl Default for OooConfig {
             commit: CommitMode::Early,
             load_elim: LoadElimMode::Off,
             scalar_cache: Some(ScalarCacheCfg::default()),
+            frontend_batch: 64,
+            stage_masking: true,
         }
     }
 }
@@ -268,6 +279,27 @@ impl OooConfig {
         if mode != LoadElimMode::Off {
             self.commit = CommitMode::Late;
         }
+        self
+    }
+
+    /// Sets the fused front-end burst length (builder style). Engine
+    /// knob only — results are bit-identical for every value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero (`1` disables batching).
+    #[must_use]
+    pub fn with_frontend_batch(mut self, n: u32) -> Self {
+        assert!(n >= 1, "front-end burst length must be at least 1");
+        self.frontend_batch = n;
+        self
+    }
+
+    /// Enables or disables active-set stage masking (builder style).
+    /// Engine knob only — results are bit-identical either way.
+    #[must_use]
+    pub fn with_stage_masking(mut self, on: bool) -> Self {
+        self.stage_masking = on;
         self
     }
 }
@@ -423,6 +455,15 @@ impl OooConfig {
             load_elim: LoadElimMode::from_name(elim_name)
                 .ok_or_else(|| format!("ooo config: unknown load-elim mode `{elim_name}`"))?,
             scalar_cache: cache_from_json(v.get("scalar_cache"))?,
+            // Engine knobs are deliberately absent from the wire
+            // encoding: they cannot influence any simulation outcome
+            // (the parity grid proves it), so including them would
+            // split the serve result cache — whose fingerprint
+            // contract is "equal iff every outcome-relevant field is
+            // equal" — over bit-identical results. Wire-decoded
+            // configurations always run the default engine.
+            frontend_batch: OooConfig::default().frontend_batch,
+            stage_masking: OooConfig::default().stage_masking,
         };
         if cfg.phys_v_regs < 9 || cfg.phys_a_regs < 9 || cfg.phys_s_regs < 9 {
             return Err(format!(
@@ -549,6 +590,33 @@ mod tests {
         assert_eq!(c.queue_slots, 128);
         assert_eq!(c.lat.memory, 100);
         assert_eq!(c.commit, CommitMode::Late);
+    }
+
+    #[test]
+    fn engine_knobs_default_and_compose() {
+        let c = OooConfig::default();
+        assert_eq!(c.frontend_batch, 64);
+        assert!(c.stage_masking);
+        let c = c.with_frontend_batch(1).with_stage_masking(false);
+        assert_eq!(c.frontend_batch, 1);
+        assert!(!c.stage_masking);
+    }
+
+    #[test]
+    fn engine_knobs_do_not_reach_the_wire_or_the_fingerprint() {
+        // The knobs cannot change results, so two configurations
+        // differing only in them must cache and route as one.
+        let a = MachineConfig::Ooo(OooConfig::default());
+        let b = MachineConfig::Ooo(
+            OooConfig::default()
+                .with_frontend_batch(1)
+                .with_stage_masking(false),
+        );
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.to_json().to_string(), b.to_json().to_string());
+        // Decoding normalises to the default engine.
+        let decoded = MachineConfig::from_json(&b.to_json()).unwrap();
+        assert_eq!(decoded, a);
     }
 
     #[test]

@@ -21,6 +21,12 @@
 //! * `--scale <smoke|paper>`  default `smoke`
 //! * `--verify`             recompute every unique point in-process
 //!   and assert the served `SimStats` are bit-identical
+//! * `--cache-file <path>`  restart test (implies `--spawn`): run the
+//!   whole workload against a server dumping its caches to `<path>`,
+//!   shut it down, start a *fresh* server loading `<path>`, and run
+//!   the identical workload again — asserting the warm server misses
+//!   zero times and compiles no suite. Proves the dump/load round
+//!   trip end to end.
 //! * `--out <path>`         artifact path, default `BENCH_serve.json`
 //!   at the repository root
 
@@ -29,7 +35,7 @@ use std::time::Instant;
 use oov_isa::{CommitMode, LoadElimMode, MachineConfig, OooConfig, RefConfig};
 use oov_kernels::{Program, Scale};
 use oov_proto::Json;
-use oov_serve::{Client, Server, SimRequest};
+use oov_serve::{Client, PersistOptions, Server, SimRequest, StatsSnapshot};
 
 /// SplitMix64 step — deterministic per-client request ordering.
 fn splitmix(state: &mut u64) -> u64 {
@@ -83,6 +89,7 @@ struct Args {
     requests: usize,
     scale: Scale,
     verify: bool,
+    cache_file: Option<String>,
     out: String,
 }
 
@@ -95,6 +102,7 @@ fn parse_args() -> Result<Args, String> {
         requests: 50,
         scale: Scale::Smoke,
         verify: false,
+        cache_file: None,
         out: concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").into(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -125,6 +133,10 @@ fn parse_args() -> Result<Args, String> {
                 args.scale = Scale::from_name(&v).ok_or_else(|| format!("unknown scale {v}"))?;
             }
             "--verify" => args.verify = true,
+            "--cache-file" => {
+                args.cache_file = Some(value(&mut i)?);
+                args.spawn = true;
+            }
             "--out" => args.out = value(&mut i)?,
             other => return Err(format!("unknown flag {other}")),
         }
@@ -133,44 +145,25 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn run() -> Result<(), String> {
-    let args = parse_args()?;
-    let server = if args.spawn {
-        let handle =
-            Server::start("127.0.0.1:0", args.shards).map_err(|e| format!("spawn server: {e}"))?;
-        println!("spawned in-process server on {}", handle.addr());
-        Some(handle)
-    } else {
-        None
-    };
-    let addr = server
-        .as_ref()
-        .map_or(args.addr.clone(), |h| h.addr().to_string());
+/// One complete load phase: K clients × M requests, latencies in µs.
+struct Phase {
+    latencies: Vec<f64>,
+    wall_ms: f64,
+    client_hits: usize,
+    verified: usize,
+    stats: StatsSnapshot,
+}
 
-    let pool = request_pool(args.scale);
-    // Expected outcomes for --verify: compile the suite once locally
-    // and run every unique point through the same helper the server
-    // shards use.
-    let expected: Vec<Option<oov_stats::SimStats>> = if args.verify {
-        println!("verify: computing {} in-process baselines...", pool.len());
-        let suite = oov_bench::Suite::compile(args.scale);
-        pool.iter()
-            .map(|req| {
-                Some(
-                    oov_bench::machine_run(
-                        suite.get(req.program),
-                        &req.machine,
-                        req.stepper,
-                        req.fault_at,
-                    )
-                    .stats,
-                )
-            })
-            .collect()
-    } else {
-        vec![None; pool.len()]
-    };
-
+/// Drives the full client workload against `addr` and snapshots the
+/// server counters afterwards. Deterministic: the per-client PRNG
+/// seeds depend only on the client index, so two phases issue the
+/// identical request sequence.
+fn drive(
+    addr: &str,
+    args: &Args,
+    pool: &[SimRequest],
+    expected: &[Option<oov_stats::SimStats>],
+) -> Result<Phase, String> {
     println!(
         "driving {} clients x {} requests over {} unique points at {addr}...",
         args.clients,
@@ -181,11 +174,8 @@ fn run() -> Result<(), String> {
     let per_client: Vec<(Vec<f64>, usize, usize)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..args.clients)
             .map(|client_ix| {
-                let pool = &pool;
-                let expected = &expected;
-                let addr = &addr;
                 s.spawn(move || {
-                    let mut client = Client::connect(addr.as_str()).expect("loadgen connect");
+                    let mut client = Client::connect(addr).expect("loadgen connect");
                     let mut rng = 0x5eed_0000u64 + client_ix as u64;
                     let mut latencies = Vec::with_capacity(args.requests);
                     let mut hits = 0;
@@ -216,20 +206,103 @@ fn run() -> Result<(), String> {
             .collect()
     });
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-
     let mut latencies: Vec<f64> = per_client.iter().flat_map(|(l, _, _)| l.clone()).collect();
     latencies.sort_by(f64::total_cmp);
-    let client_hits: usize = per_client.iter().map(|(_, h, _)| h).sum();
-    let verified: usize = per_client.iter().map(|(_, _, v)| v).sum();
-    let total = latencies.len();
-    let mean = latencies.iter().sum::<f64>() / total.max(1) as f64;
+    Ok(Phase {
+        client_hits: per_client.iter().map(|(_, h, _)| h).sum(),
+        verified: per_client.iter().map(|(_, _, v)| v).sum(),
+        stats: Client::connect(addr)?.stats()?,
+        latencies,
+        wall_ms,
+    })
+}
 
-    let stats = Client::connect(addr.as_str())?.stats()?;
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let pool = request_pool(args.scale);
+    // Expected outcomes for --verify: compile the suite once locally
+    // and run every unique point through the same helper the server
+    // shards use.
+    let expected: Vec<Option<oov_stats::SimStats>> = if args.verify {
+        println!("verify: computing {} in-process baselines...", pool.len());
+        let suite = oov_bench::Suite::compile(args.scale);
+        pool.iter()
+            .map(|req| {
+                Some(
+                    oov_bench::machine_run(
+                        suite.get(req.program),
+                        &req.machine,
+                        req.stepper,
+                        req.fault_at,
+                    )
+                    .stats,
+                )
+            })
+            .collect()
+    } else {
+        vec![None; pool.len()]
+    };
+
+    let persist = |load: bool, dump: bool| PersistOptions {
+        load: (load && args.cache_file.is_some()).then(|| args.cache_file.clone().unwrap().into()),
+        dump: (dump && args.cache_file.is_some()).then(|| args.cache_file.clone().unwrap().into()),
+    };
+    let server = if args.spawn {
+        let handle = Server::start_with("127.0.0.1:0", args.shards, persist(false, true))
+            .map_err(|e| format!("spawn server: {e}"))?;
+        println!("spawned in-process server on {}", handle.addr());
+        Some(handle)
+    } else {
+        None
+    };
+    let addr = server
+        .as_ref()
+        .map_or(args.addr.clone(), |h| h.addr().to_string());
+
+    let phase = drive(&addr, &args, &pool, &expected)?;
     if let Some(handle) = server {
         Client::connect(addr.as_str())?.shutdown()?;
         handle.join();
     }
 
+    // Restart check: a fresh server seeded from the dump must answer
+    // the identical workload without a single simulation or suite
+    // compile.
+    let restart = if args.cache_file.is_some() {
+        let handle = Server::start_with("127.0.0.1:0", args.shards, persist(true, false))
+            .map_err(|e| format!("respawn server: {e}"))?;
+        let warm_addr = handle.addr().to_string();
+        println!("restarted server on {warm_addr} with the dumped cache...");
+        let warm = drive(&warm_addr, &args, &pool, &expected)?;
+        Client::connect(warm_addr.as_str())?.shutdown()?;
+        handle.join();
+        if warm.stats.result_misses > 0 {
+            return Err(format!(
+                "restart check failed: warm server missed {} times (expected 0)",
+                warm.stats.result_misses
+            ));
+        }
+        if warm.stats.suite_compiles_smoke + warm.stats.suite_compiles_paper > 0 {
+            return Err("restart check failed: warm server compiled a suite".into());
+        }
+        println!(
+            "restart check: {} requests, {} hits, 0 misses, 0 suite compiles, verified {}",
+            warm.stats.requests, warm.stats.result_hits, warm.verified
+        );
+        Some(warm)
+    } else {
+        None
+    };
+
+    let Phase {
+        latencies,
+        wall_ms,
+        client_hits,
+        verified,
+        stats,
+    } = phase;
+    let total = latencies.len();
+    let mean = latencies.iter().sum::<f64>() / total.max(1) as f64;
     let throughput = total as f64 / (wall_ms / 1e3);
     println!(
         "{total} requests in {wall_ms:.1} ms = {throughput:.0} req/s \
@@ -288,6 +361,24 @@ fn run() -> Result<(), String> {
             Json::Arr(stats.per_shard_requests.iter().map(|&n| n.into()).collect()),
         ),
         ("verified", verified.into()),
+        (
+            "restart",
+            restart.map_or(Json::Null, |warm| {
+                Json::obj(vec![
+                    ("requests", warm.stats.requests.into()),
+                    ("result_hits", warm.stats.result_hits.into()),
+                    ("result_misses", warm.stats.result_misses.into()),
+                    (
+                        "suite_compiles",
+                        (warm.stats.suite_compiles_smoke + warm.stats.suite_compiles_paper).into(),
+                    ),
+                    ("wall_ms", us(warm.wall_ms)),
+                    ("p50_us", us(percentile(&warm.latencies, 50.0))),
+                    ("client_hits", warm.client_hits.into()),
+                    ("verified", warm.verified.into()),
+                ])
+            }),
+        ),
     ]);
     std::fs::write(&args.out, doc.pretty()).map_err(|e| format!("{}: {e}", args.out))?;
     println!("wrote {}", args.out);

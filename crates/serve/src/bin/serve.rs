@@ -9,33 +9,41 @@
 //! * `--addr <host:port>`  bind address, default `127.0.0.1:7540`
 //!   (port 0 picks an ephemeral port and prints it)
 //! * `--shards <n>`        worker shards, default `min(cores, 8)`
+//! * `--cache-load <path>` seed the result caches from a dump written
+//!   by `--cache-dump`, so a restarted daemon starts warm (a dump
+//!   from any shard count loads into any other)
+//! * `--cache-dump <path>` write every shard's result cache to
+//!   `<path>` at graceful shutdown (atomic: temp file + rename)
 //!
 //! The process runs until a client sends a `shutdown` request (e.g.
 //! `client --addr ... shutdown`) or it is killed.
 
-use oov_serve::Server;
+use oov_serve::{PersistOptions, Server};
 
 fn main() {
     let mut addr = "127.0.0.1:7540".to_string();
     let mut shards = std::thread::available_parallelism()
         .map(|n| n.get().min(8))
         .unwrap_or(4);
+    let mut persist = PersistOptions::default();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
+    let value = |i: &mut usize, argv: &[String]| {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("error: missing value for {}", argv[*i - 1]);
+            std::process::exit(2);
+        })
+    };
     while i < argv.len() {
         match argv[i].as_str() {
-            "--addr" => {
-                i += 1;
-                addr = argv.get(i).cloned().unwrap_or_else(|| {
-                    eprintln!("error: missing value for --addr");
-                    std::process::exit(2);
-                });
-            }
+            "--addr" => addr = value(&mut i, &argv),
+            "--cache-load" => persist.load = Some(value(&mut i, &argv).into()),
+            "--cache-dump" => persist.dump = Some(value(&mut i, &argv).into()),
             "--shards" => {
-                i += 1;
-                shards = argv
-                    .get(i)
-                    .and_then(|v| v.parse().ok())
+                shards = value(&mut i, &argv)
+                    .parse()
+                    .ok()
                     .filter(|&n| n > 0)
                     .unwrap_or_else(|| {
                         eprintln!("error: --shards needs a positive integer");
@@ -49,7 +57,7 @@ fn main() {
         }
         i += 1;
     }
-    let handle = match Server::start(&addr, shards) {
+    let handle = match Server::start_with(&addr, shards, persist) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("error: failed to start server on {addr}: {e}");

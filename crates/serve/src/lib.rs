@@ -59,9 +59,11 @@
 
 pub mod cache;
 pub mod client;
+pub mod persist;
 pub mod proto;
 pub mod server;
 
 pub use client::Client;
+pub use persist::CacheLine;
 pub use proto::{Request, Response, SimRequest, SimResult, StatsSnapshot};
-pub use server::{Server, ServerHandle};
+pub use server::{PersistOptions, Server, ServerHandle};

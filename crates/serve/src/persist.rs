@@ -1,0 +1,196 @@
+//! Cross-restart persistence of the shard result caches.
+//!
+//! A long-lived daemon accumulates thousands of simulated points in
+//! its per-shard result caches; restarting it (a deploy, a crash, a
+//! host move) used to throw all of that work away. `serve
+//! --cache-dump <path>` writes every shard's cache as one
+//! [`oov_proto::Json`] document at shutdown, and `--cache-load
+//! <path>` seeds a fresh server from such a dump so it starts warm —
+//! `loadgen --cache-file` proves a restarted daemon answers a
+//! repeated workload entirely from cache.
+//!
+//! Each entry carries the full-request fingerprint (the cache key),
+//! the machine-config fingerprint (the shard-routing key — kept
+//! separately so a dump taken with N shards loads correctly into a
+//! server with M), and the result. Fingerprints are 64-bit FNV values
+//! that use the whole range, while the wire's JSON numbers are
+//! f64-backed (exact only to 2^53) — so fingerprints travel as hex
+//! strings.
+
+use std::io::Write;
+use std::path::Path;
+
+use oov_proto::Json;
+
+use crate::proto::SimResult;
+
+/// One persisted result-cache entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheLine {
+    /// Full-request fingerprint — the result-cache key.
+    pub key: u64,
+    /// Machine-config fingerprint — the shard-routing key.
+    pub machine_fp: u64,
+    /// The cached result.
+    pub result: SimResult,
+}
+
+fn fp_to_hex(fp: u64) -> String {
+    format!("{fp:#018x}")
+}
+
+fn fp_from_hex(s: &str) -> Result<u64, String> {
+    let digits = s
+        .strip_prefix("0x")
+        .ok_or_else(|| format!("cache dump: fingerprint `{s}` lacks the 0x prefix"))?;
+    u64::from_str_radix(digits, 16).map_err(|e| format!("cache dump: bad fingerprint `{s}`: {e}"))
+}
+
+/// Encodes a set of cache entries as one JSON document.
+#[must_use]
+pub fn encode(entries: &[CacheLine]) -> Json {
+    Json::obj(vec![
+        ("type", "cache_dump".into()),
+        ("version", 1u64.into()),
+        (
+            "entries",
+            Json::Arr(
+                entries
+                    .iter()
+                    .map(|e| {
+                        Json::obj(vec![
+                            ("key", fp_to_hex(e.key).into()),
+                            ("machine_fp", fp_to_hex(e.machine_fp).into()),
+                            ("result", Json::Obj(e.result.body())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decodes an [`encode`]d document.
+///
+/// # Errors
+///
+/// Returns a message naming the malformed field; an unknown `version`
+/// is rejected rather than half-read.
+pub fn decode(doc: &Json) -> Result<Vec<CacheLine>, String> {
+    match doc.get("type").and_then(Json::as_str) {
+        Some("cache_dump") => {}
+        _ => return Err("cache dump: not a cache_dump document".into()),
+    }
+    match doc.get("version").and_then(Json::as_u64) {
+        Some(1) => {}
+        v => return Err(format!("cache dump: unsupported version {v:?}")),
+    }
+    doc.get("entries")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "cache dump: missing `entries`".to_string())?
+        .iter()
+        .map(|e| {
+            let fp = |name: &str| {
+                e.get(name)
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("cache dump: entry without `{name}`"))
+                    .and_then(fp_from_hex)
+            };
+            Ok(CacheLine {
+                key: fp("key")?,
+                machine_fp: fp("machine_fp")?,
+                result: SimResult::from_json(
+                    e.get("result")
+                        .ok_or_else(|| "cache dump: entry without `result`".to_string())?,
+                )?,
+            })
+        })
+        .collect()
+}
+
+/// Writes a dump to `path` (atomically: temp file + rename, so a
+/// crash mid-dump never truncates an existing good dump).
+///
+/// # Errors
+///
+/// Propagates filesystem errors as text.
+pub fn save(path: &Path, entries: &[CacheLine]) -> Result<(), String> {
+    let tmp = path.with_extension("tmp");
+    let doc = encode(entries);
+    (|| -> std::io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        writeln!(f, "{}", doc.pretty())?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })()
+    .map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Reads a dump written by [`save`].
+///
+/// # Errors
+///
+/// Propagates filesystem and parse errors as text.
+pub fn load(path: &Path) -> Result<Vec<CacheLine>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    decode(&doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oov_stats::SimStats;
+
+    fn line(key: u64, machine_fp: u64, cycles: u64) -> CacheLine {
+        CacheLine {
+            key,
+            machine_fp,
+            result: SimResult {
+                stats: SimStats {
+                    cycles,
+                    committed: 7,
+                    ..SimStats::new()
+                },
+                ideal_cycles: 3,
+                faults_taken: 0,
+                cached: false,
+                shard: 2,
+            },
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_full_range_fingerprints() {
+        // Fingerprints above 2^53 would corrupt silently as JSON
+        // numbers; the hex-string encoding must carry them exactly.
+        let entries = vec![line(u64::MAX, 0xdead_beef_cafe_f00d, 123), line(1, 0, 456)];
+        let doc = encode(&entries);
+        let reparsed = Json::parse(&doc.to_string()).unwrap();
+        assert_eq!(decode(&reparsed).unwrap(), entries);
+    }
+
+    #[test]
+    fn save_and_load_round_trip_on_disk() {
+        let path = std::env::temp_dir().join(format!("oov_cache_{}.json", std::process::id()));
+        let entries = vec![line(42, 99, 1000)];
+        save(&path, &entries).unwrap();
+        assert_eq!(load(&path).unwrap(), entries);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn decode_rejects_wrong_type_and_version() {
+        let not_dump = Json::obj(vec![("type", "sweep".into())]);
+        assert!(decode(&not_dump).is_err());
+        let mut doc = encode(&[]);
+        if let Json::Obj(pairs) = &mut doc {
+            for (k, v) in pairs.iter_mut() {
+                if k == "version" {
+                    *v = 2u64.into();
+                }
+            }
+        }
+        assert!(decode(&doc).unwrap_err().contains("version"));
+    }
+}

@@ -244,7 +244,7 @@ pub struct SimResult {
 }
 
 impl SimResult {
-    fn body(&self) -> Vec<(String, Json)> {
+    pub(crate) fn body(&self) -> Vec<(String, Json)> {
         vec![
             ("cached".to_string(), self.cached.into()),
             ("shard".to_string(), self.shard.into()),
@@ -254,7 +254,7 @@ impl SimResult {
         ]
     }
 
-    fn from_json(v: &Json) -> Result<Self, String> {
+    pub(crate) fn from_json(v: &Json) -> Result<Self, String> {
         let field = |name: &str| {
             v.get(name)
                 .and_then(Json::as_u64)

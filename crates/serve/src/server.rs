@@ -22,6 +22,7 @@
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -30,6 +31,7 @@ use std::time::Duration;
 use oov_bench::machine_run;
 
 use crate::cache::SuiteCache;
+use crate::persist::{self, CacheLine};
 use crate::proto::{Request, Response, SimRequest, SimResult, StatsSnapshot};
 
 /// How often parked connection threads re-check the shutdown flag.
@@ -81,12 +83,22 @@ impl Engine {
     }
 }
 
+/// Result-cache persistence configuration for [`Server::start_with`].
+#[derive(Debug, Default, Clone)]
+pub struct PersistOptions {
+    /// Seed the shard result caches from this dump at startup.
+    pub load: Option<PathBuf>,
+    /// Write every shard's result cache to this path at shutdown.
+    pub dump: Option<PathBuf>,
+}
+
 /// Server configuration and entry point.
 pub struct Server;
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts the
-    /// acceptor plus `n_shards` worker shards.
+    /// acceptor plus `n_shards` worker shards, with no cache
+    /// persistence.
     ///
     /// # Errors
     ///
@@ -96,21 +108,61 @@ impl Server {
     ///
     /// Panics if `n_shards` is zero.
     pub fn start(addr: &str, n_shards: usize) -> io::Result<ServerHandle> {
+        Self::start_with(addr, n_shards, PersistOptions::default())
+    }
+
+    /// As [`Server::start`], optionally seeding the shard result
+    /// caches from a dump and/or dumping them at shutdown. Entries
+    /// are re-routed by machine fingerprint at load, so a dump taken
+    /// with one shard count loads correctly into any other.
+    ///
+    /// A missing or unloadable `load` file (including a dump from a
+    /// build with an older `SimStats` schema) starts the server
+    /// **cold** with a warning instead of refusing to start — losing
+    /// a cache must never take the service down.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and thread-spawn failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_shards` is zero.
+    pub fn start_with(
+        addr: &str,
+        n_shards: usize,
+        persist_opts: PersistOptions,
+    ) -> io::Result<ServerHandle> {
         assert!(n_shards > 0, "need at least one shard");
+        let mut seeds: Vec<Vec<CacheLine>> = (0..n_shards).map(|_| Vec::new()).collect();
+        if let Some(path) = &persist_opts.load {
+            match persist::load(path) {
+                Ok(entries) => {
+                    for mut entry in entries {
+                        let shard = (entry.machine_fp % n_shards as u64) as usize;
+                        entry.result.shard = shard;
+                        seeds[shard].push(entry);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("oov-serve: cache load failed ({e}); starting cold");
+                }
+            }
+        }
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let engine = Arc::new(Engine::new(n_shards));
 
         let mut senders = Vec::with_capacity(n_shards);
         let mut workers = Vec::with_capacity(n_shards);
-        for shard in 0..n_shards {
+        for (shard, seed) in seeds.into_iter().enumerate() {
             let (tx, rx) = mpsc::channel::<Job>();
             senders.push(tx);
             let engine = Arc::clone(&engine);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("oov-shard-{shard}"))
-                    .spawn(move || worker(shard, &rx, &engine))?,
+                    .spawn(move || worker(shard, seed, &rx, &engine))?,
             );
         }
 
@@ -140,6 +192,7 @@ impl Server {
             acceptor,
             workers,
             engine,
+            dump: persist_opts.dump,
         })
     }
 }
@@ -148,8 +201,9 @@ impl Server {
 pub struct ServerHandle {
     local_addr: SocketAddr,
     acceptor: JoinHandle<()>,
-    workers: Vec<JoinHandle<()>>,
+    workers: Vec<JoinHandle<Vec<CacheLine>>>,
     engine: Arc<Engine>,
+    dump: Option<PathBuf>,
 }
 
 impl ServerHandle {
@@ -175,7 +229,8 @@ impl ServerHandle {
 
     /// Joins every server thread; returns once the server has shut
     /// down (via [`ServerHandle::stop`] or a client's `shutdown`
-    /// request).
+    /// request). If the server was started with a dump path, every
+    /// shard's result cache is written there before returning.
     pub fn join(self) {
         let _ = self.acceptor.join();
         // Connection threads exit within `READ_POLL` of the flag; the
@@ -183,21 +238,47 @@ impl ServerHandle {
         // threads) is gone. Drop our engine reference first so no
         // sender can outlive the join below.
         drop(self.engine);
+        let mut entries: Vec<CacheLine> = Vec::new();
         for w in self.workers {
-            let _ = w.join();
+            if let Ok(shard_entries) = w.join() {
+                entries.extend(shard_entries);
+            }
+        }
+        if let Some(path) = &self.dump {
+            // Deterministic file order regardless of shard count.
+            entries.sort_by_key(|e| e.key);
+            if let Err(e) = persist::save(path, &entries) {
+                eprintln!("oov-serve: cache dump failed: {e}");
+            } else {
+                eprintln!(
+                    "oov-serve: dumped {} cached results to {}",
+                    entries.len(),
+                    path.display()
+                );
+            }
         }
     }
 }
 
 /// Shard main loop: execute (or answer from cache) one request at a
 /// time. The cache is private to the shard — the fingerprint router
-/// guarantees no other shard ever sees the same configuration.
-fn worker(shard: usize, rx: &mpsc::Receiver<Job>, engine: &Engine) {
-    let mut cache: HashMap<u64, SimResult> = HashMap::new();
+/// guarantees no other shard ever sees the same configuration — and
+/// is returned when the job channel closes, so shutdown can persist
+/// it without any locking on the hot path.
+fn worker(
+    shard: usize,
+    seed: Vec<CacheLine>,
+    rx: &mpsc::Receiver<Job>,
+    engine: &Engine,
+) -> Vec<CacheLine> {
+    let mut cache: HashMap<u64, (u64, SimResult)> = seed
+        .into_iter()
+        .map(|e| (e.key, (e.machine_fp, e.result)))
+        .collect();
     while let Ok(job) = rx.recv() {
         engine.per_shard[shard].fetch_add(1, Ordering::Relaxed);
         let fp = job.req.fingerprint();
-        let result = if let Some(hit) = cache.get(&fp) {
+        let result = if let Some((_, hit)) = cache.get(&fp) {
             engine.result_hits.fetch_add(1, Ordering::Relaxed);
             SimResult {
                 cached: true,
@@ -219,12 +300,20 @@ fn worker(shard: usize, rx: &mpsc::Receiver<Job>, engine: &Engine) {
                 cached: false,
                 shard,
             };
-            cache.insert(fp, r.clone());
+            cache.insert(fp, (job.req.machine.fingerprint(), r.clone()));
             r
         };
         // A dropped reply receiver just means the client went away.
         let _ = job.reply.send((job.tag, result));
     }
+    cache
+        .into_iter()
+        .map(|(key, (machine_fp, result))| CacheLine {
+            key,
+            machine_fp,
+            result,
+        })
+        .collect()
 }
 
 /// Routes every point to its shard and returns the shared reply

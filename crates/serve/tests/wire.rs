@@ -8,7 +8,9 @@ use oov_core::{OooSim, Stepper};
 use oov_isa::{CommitMode, LoadElimMode, MachineConfig, OooConfig, RefConfig};
 use oov_kernels::{Program, Scale};
 use oov_ref::RefSim;
-use oov_serve::{Client, Request, Response, Server, SimRequest, SimResult, StatsSnapshot};
+use oov_serve::{
+    Client, PersistOptions, Request, Response, Server, SimRequest, SimResult, StatsSnapshot,
+};
 use oov_stats::SimStats;
 
 fn sample_requests() -> Vec<SimRequest> {
@@ -265,4 +267,90 @@ fn concurrent_clients_get_bit_identical_results() {
         .shutdown()
         .expect("shutdown");
     server.join();
+}
+
+/// Cache persistence across a full server restart: a server dumps its
+/// result caches at shutdown; a fresh server — with a *different*
+/// shard count, so routing is recomputed — loads them and answers the
+/// same requests as cache hits, bit-identical, without simulating or
+/// compiling anything.
+#[test]
+fn result_caches_survive_a_restart() {
+    let dump = std::env::temp_dir().join(format!("oov_serve_cache_{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&dump);
+    let points = [
+        SimRequest::ooo_default(Program::Trfd, Scale::Smoke),
+        SimRequest::ooo_default(Program::Dyfesm, Scale::Smoke),
+        SimRequest {
+            machine: MachineConfig::Ooo(OooConfig::default().with_queue_slots(128)),
+            ..SimRequest::ooo_default(Program::Swm256, Scale::Smoke)
+        },
+        SimRequest {
+            machine: MachineConfig::Ref(RefConfig::default()),
+            ..SimRequest::ooo_default(Program::Bdna, Scale::Smoke)
+        },
+    ];
+
+    // Phase 1: cold server simulates everything, dumps at shutdown.
+    let server = Server::start_with(
+        "127.0.0.1:0",
+        3,
+        PersistOptions {
+            load: None,
+            dump: Some(dump.clone()),
+        },
+    )
+    .expect("server start");
+    let addr = server.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    let cold: Vec<SimResult> = points
+        .iter()
+        .map(|req| client.sim(req).expect("cold sim"))
+        .collect();
+    assert!(cold.iter().all(|r| !r.cached));
+    Client::connect(addr)
+        .expect("connect")
+        .shutdown()
+        .expect("shutdown");
+    server.join();
+    assert!(dump.exists(), "no cache dump written");
+
+    // Phase 2: warm server answers everything from the loaded cache.
+    let server = Server::start_with(
+        "127.0.0.1:0",
+        2, // different shard count: load must re-route
+        PersistOptions {
+            load: Some(dump.clone()),
+            dump: None,
+        },
+    )
+    .expect("warm server start");
+    let addr = server.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    for (req, cold) in points.iter().zip(&cold) {
+        let warm = client.sim(req).expect("warm sim");
+        assert!(warm.cached, "warm server missed {:?}", req.program);
+        assert_eq!(
+            warm.stats, cold.stats,
+            "cached stats not bit-identical after the JSON round trip"
+        );
+        assert_eq!(warm.ideal_cycles, cold.ideal_cycles);
+        assert_eq!(warm.faults_taken, cold.faults_taken);
+    }
+    let stats = Client::connect(addr)
+        .expect("connect")
+        .stats()
+        .expect("stats");
+    assert_eq!(stats.result_misses, 0, "warm server simulated something");
+    assert_eq!(
+        stats.suite_compiles_smoke + stats.suite_compiles_paper,
+        0,
+        "warm server compiled a suite"
+    );
+    Client::connect(addr)
+        .expect("connect")
+        .shutdown()
+        .expect("shutdown");
+    server.join();
+    std::fs::remove_file(&dump).ok();
 }

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use crate::StateBreakdown;
+use crate::{StageCycles, StateBreakdown};
 
 /// Counters produced by one simulation run.
 ///
@@ -47,6 +47,13 @@ pub struct SimStats {
     pub queue_stall_cycles: u64,
     /// Cycles decode stalled because the reorder buffer was full.
     pub rob_stall_cycles: u64,
+    /// Cycles in which at least one pipeline stage mutated machine
+    /// state. `cycles - progress_cycles` is the dead time the
+    /// event-driven engine skips outright; the per-stage split is in
+    /// [`SimStats::stages`]. Engine-invariant (see [`StageCycles`]).
+    pub progress_cycles: u64,
+    /// Per-stage progress-cycle counts.
+    pub stages: StageCycles,
 }
 
 impl SimStats {
@@ -111,7 +118,8 @@ macro_rules! for_each_counter {
             mispredicts,
             rename_stall_cycles,
             queue_stall_cycles,
-            rob_stall_cycles
+            rob_stall_cycles,
+            progress_cycles
         );
     };
 }
@@ -130,6 +138,7 @@ impl SimStats {
         }
         for_each_counter!(emit);
         pairs.push(("breakdown".to_string(), self.breakdown.to_json()));
+        pairs.push(("stages".to_string(), self.stages.to_json()));
         oov_proto::Json::Obj(pairs)
     }
 
@@ -156,6 +165,10 @@ impl SimStats {
         s.breakdown = StateBreakdown::from_json(
             v.get("breakdown")
                 .ok_or_else(|| "sim stats: missing field `breakdown`".to_string())?,
+        )?;
+        s.stages = StageCycles::from_json(
+            v.get("stages")
+                .ok_or_else(|| "sim stats: missing field `stages`".to_string())?,
         )?;
         Ok(s)
     }
@@ -241,10 +254,13 @@ mod tests {
             rename_stall_cycles: 11,
             queue_stall_cycles: 22,
             rob_stall_cycles: 33,
+            progress_cycles: 44,
             ..SimStats::new()
         };
         s.breakdown
             .record(crate::UnitState::new(true, false, true), 17);
+        s.stages.dispatch = 40;
+        s.stages.issue_mem = 4;
         let v = s.to_json();
         assert_eq!(SimStats::from_json(&v).unwrap(), s);
         // Textual round trip too (the wire carries it as one line).

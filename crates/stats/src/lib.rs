@@ -28,11 +28,13 @@
 mod counters;
 mod occupancy;
 mod render;
+mod stage;
 mod state;
 
 pub use counters::SimStats;
 pub use occupancy::{OccupancyTracker, VectorUnit};
 pub use render::{BarChart, Table};
+pub use stage::StageCycles;
 pub use state::{StateBreakdown, UnitState};
 
 /// Speedup of a candidate over a baseline given their cycle counts.

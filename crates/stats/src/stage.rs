@@ -1,0 +1,140 @@
+//! Per-stage activity counters for the stage-graph execution core.
+//!
+//! Each counter is the number of **progress cycles** in which the named
+//! pipeline stage mutated machine state. Dead cycles (no stage
+//! progressed) count nowhere, which is what makes these counters
+//! engine-invariant: the event-driven scheduler skips dead cycles and
+//! masks off provably-inert stages, but every cycle in which a stage
+//! *would* progress is simulated by both engines — so the naive oracle
+//! and the stage-graph engine must agree bit-for-bit, and the parity
+//! grid asserts they do.
+
+/// Progress-cycle counts per pipeline stage.
+///
+/// `fetch + dispatch` is the front end; `writeback` covers the
+/// deferred-BTB-update and pending-copy resolution phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageCycles {
+    /// Cycles the fetch stage advanced (filled the fetch buffer or
+    /// cleared a resolved misprediction).
+    pub fetch: u64,
+    /// Cycles decode/rename dispatched an instruction.
+    pub dispatch: u64,
+    /// Cycles the A (address) queue issued.
+    pub issue_a: u64,
+    /// Cycles the S (scalar) queue issued.
+    pub issue_s: u64,
+    /// Cycles the V (vector) queue issued.
+    pub issue_v: u64,
+    /// Cycles the memory queue issued a request stream.
+    pub issue_mem: u64,
+    /// Cycles the three-stage memory pipe moved an entry (including
+    /// Dependence-stage eliminations and late vector renames).
+    pub mem_pipe: u64,
+    /// Cycles the writeback phase applied a deferred BTB update or
+    /// resolved a pending eliminated-load copy.
+    pub writeback: u64,
+    /// Cycles the reorder buffer committed (or took a precise trap).
+    pub commit: u64,
+}
+
+/// The counters of [`StageCycles`] in declaration order — one table
+/// drives the JSON encoder, decoder and accessors so they cannot drift
+/// when a stage is added.
+macro_rules! for_each_stage {
+    ($m:ident) => {
+        $m!(fetch, dispatch, issue_a, issue_s, issue_v, issue_mem, mem_pipe, writeback, commit);
+    };
+}
+
+impl StageCycles {
+    /// Fresh, zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total stage-progress events (a cycle in which three stages
+    /// progressed contributes three).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        let mut sum = 0u64;
+        macro_rules! add {
+            ($($field:ident),*) => { $(sum += self.$field;)* };
+        }
+        for_each_stage!(add);
+        sum
+    }
+
+    /// Encodes every counter as a JSON object. The inverse of
+    /// [`StageCycles::from_json`]; the round trip is exact.
+    #[must_use]
+    pub fn to_json(&self) -> oov_proto::Json {
+        let mut pairs: Vec<(String, oov_proto::Json)> = Vec::new();
+        macro_rules! emit {
+            ($($field:ident),*) => {
+                $(pairs.push((stringify!($field).to_string(), self.$field.into()));)*
+            };
+        }
+        for_each_stage!(emit);
+        oov_proto::Json::Obj(pairs)
+    }
+
+    /// Decodes the [`StageCycles::to_json`] encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or malformed field.
+    pub fn from_json(v: &oov_proto::Json) -> Result<Self, String> {
+        let mut s = StageCycles::new();
+        macro_rules! read {
+            ($($field:ident),*) => {
+                $(
+                    s.$field = v
+                        .get(stringify!($field))
+                        .and_then(oov_proto::Json::as_u64)
+                        .ok_or_else(|| {
+                            format!("stage cycles: bad or missing field `{}`", stringify!($field))
+                        })?;
+                )*
+            };
+        }
+        for_each_stage!(read);
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let s = StageCycles {
+            fetch: 1,
+            dispatch: 2,
+            issue_a: 3,
+            issue_s: 4,
+            issue_v: 5,
+            issue_mem: 6,
+            mem_pipe: 7,
+            writeback: 8,
+            commit: 9,
+        };
+        let v = s.to_json();
+        assert_eq!(StageCycles::from_json(&v).unwrap(), s);
+        let reparsed = oov_proto::Json::parse(&v.to_string()).unwrap();
+        assert_eq!(StageCycles::from_json(&reparsed).unwrap(), s);
+        assert_eq!(s.total(), 45);
+    }
+
+    #[test]
+    fn from_json_rejects_missing_stage() {
+        let mut v = StageCycles::new().to_json();
+        if let oov_proto::Json::Obj(pairs) = &mut v {
+            pairs.retain(|(k, _)| k != "issue_mem");
+        }
+        let err = StageCycles::from_json(&v).unwrap_err();
+        assert!(err.contains("issue_mem"), "{err}");
+    }
+}
