@@ -34,6 +34,10 @@ use oov_ref::RefSim;
 struct Row {
     name: &'static str,
     trace_len: usize,
+    /// Element operations in the trace (`vl` per vector instruction,
+    /// 1 otherwise) — the denominator of the functional-layer cost
+    /// metric.
+    elements: u64,
     cycles: u64,
     /// Cycles in which any stage progressed — the cycles the
     /// stage-graph engine must actually walk (dead cycles are
@@ -61,6 +65,13 @@ impl Row {
     /// across dead and progress cycles).
     fn naive_ns_per_cycle(&self) -> f64 {
         self.naive_ms * 1e6 / self.cycles.max(1) as f64
+    }
+
+    /// Functional-executor nanoseconds per element operation — the
+    /// paged-memory/batched-execution metric (golden machine seed +
+    /// full trace replay, divided by total element ops).
+    fn exec_ns_per_element(&self) -> f64 {
+        self.exec_ms * 1e6 / self.elements.max(1) as f64
     }
 }
 
@@ -142,6 +153,7 @@ fn main() {
             Row {
                 name: p.name(),
                 trace_len: prog.trace.len(),
+                elements: prog.trace.iter().map(oov_isa::Instruction::ops).sum(),
                 cycles: event.stats.cycles,
                 progress_cycles: event.stats.progress_cycles,
                 naive_ms,
@@ -162,9 +174,10 @@ fn main() {
     let q128_speedup = total_q128_naive / total_q128_event;
 
     println!(
-        "{:<10} {:>9} {:>12} {:>9} {:>11} {:>11} {:>9} {:>9} {:>8} {:>8} {:>8} {:>11} {:>11} {:>8}",
+        "{:<10} {:>9} {:>9} {:>12} {:>9} {:>11} {:>11} {:>9} {:>9} {:>8} {:>8} {:>8} {:>9} {:>11} {:>11} {:>8}",
         "kernel",
         "insts",
+        "elems",
         "cycles",
         "pcycles",
         "naive ms",
@@ -174,15 +187,17 @@ fn main() {
         "speedup",
         "nv ns/c",
         "ev ns/pc",
+        "ex ns/el",
         "q128 nv ms",
         "q128 ev ms",
         "q128 x"
     );
     for r in &rows {
         println!(
-            "{:<10} {:>9} {:>12} {:>9} {:>11.2} {:>11.2} {:>9.3} {:>9.3} {:>7.1}x {:>8.0} {:>8.0} {:>11.2} {:>11.2} {:>7.1}x",
+            "{:<10} {:>9} {:>9} {:>12} {:>9} {:>11.2} {:>11.2} {:>9.3} {:>9.3} {:>7.1}x {:>8.0} {:>8.0} {:>9.2} {:>11.2} {:>11.2} {:>7.1}x",
             r.name,
             r.trace_len,
+            r.elements,
             r.cycles,
             r.progress_cycles,
             r.naive_ms,
@@ -192,6 +207,7 @@ fn main() {
             r.naive_ms / r.event_ms,
             r.naive_ns_per_cycle(),
             r.event_ns_per_pcycle(),
+            r.exec_ns_per_element(),
             r.q128_naive_ms,
             r.q128_event_ms,
             r.q128_naive_ms / r.q128_event_ms
@@ -219,6 +235,7 @@ fn main() {
             Json::obj(vec![
                 ("name", r.name.into()),
                 ("trace_len", r.trace_len.into()),
+                ("elements", r.elements.into()),
                 ("cycles", r.cycles.into()),
                 ("progress_cycles", r.progress_cycles.into()),
                 ("naive_ms", ms(r.naive_ms)),
@@ -228,6 +245,7 @@ fn main() {
                 ("speedup", ratio(r.naive_ms, r.event_ms)),
                 ("naive_ns_per_cycle", ms(r.naive_ns_per_cycle())),
                 ("event_ns_per_pcycle", ms(r.event_ns_per_pcycle())),
+                ("exec_ns_per_element", ms(r.exec_ns_per_element())),
                 ("q128_naive_ms", ms(r.q128_naive_ms)),
                 ("q128_event_ms", ms(r.q128_event_ms)),
                 ("q128_speedup", ratio(r.q128_naive_ms, r.q128_event_ms)),

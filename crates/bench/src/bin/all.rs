@@ -26,6 +26,14 @@ fn main() {
         ("Figure 11 — SLE speedup", ex::figure11(&suite)),
         ("Figure 12 — SLE+VLE speedup", ex::figure12(&suite)),
         ("Figure 13 — traffic reduction", ex::figure13(&suite)),
+        (
+            "Stage occupancy — per-stage progress",
+            ex::stage_occupancy(&suite),
+        ),
+        (
+            "Frontend-batch sweep — engine knob",
+            ex::frontend_batch_sweep(&suite),
+        ),
     ];
     let mut measured = String::new();
     for (name, body) in &sections {

@@ -34,6 +34,20 @@
 //!    at or above `--min-speedup` (default 1.5). The relative gate (2)
 //!    tolerates a slide that happens to hit both artifacts; the floor
 //!    is the absolute line under the engine's whole point.
+//!
+//! 4. **Functional layer.** The architectural executor (`exec_ms` per
+//!    thousand trace instructions, median-normalised exactly like the
+//!    event cost but with its own machine factor) is gated per kernel
+//!    at `--max-exec-ratio` (default 3.0) — the paged-memory/batched-
+//!    execution win gets the same trend protection as the engines.
+//!    The suite compile (`suite_compile_ms` per thousand suite
+//!    instructions, one value per artifact, normalised by the exec
+//!    machine factor) is gated at the same bound. The functional bound
+//!    is wider than `--max-ratio` because a kernel's `mem_init`
+//!    seeding is a fixed cost that does not shrink with the smoke
+//!    trace, so per-instruction exec cost cancels less cleanly across
+//!    scales than engine cost does (a kernel with a large array space
+//!    and a short smoke trace legitimately drifts ~2x).
 
 use std::process::ExitCode;
 
@@ -45,8 +59,33 @@ struct KernelCost {
     norm: f64,
     /// naive_ms / event_ms, default config.
     speedup: f64,
+    /// exec_ms per 1000 trace instructions (the functional layer).
+    exec_norm: f64,
+    /// Dynamic trace length (for suite-level normalisation).
+    trace_len: f64,
     /// Same pair for the queue_slots=128 section, when present.
     q128: Option<(f64, f64)>,
+}
+
+/// One parsed artifact: per-kernel costs plus the artifact-level
+/// suite-compile cost (ms per 1000 suite trace instructions).
+struct Artifact {
+    kernels: Vec<KernelCost>,
+    compile_norm: Option<f64>,
+}
+
+fn artifact(doc: &Json, path: &str) -> Result<Artifact, String> {
+    let kernels = costs(doc, path)?;
+    let total_insts: f64 = kernels.iter().map(|k| k.trace_len).sum();
+    let compile_norm = doc
+        .get("suite_compile_ms")
+        .and_then(Json::as_f64)
+        .filter(|&c| c > 0.0 && total_insts > 0.0)
+        .map(|c| c / total_insts * 1e3);
+    Ok(Artifact {
+        kernels,
+        compile_norm,
+    })
 }
 
 fn costs(doc: &Json, path: &str) -> Result<Vec<KernelCost>, String> {
@@ -71,6 +110,7 @@ fn costs(doc: &Json, path: &str) -> Result<Vec<KernelCost>, String> {
             let trace_len = num("trace_len")?;
             let event_ms = num("event_ms")?;
             let naive_ms = num("naive_ms")?;
+            let exec_ms = num("exec_ms")?;
             let q128 = match (
                 k.get("q128_event_ms").and_then(Json::as_f64),
                 k.get("q128_naive_ms").and_then(Json::as_f64),
@@ -82,6 +122,8 @@ fn costs(doc: &Json, path: &str) -> Result<Vec<KernelCost>, String> {
                 name,
                 norm: event_ms / trace_len * 1e3,
                 speedup: naive_ms / event_ms,
+                exec_norm: exec_ms / trace_len * 1e3,
+                trace_len,
                 q128,
             })
         })
@@ -106,6 +148,7 @@ fn run() -> Result<Vec<String>, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut files: Vec<&str> = Vec::new();
     let mut max_ratio = 2.0f64;
+    let mut max_exec_ratio = 3.0f64;
     let mut min_speedup = 1.5f64;
     let mut i = 0;
     while i < argv.len() {
@@ -117,6 +160,14 @@ fn run() -> Result<Vec<String>, String> {
                     .ok_or("missing value for --max-ratio")?
                     .parse()
                     .map_err(|e| format!("--max-ratio: {e}"))?;
+            }
+            "--max-exec-ratio" => {
+                i += 1;
+                max_exec_ratio = argv
+                    .get(i)
+                    .ok_or("missing value for --max-exec-ratio")?
+                    .parse()
+                    .map_err(|e| format!("--max-exec-ratio: {e}"))?;
             }
             "--min-speedup" => {
                 i += 1;
@@ -134,8 +185,9 @@ fn run() -> Result<Vec<String>, String> {
     let [fresh_path, base_path] = files.as_slice() else {
         return Err("usage: bench_trend <fresh.json> <baseline.json> [--max-ratio N]".into());
     };
-    let fresh = costs(&read(fresh_path)?, fresh_path)?;
-    let base = costs(&read(base_path)?, base_path)?;
+    let fresh_doc = artifact(&read(fresh_path)?, fresh_path)?;
+    let base_doc = artifact(&read(base_path)?, base_path)?;
+    let (fresh, base) = (&fresh_doc.kernels, &base_doc.kernels);
 
     // Median cost ratio across kernels = the machine/scale factor.
     let pairs: Vec<(&KernelCost, &KernelCost)> = fresh
@@ -152,11 +204,27 @@ fn run() -> Result<Vec<String>, String> {
             .filter_map(|(f, b)| Some(f.q128?.0 / b.q128?.0))
             .collect(),
     );
+    let exec_factor = median(
+        pairs
+            .iter()
+            .map(|(f, b)| f.exec_norm / b.exec_norm)
+            .collect(),
+    );
 
-    println!("machine/scale factor: {machine_factor:.3}x (q128 {q128_factor:.3}x)");
     println!(
-        "{:<10} {:>10} {:>11} {:>10} {:>11}   {:>10} {:>11}",
-        "kernel", "cost", "speedup", "q128 cost", "q128 spdup", "base spdup", "q128 base"
+        "machine/scale factor: {machine_factor:.3}x (q128 {q128_factor:.3}x, \
+         exec {exec_factor:.3}x)"
+    );
+    println!(
+        "{:<10} {:>10} {:>11} {:>10} {:>10} {:>11}   {:>10} {:>11}",
+        "kernel",
+        "cost",
+        "speedup",
+        "exec cost",
+        "q128 cost",
+        "q128 spdup",
+        "base spdup",
+        "q128 base"
     );
     let mut regressions = Vec::new();
     for (f, b) in &pairs {
@@ -169,6 +237,13 @@ fn run() -> Result<Vec<String>, String> {
                     f.name
                 ));
             }
+        }
+        let exec_cost = f.exec_norm / b.exec_norm / exec_factor;
+        if exec_cost > max_exec_ratio {
+            regressions.push(format!(
+                "{} [exec]: normalised cost regressed {exec_cost:.2}x (> {max_exec_ratio:.1}x)",
+                f.name
+            ));
         }
         let mut check = |section: &str, metric: &str, ratio: f64| {
             if ratio > max_ratio {
@@ -189,14 +264,27 @@ fn run() -> Result<Vec<String>, String> {
         });
         match q128 {
             Some((qcost, fs, bs)) => println!(
-                "{:<10} {:>9.2}x {:>10.1}x {:>9.2}x {:>10.1}x   {:>9.1}x {:>10.1}x",
-                f.name, cost, f.speedup, qcost, fs, b.speedup, bs
+                "{:<10} {:>9.2}x {:>10.1}x {:>9.2}x {:>9.2}x {:>10.1}x   {:>9.1}x {:>10.1}x",
+                f.name, cost, f.speedup, exec_cost, qcost, fs, b.speedup, bs
             ),
             None => println!(
-                "{:<10} {:>9.2}x {:>10.1}x   (no q128 section) {:>9.1}x",
-                f.name, cost, f.speedup, b.speedup
+                "{:<10} {:>9.2}x {:>10.1}x {:>9.2}x   (no q128 section) {:>9.1}x",
+                f.name, cost, f.speedup, exec_cost, b.speedup
             ),
         }
+    }
+    // Suite-compile gate: one value per artifact, normalised per suite
+    // instruction and by the exec machine factor.
+    if let (Some(fc), Some(bc)) = (fresh_doc.compile_norm, base_doc.compile_norm) {
+        let ratio = fc / bc / exec_factor;
+        println!("suite compile cost: {ratio:.2}x vs baseline (normalised)");
+        if ratio > max_exec_ratio {
+            regressions.push(format!(
+                "suite_compile_ms regressed {ratio:.2}x (> {max_exec_ratio:.1}x)"
+            ));
+        }
+    } else {
+        println!("suite compile cost: not comparable (missing in an artifact)");
     }
     Ok(regressions)
 }

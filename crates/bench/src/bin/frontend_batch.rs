@@ -1,0 +1,8 @@
+//! Runs the frontend-batch engine-knob sweep at paper scale.
+use oov_bench::{experiments, Suite};
+use oov_kernels::Scale;
+
+fn main() {
+    let suite = Suite::compile(Scale::Paper);
+    println!("{}", experiments::frontend_batch_sweep(&suite));
+}

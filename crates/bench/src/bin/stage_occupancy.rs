@@ -1,0 +1,8 @@
+//! Renders the per-stage occupancy report.
+use oov_bench::{experiments, Suite};
+use oov_kernels::Scale;
+
+fn main() {
+    let suite = Suite::compile(Scale::Paper);
+    println!("{}", experiments::stage_occupancy(&suite));
+}

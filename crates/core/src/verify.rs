@@ -41,6 +41,9 @@ pub(crate) struct Checker {
     pre_store: HashMap<usize, Vec<u64>>,
     /// Values currently associated with each physical register.
     phys_values: HashMap<(usize, PhysReg), Vec<u64>>,
+    /// Scratch buffer for element-address computation (reused so the
+    /// per-dispatch path allocates only what it must retain).
+    addr_buf: Vec<u64>,
 }
 
 impl Checker {
@@ -52,14 +55,13 @@ impl Checker {
             recorded: HashMap::new(),
             pre_store: HashMap::new(),
             phys_values: HashMap::new(),
+            addr_buf: Vec::new(),
         }
     }
 
     /// Seeds initial memory (a compiled program's `mem_init`).
     pub(crate) fn seed(&mut self, init: &[(u64, u64)]) {
-        for &(a, v) in init {
-            self.machine.memory_mut().store(a, v);
-        }
+        self.machine.memory_mut().seed(init);
     }
 
     /// Called at dispatch, in program order: execute architecturally and
@@ -72,12 +74,13 @@ impl Checker {
         if inst.op.is_store() {
             // Snapshot the target range before the store runs, so a
             // silent-store elision can be proven genuinely silent.
-            let pre: Vec<u64> = self
-                .machine
-                .element_addresses(&inst)
-                .into_iter()
-                .map(|a| self.machine.memory().load(a))
+            let mut addrs = std::mem::take(&mut self.addr_buf);
+            self.machine.element_addresses_into(&inst, &mut addrs);
+            let pre: Vec<u64> = addrs
+                .iter()
+                .map(|&a| self.machine.memory().load(a))
                 .collect();
+            self.addr_buf = addrs;
             self.pre_store.insert(idx, pre);
         }
         self.machine.execute(&inst);

@@ -5,7 +5,18 @@
 //! values. Correctness of register allocation (`oov-vcc`), register
 //! renaming and dynamic load elimination (`oov-core`) is instead verified
 //! against this executor, which runs the same [`oov_isa::Trace`] with real
-//! 64-bit values over a sparse memory image.
+//! 64-bit values over a paged memory image.
+//!
+//! The executor is built to be as fast as the timing layer it checks —
+//! every cache-miss request the simulation server answers replays a
+//! functional execution, so this is a serving hot path, not just a test
+//! oracle. Two pieces carry that: [`MemImage`] is a page directory of
+//! lazily-allocated 4 KiB word pages with a one-entry last-page cache
+//! and bulk slice/strided/indexed entry points (see its module docs for
+//! the layout and aliasing rules), and [`Machine::execute`] moves whole
+//! `vl`-element groups per instruction — bulk memory calls plus one
+//! autovectorizable slice loop per opcode, with no per-instruction
+//! allocation.
 //!
 //! All operations are defined over `u64` with wrapping arithmetic, which is
 //! sufficient for dataflow-equivalence checking (the experiments never

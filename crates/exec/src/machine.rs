@@ -1,7 +1,22 @@
 //! The architectural machine: register state plus memory image, with a
 //! deterministic functional semantics for every opcode.
+//!
+//! # Batched execution
+//!
+//! [`Machine::execute`] moves whole `vl`-element groups per call: vector
+//! memory operations go through the [`MemImage`] bulk API
+//! (`load_strided`/`store_strided`/`load_indexed`/`store_indexed`) and
+//! the vector ALU/compare/merge loops run over slices with one tight
+//! loop per opcode, so the compiler can autovectorize them. No opcode
+//! allocates: operands are snapshotted into fixed stack buffers.
+//!
+//! **Aliasing.** Snapshotting is what makes `dst == src` forms well
+//! defined — every operand (including gather indices) is read in full
+//! before the destination register or memory is written, so e.g.
+//! `vadd v0, v0, v0` and a gather whose index register is its own
+//! destination behave as if operands were latched at issue.
 
-use oov_isa::{ArchReg, Instruction, MemKind, Opcode, RegClass, Trace, MAX_VL};
+use oov_isa::{ArchReg, Instruction, MemKind, MemRef, Opcode, RegClass, Trace, MAX_VL};
 
 use crate::MemImage;
 
@@ -36,6 +51,15 @@ impl Default for Machine {
             masks: [0; 8],
             mem: MemImage::new(),
         }
+    }
+}
+
+/// Index of a vector register, with the panic message the accessors
+/// share.
+fn vreg(r: ArchReg) -> usize {
+    match r {
+        ArchReg::V(i) => i as usize,
+        _ => panic!("{r} is not a vector register"),
     }
 }
 
@@ -92,10 +116,7 @@ impl Machine {
     /// Panics if `r` is not a vector register.
     #[must_use]
     pub fn vector(&self, r: ArchReg) -> &[u64; VLEN] {
-        match r {
-            ArchReg::V(i) => &self.v[i as usize],
-            _ => panic!("{r} is not a vector register"),
-        }
+        &self.v[vreg(r)]
     }
 
     /// The first `vl` elements of a vector register.
@@ -110,10 +131,7 @@ impl Machine {
     ///
     /// Panics if `r` is not a vector register or `i` is out of range.
     pub fn set_vector_element(&mut self, r: ArchReg, i: u16, v: u64) {
-        match r {
-            ArchReg::V(idx) => self.v[idx as usize][i as usize] = v,
-            _ => panic!("{r} is not a vector register"),
-        }
+        self.v[vreg(r)][i as usize] = v;
     }
 
     /// Contents of a mask register as a bit set (bit *i* = element *i*).
@@ -145,38 +163,103 @@ impl Machine {
         }
     }
 
-    /// Second operand of a vector op: a vector register's prefix, a scalar
-    /// register broadcast across `vl` elements (vector-scalar forms), or
-    /// the immediate when absent.
-    fn vector_or_broadcast(&self, inst: &Instruction, n: usize, vl: usize) -> Vec<u64> {
+    /// Snapshots the second operand of a vector op into `out`: a vector
+    /// register's prefix, a scalar register broadcast (vector-scalar
+    /// forms), or the immediate when absent.
+    fn fill_vector_operand(&self, inst: &Instruction, n: usize, out: &mut [u64]) {
         match self.src(inst, n) {
-            Some(r @ ArchReg::V(_)) => self.vector_prefix(r, inst.vl).to_vec(),
-            Some(r @ (ArchReg::A(_) | ArchReg::S(_))) => vec![self.read(r); vl],
+            Some(r @ ArchReg::V(_)) => out.copy_from_slice(&self.vector(r)[..out.len()]),
+            Some(r @ (ArchReg::A(_) | ArchReg::S(_))) => out.fill(self.read(r)),
             Some(other) => panic!("{other} cannot be a vector operand"),
-            None => vec![inst.imm as u64; vl],
+            None => out.fill(inst.imm as u64),
+        }
+    }
+
+    /// The index register of an indexed memory access (gather/scatter),
+    /// with the shared panic for non-indexed opcodes.
+    fn indexed_src(&self, inst: &Instruction) -> ArchReg {
+        match inst.op {
+            Opcode::VGather => self.src(inst, 0),
+            Opcode::VScatter => self.src(inst, 1),
+            _ => panic!("{} is not indexed", inst.op),
+        }
+        .expect("indexed access needs an index register")
+    }
+
+    /// Appends the concrete element addresses a memory instruction
+    /// touches, in element order, to `out` (which is cleared first).
+    /// Allocation-free when `out` has capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inst` is not a memory instruction.
+    pub fn element_addresses_into(&self, inst: &Instruction, out: &mut Vec<u64>) {
+        out.clear();
+        let m = inst.mem.expect("not a memory instruction");
+        match m.kind {
+            MemKind::Scalar => out.push(m.base),
+            MemKind::Strided => out.extend((0..inst.vl).map(|i| m.element_addr(i))),
+            MemKind::Indexed => {
+                let idx = self.vector(self.indexed_src(inst));
+                out.extend(
+                    idx[..inst.vl as usize]
+                        .iter()
+                        .map(|&o| m.base.wrapping_add(o)),
+                );
+            }
         }
     }
 
     /// The concrete element addresses a memory instruction touches, in
-    /// element order. Used both for execution and by tests that check the
-    /// Range stage is conservative.
+    /// element order. Used both for execution-order checks and by tests
+    /// that check the Range stage is conservative.
     #[must_use]
     pub fn element_addresses(&self, inst: &Instruction) -> Vec<u64> {
-        let m = inst.mem.expect("not a memory instruction");
+        let mut out = Vec::with_capacity(inst.vl as usize);
+        self.element_addresses_into(inst, &mut out);
+        out
+    }
+
+    /// Vector load: the whole element group moves through the bulk
+    /// memory API.
+    fn vector_load(&mut self, inst: &Instruction, m: MemRef, vl: usize) {
+        let d = vreg(inst.dst.expect("vector load needs dst"));
         match m.kind {
-            MemKind::Scalar => vec![m.base],
-            MemKind::Strided => (0..inst.vl).map(|i| m.element_addr(i)).collect(),
+            MemKind::Scalar => {
+                let v = self.mem.load(m.base);
+                self.v[d][0] = v;
+            }
+            MemKind::Strided => self
+                .mem
+                .load_strided(m.base, m.stride, &mut self.v[d][..vl]),
             MemKind::Indexed => {
-                let idx_reg = match inst.op {
-                    Opcode::VGather => self.src(inst, 0),
-                    Opcode::VScatter => self.src(inst, 1),
-                    _ => panic!("{} is not indexed", inst.op),
-                }
-                .expect("indexed access needs an index register");
-                let idx = self.vector(idx_reg);
-                (0..inst.vl as usize)
-                    .map(|i| m.base.wrapping_add(idx[i]))
-                    .collect()
+                // Snapshot the indices: the destination may be the
+                // index register.
+                let mut idx = [0u64; VLEN];
+                idx[..vl].copy_from_slice(&self.vector(self.indexed_src(inst))[..vl]);
+                self.mem
+                    .load_indexed(m.base, &idx[..vl], &mut self.v[d][..vl]);
+            }
+        }
+    }
+
+    /// Vector store: the whole element group moves through the bulk
+    /// memory API.
+    fn vector_store(&mut self, inst: &Instruction, m: MemRef, vl: usize) {
+        let data = vreg(self.src(inst, 0).expect("vector store needs data"));
+        match m.kind {
+            MemKind::Scalar => {
+                let v = self.v[data][0];
+                self.mem.store(m.base, v);
+            }
+            MemKind::Strided => {
+                let (mem, v) = (&mut self.mem, &self.v);
+                mem.store_strided(m.base, m.stride, &v[data][..vl]);
+            }
+            MemKind::Indexed => {
+                let idx = vreg(self.indexed_src(inst));
+                let (mem, v) = (&mut self.mem, &self.v);
+                mem.store_indexed(m.base, &v[idx][..vl], &v[data][..vl]);
             }
         }
     }
@@ -233,50 +316,47 @@ impl Machine {
                 self.mem.store(addr, v);
             }
             VLoad | VGather => {
-                let addrs = self.element_addresses(inst);
-                let dst = inst.dst.expect("vector load needs dst");
-                for (i, &a) in addrs.iter().enumerate().take(vl) {
-                    let v = self.mem.load(a);
-                    self.set_vector_element(dst, i as u16, v);
-                }
+                let m = inst.mem.expect("not a memory instruction");
+                self.vector_load(inst, m, vl);
             }
             VStore | VScatter => {
-                let addrs = self.element_addresses(inst);
-                let data = self.src(inst, 0).expect("vector store needs data");
-                let vals: Vec<u64> = self.vector_prefix(data, inst.vl).to_vec();
-                for (a, v) in addrs.into_iter().zip(vals) {
-                    self.mem.store(a, v);
-                }
+                let m = inst.mem.expect("not a memory instruction");
+                self.vector_store(inst, m, vl);
             }
             VAdd | VMul | VDiv | VLogic | VShift => {
                 let a = self.src(inst, 0).expect("vector op needs src");
-                let av: Vec<u64> = self.vector_prefix(a, inst.vl).to_vec();
-                let bv: Vec<u64> = self.vector_or_broadcast(inst, 1, vl);
-                let dst = inst.dst.expect("vector op needs dst");
-                for i in 0..vl {
-                    let r = match inst.op {
-                        VAdd => av[i].wrapping_add(bv[i]),
-                        VMul => av[i].wrapping_mul(bv[i].max(1)),
-                        VDiv => av[i] / bv[i].max(1),
-                        VLogic => av[i] ^ bv[i],
-                        VShift => av[i].rotate_left(1) ^ bv[i],
-                        _ => unreachable!(),
-                    };
-                    self.set_vector_element(dst, i as u16, r);
+                let mut av = [0u64; VLEN];
+                av[..vl].copy_from_slice(&self.vector(a)[..vl]);
+                let mut bv = [0u64; VLEN];
+                self.fill_vector_operand(inst, 1, &mut bv[..vl]);
+                let d = vreg(inst.dst.expect("vector op needs dst"));
+                let dst = &mut self.v[d][..vl];
+                let lanes = dst.iter_mut().zip(av[..vl].iter().zip(&bv[..vl]));
+                // One tight loop per opcode so each autovectorizes.
+                match inst.op {
+                    VAdd => lanes.for_each(|(d, (&x, &y))| *d = x.wrapping_add(y)),
+                    VMul => lanes.for_each(|(d, (&x, &y))| *d = x.wrapping_mul(y.max(1))),
+                    VDiv => lanes.for_each(|(d, (&x, &y))| *d = x / y.max(1)),
+                    VLogic => lanes.for_each(|(d, (&x, &y))| *d = x ^ y),
+                    VShift => lanes.for_each(|(d, (&x, &y))| *d = x.rotate_left(1) ^ y),
+                    _ => unreachable!(),
                 }
             }
             VSqrt => {
                 let a = self.src(inst, 0).expect("vsqrt needs src");
-                let av: Vec<u64> = self.vector_prefix(a, inst.vl).to_vec();
-                let dst = inst.dst.expect("vsqrt needs dst");
-                for (i, x) in av.into_iter().enumerate() {
-                    self.set_vector_element(dst, i as u16, x.isqrt());
+                let mut av = [0u64; VLEN];
+                av[..vl].copy_from_slice(&self.vector(a)[..vl]);
+                let d = vreg(inst.dst.expect("vsqrt needs dst"));
+                for (dst, &x) in self.v[d][..vl].iter_mut().zip(&av[..vl]) {
+                    *dst = x.isqrt();
                 }
             }
             VCmp => {
                 let a = self.src(inst, 0).expect("vcmp needs src");
-                let av: Vec<u64> = self.vector_prefix(a, inst.vl).to_vec();
-                let bv: Vec<u64> = self.vector_or_broadcast(inst, 1, vl);
+                let mut av = [0u64; VLEN];
+                av[..vl].copy_from_slice(&self.vector(a)[..vl]);
+                let mut bv = [0u64; VLEN];
+                self.fill_vector_operand(inst, 1, &mut bv[..vl]);
                 let mut m = 0u128;
                 for i in 0..vl {
                     if av[i] > bv[i] {
@@ -292,13 +372,14 @@ impl Machine {
                 let a = self.src(inst, 0).expect("vmerge needs src a");
                 let b = self.src(inst, 1).expect("vmerge needs src b");
                 let mreg = self.src(inst, 2).expect("vmerge needs mask");
-                let av: Vec<u64> = self.vector_prefix(a, inst.vl).to_vec();
-                let bv: Vec<u64> = self.vector_prefix(b, inst.vl).to_vec();
+                let mut av = [0u64; VLEN];
+                av[..vl].copy_from_slice(&self.vector(a)[..vl]);
+                let mut bv = [0u64; VLEN];
+                bv[..vl].copy_from_slice(&self.vector(b)[..vl]);
                 let m = self.mask(mreg);
-                let dst = inst.dst.expect("vmerge needs dst");
-                for i in 0..vl {
-                    let r = if m & (1 << i) != 0 { av[i] } else { bv[i] };
-                    self.set_vector_element(dst, i as u16, r);
+                let d = vreg(inst.dst.expect("vmerge needs dst"));
+                for (i, dst) in self.v[d][..vl].iter_mut().enumerate() {
+                    *dst = if m & (1 << i) != 0 { av[i] } else { bv[i] };
                 }
             }
             VReduce => {
@@ -409,6 +490,19 @@ mod tests {
     }
 
     #[test]
+    fn vector_op_aliasing_dst_is_latched() {
+        // dst == src must behave as if operands were read first.
+        let mut m = Machine::new();
+        for i in 0..8 {
+            m.set_vector_element(ArchReg::V(0), i, u64::from(i) + 1);
+        }
+        m.execute(&vadd(0, 0, 0, 8));
+        for i in 0..8u64 {
+            assert_eq!(m.vector(ArchReg::V(0))[i as usize], 2 * (i + 1));
+        }
+    }
+
+    #[test]
     fn vload_vstore_round_trip() {
         let mut m = Machine::new();
         for i in 0..16u64 {
@@ -466,6 +560,26 @@ mod tests {
         m.execute(&g);
         assert_eq!(m.vector(ArchReg::V(0))[0], 9);
         assert_eq!(m.vector(ArchReg::V(0))[1], 7);
+    }
+
+    #[test]
+    fn gather_into_its_own_index_register() {
+        // The index operand must be snapshotted before dst is written.
+        let mut m = Machine::new();
+        m.memory_mut().store(0x1000, 40);
+        m.memory_mut().store(0x1008, 50);
+        m.set_vector_element(ArchReg::V(0), 0, 8);
+        m.set_vector_element(ArchReg::V(0), 1, 0);
+        let g = Instruction::load(
+            Opcode::VGather,
+            ArchReg::V(0),
+            &[ArchReg::V(0)],
+            MemRef::indexed(0x1000, 0x1000, 0x1008),
+            2,
+        );
+        m.execute(&g);
+        assert_eq!(m.vector(ArchReg::V(0))[0], 50);
+        assert_eq!(m.vector(ArchReg::V(0))[1], 40);
     }
 
     #[test]

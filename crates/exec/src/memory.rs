@@ -1,16 +1,144 @@
-//! Sparse word-addressed memory image.
+//! Paged word-addressed memory image.
+//!
+//! # Layout
+//!
+//! The image is a directory of lazily-allocated 4 KiB **pages** (512
+//! words of 8 bytes). The directory maps a page number (`addr >> 12`)
+//! to a slot in a dense page vector via a `HashMap`, but the map is
+//! off the hot path: a one-entry **last-page cache** answers repeated
+//! accesses to the same page in O(1) with no hashing, so unit-stride
+//! and small-stride vector traffic hashes at most once per 512 words.
+//!
+//! Each page carries the word data plus a **written bitmap** (one bit
+//! per word). The bitmap is never consulted by `load`/`store` — it
+//! exists so [`MemImage::len`], [`MemImage::iter`], equality and
+//! [`MemImage::same_contents`] keep the exact observational semantics
+//! of the sparse `HashMap<u64, u64>` image this type replaced: a word
+//! is "written" iff some store targeted it, even if it was stored a
+//! zero. The model-based property suite at the bottom of this file
+//! pins the equivalence.
+//!
+//! # Bulk access
+//!
+//! Vector memory traffic should use the bulk entry points instead of
+//! word-at-a-time loops:
+//!
+//! * [`MemImage::load_slice`] / [`MemImage::store_slice`] — a
+//!   unit-stride run of words, moved with per-page `memcpy`s;
+//! * [`MemImage::load_strided`] / [`MemImage::store_strided`] — byte
+//!   strides; `±8` take the slice path, anything else falls back to
+//!   cached per-element access;
+//! * [`MemImage::load_indexed`] / [`MemImage::store_indexed`] — the
+//!   gather/scatter fallback (per element, in element order);
+//! * [`MemImage::seed`] — installs `(address, value)` pairs,
+//!   detecting contiguous runs and batching them through
+//!   [`MemImage::store_slice`].
+//!
+//! **Aliasing rules.** The image owns its pages, so a caller-provided
+//! slice can never alias image storage; bulk stores read `vals` in
+//! ascending element order and bulk loads write `out` in ascending
+//! element order. `store_indexed` with duplicate addresses therefore
+//! keeps last-writer-wins element order — the same semantics as the
+//! scalar [`MemImage::store`] loop it replaces. Callers that batch
+//! *register* operands (e.g. `Machine::execute`) must snapshot any
+//! operand that the destination may alias before writing — the bulk
+//! API cannot see register aliasing.
+//!
+//! All addresses are byte addresses; accesses are 8-byte aligned words
+//! (the study's access granularity — paper §6.1 tags carry `sz`, which
+//! is always 8 here), and `addr` is rounded down to a word boundary.
+//! Uninitialised words read as zero. The slice entry points walk word
+//! addresses upward and assume the run does not wrap the 2^64 address
+//! space; the strided wrappers check and fall back to the (wrapping)
+//! per-element path, matching per-element semantics exactly.
 
+use std::cell::Cell;
 use std::collections::HashMap;
+use std::fmt;
 
-/// A sparse memory image of 64-bit words.
-///
-/// Addresses are byte addresses; accesses are 8-byte aligned words (the
-/// study's access granularity — paper §6.1 tags carry `sz`, which is
-/// always 8 here). Uninitialised words read as zero.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct MemImage {
-    words: HashMap<u64, u64>,
+/// Words per page.
+const PAGE_WORDS: usize = 512;
+/// log2 of `PAGE_WORDS`.
+const PAGE_WORD_SHIFT: u32 = 9;
+/// log2 of the page size in bytes (512 words × 8 bytes).
+const PAGE_BYTE_SHIFT: u32 = PAGE_WORD_SHIFT + 3;
+/// Mask selecting the word index within a page.
+const WORD_IX_MASK: u64 = PAGE_WORDS as u64 - 1;
+/// `u64`s in the per-page written bitmap.
+const BITMAP_WORDS: usize = PAGE_WORDS / 64;
+/// Sentinel page number for the empty last-page cache (no real page
+/// number reaches it: page numbers are `addr >> 12` ≤ 2^52).
+const NO_PAGE: u64 = u64::MAX;
+
+/// One 4 KiB page: word data plus the written bitmap.
+#[derive(Clone)]
+struct Page {
+    words: [u64; PAGE_WORDS],
+    written: [u64; BITMAP_WORDS],
 }
+
+impl Page {
+    fn new_boxed() -> Box<Page> {
+        Box::new(Page {
+            words: [0; PAGE_WORDS],
+            written: [0; BITMAP_WORDS],
+        })
+    }
+
+    fn is_written(&self, word_ix: usize) -> bool {
+        self.written[word_ix >> 6] & (1u64 << (word_ix & 63)) != 0
+    }
+}
+
+/// A paged memory image of 64-bit words. See the module docs for the
+/// layout and the bulk-access API.
+#[derive(Clone)]
+pub struct MemImage {
+    /// Page number → index into `pages`.
+    dir: HashMap<u64, u32>,
+    /// Page number of `pages[i]`, for iteration.
+    page_nos: Vec<u64>,
+    pages: Vec<Box<Page>>,
+    /// Number of distinct words ever written.
+    written_words: usize,
+    /// `(page_no, index)` of the most recently touched page.
+    last: Cell<(u64, u32)>,
+}
+
+impl Default for MemImage {
+    fn default() -> Self {
+        MemImage {
+            dir: HashMap::new(),
+            page_nos: Vec::new(),
+            pages: Vec::new(),
+            written_words: 0,
+            last: Cell::new((NO_PAGE, 0)),
+        }
+    }
+}
+
+impl fmt::Debug for MemImage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemImage")
+            .field("words", &self.written_words)
+            .field("pages", &self.pages.len())
+            .finish()
+    }
+}
+
+impl PartialEq for MemImage {
+    /// Observational equality on the *written* state: both images have
+    /// written exactly the same set of words, with equal values —
+    /// the equality the sparse `HashMap` image had.
+    fn eq(&self, other: &Self) -> bool {
+        self.written_words == other.written_words
+            && self
+                .iter()
+                .all(|(a, v)| other.is_written(a) && other.load(a) == v)
+    }
+}
+
+impl Eq for MemImage {}
 
 impl MemImage {
     /// An empty image (all zeros).
@@ -19,32 +147,286 @@ impl MemImage {
         Self::default()
     }
 
+    /// Index of `page_no` in `pages`, if allocated, via the last-page
+    /// cache.
+    #[inline]
+    fn page_ix(&self, page_no: u64) -> Option<usize> {
+        let (cached_no, cached_ix) = self.last.get();
+        if cached_no == page_no {
+            return Some(cached_ix as usize);
+        }
+        let ix = *self.dir.get(&page_no)?;
+        self.last.set((page_no, ix));
+        Some(ix as usize)
+    }
+
+    /// Index of `page_no` in `pages`, allocating a zeroed page on
+    /// first touch.
+    #[inline]
+    fn page_ix_or_insert(&mut self, page_no: u64) -> usize {
+        let (cached_no, cached_ix) = self.last.get();
+        if cached_no == page_no {
+            return cached_ix as usize;
+        }
+        let ix = match self.dir.get(&page_no) {
+            Some(&ix) => ix,
+            None => {
+                let ix = u32::try_from(self.pages.len()).expect("page directory overflow");
+                self.pages.push(Page::new_boxed());
+                self.page_nos.push(page_no);
+                self.dir.insert(page_no, ix);
+                ix
+            }
+        };
+        self.last.set((page_no, ix));
+        ix as usize
+    }
+
     /// Reads the word at byte address `addr` (rounded down to 8 bytes).
     #[must_use]
+    #[inline]
     pub fn load(&self, addr: u64) -> u64 {
-        self.words.get(&(addr & !7)).copied().unwrap_or(0)
+        let word = addr >> 3;
+        match self.page_ix(word >> PAGE_WORD_SHIFT) {
+            Some(ix) => self.pages[ix].words[(word & WORD_IX_MASK) as usize],
+            None => 0,
+        }
     }
 
     /// Writes the word at byte address `addr` (rounded down to 8 bytes).
+    #[inline]
     pub fn store(&mut self, addr: u64, value: u64) {
-        self.words.insert(addr & !7, value);
+        let word = addr >> 3;
+        let ix = self.page_ix_or_insert(word >> PAGE_WORD_SHIFT);
+        let page = &mut self.pages[ix];
+        let wi = (word & WORD_IX_MASK) as usize;
+        page.words[wi] = value;
+        let bit = 1u64 << (wi & 63);
+        let b = &mut page.written[wi >> 6];
+        if *b & bit == 0 {
+            *b |= bit;
+            self.written_words += 1;
+        }
+    }
+
+    /// `true` if some store targeted the word at `addr` (even a zero).
+    #[must_use]
+    pub fn is_written(&self, addr: u64) -> bool {
+        let word = addr >> 3;
+        match self.page_ix(word >> PAGE_WORD_SHIFT) {
+            Some(ix) => self.pages[ix].is_written((word & WORD_IX_MASK) as usize),
+            None => false,
+        }
+    }
+
+    /// Reads `out.len()` consecutive words starting at `addr` (rounded
+    /// down to 8 bytes) with one `memcpy` per touched page.
+    ///
+    /// The run must not wrap the address space (use
+    /// [`MemImage::load_strided`] when in doubt — it checks).
+    pub fn load_slice(&self, addr: u64, out: &mut [u64]) {
+        let mut word = addr >> 3;
+        let mut out = out;
+        while !out.is_empty() {
+            let wi = (word & WORD_IX_MASK) as usize;
+            let n = (PAGE_WORDS - wi).min(out.len());
+            let (chunk, rest) = out.split_at_mut(n);
+            match self.page_ix(word >> PAGE_WORD_SHIFT) {
+                Some(ix) => chunk.copy_from_slice(&self.pages[ix].words[wi..wi + n]),
+                None => chunk.fill(0),
+            }
+            out = rest;
+            word += n as u64;
+        }
+    }
+
+    /// Writes `vals` to consecutive words starting at `addr` (rounded
+    /// down to 8 bytes) with one `memcpy` per touched page; the
+    /// written bitmap is updated 64 words at a time.
+    ///
+    /// The run must not wrap the address space (use
+    /// [`MemImage::store_strided`] when in doubt — it checks).
+    pub fn store_slice(&mut self, addr: u64, vals: &[u64]) {
+        let mut word = addr >> 3;
+        let mut vals = vals;
+        while !vals.is_empty() {
+            let wi = (word & WORD_IX_MASK) as usize;
+            let n = (PAGE_WORDS - wi).min(vals.len());
+            let ix = self.page_ix_or_insert(word >> PAGE_WORD_SHIFT);
+            let page = &mut self.pages[ix];
+            page.words[wi..wi + n].copy_from_slice(&vals[..n]);
+            // Mark words [wi, wi + n) written, counting newly-set bits.
+            let mut newly = 0u32;
+            for b in wi >> 6..=(wi + n - 1) >> 6 {
+                let lo = wi.max(b << 6);
+                let hi = (wi + n).min((b + 1) << 6);
+                let run = hi - lo;
+                let mask = if run == 64 {
+                    u64::MAX
+                } else {
+                    ((1u64 << run) - 1) << (lo & 63)
+                };
+                newly += (mask & !page.written[b]).count_ones();
+                page.written[b] |= mask;
+            }
+            self.written_words += newly as usize;
+            vals = &vals[n..];
+            word += n as u64;
+        }
+    }
+
+    /// `true` if a run of `len` words starting at `addr` stays within
+    /// the address space (the last element's byte address does not
+    /// wrap), so the slice paths apply.
+    fn run_fits(addr: u64, len: usize) -> bool {
+        len == 0 || addr.checked_add(8 * (len as u64 - 1)).is_some()
+    }
+
+    /// Reads `out.len()` words at byte stride `stride` from `base`:
+    /// `out[i] = load(base + stride·i)`. Strides of `±8` move whole
+    /// slices; other strides use cached per-element access.
+    pub fn load_strided(&self, base: u64, stride: i64, out: &mut [u64]) {
+        match stride {
+            8 if Self::run_fits(base, out.len()) => self.load_slice(base, out),
+            -8 if !out.is_empty() => {
+                let start = base.wrapping_sub(8 * (out.len() as u64 - 1));
+                if start <= base {
+                    self.load_slice(start, out);
+                    out.reverse();
+                } else {
+                    self.load_strided_slow(base, stride, out);
+                }
+            }
+            _ => self.load_strided_slow(base, stride, out),
+        }
+    }
+
+    fn load_strided_slow(&self, base: u64, stride: i64, out: &mut [u64]) {
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.load(base.wrapping_add_signed(stride * i as i64));
+        }
+    }
+
+    /// Writes `vals` at byte stride `stride` from `base`:
+    /// `store(base + stride·i, vals[i])`. Strides of `±8` move whole
+    /// slices; other strides use cached per-element access.
+    pub fn store_strided(&mut self, base: u64, stride: i64, vals: &[u64]) {
+        match stride {
+            8 if Self::run_fits(base, vals.len()) => self.store_slice(base, vals),
+            -8 if !vals.is_empty() => {
+                let start = base.wrapping_sub(8 * (vals.len() as u64 - 1));
+                if start <= base {
+                    // One allocation-free reversal via a page-sized
+                    // stack buffer per chunk would complicate the
+                    // bitmap batching; a reversed iteration per page
+                    // chunk keeps it simple: copy into a local, then
+                    // slice-store.
+                    let mut buf = [0u64; PAGE_WORDS];
+                    let mut remaining = vals;
+                    let mut chunk_start = start;
+                    while !remaining.is_empty() {
+                        let n = remaining.len().min(PAGE_WORDS);
+                        // The *last* n values land at the lowest
+                        // addresses, reversed.
+                        let (rest, tail) = remaining.split_at(remaining.len() - n);
+                        for (b, &v) in buf[..n].iter_mut().zip(tail.iter().rev()) {
+                            *b = v;
+                        }
+                        self.store_slice(chunk_start, &buf[..n]);
+                        chunk_start += 8 * n as u64;
+                        remaining = rest;
+                    }
+                } else {
+                    self.store_strided_slow(base, stride, vals);
+                }
+            }
+            _ => self.store_strided_slow(base, stride, vals),
+        }
+    }
+
+    fn store_strided_slow(&mut self, base: u64, stride: i64, vals: &[u64]) {
+        for (i, &v) in vals.iter().enumerate() {
+            self.store(base.wrapping_add_signed(stride * i as i64), v);
+        }
+    }
+
+    /// Gather: `out[i] = load(base + idx[i])`, in element order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` and `out` differ in length.
+    pub fn load_indexed(&self, base: u64, idx: &[u64], out: &mut [u64]) {
+        assert_eq!(idx.len(), out.len(), "gather index/output length mismatch");
+        for (o, &off) in out.iter_mut().zip(idx) {
+            *o = self.load(base.wrapping_add(off));
+        }
+    }
+
+    /// Scatter: `store(base + idx[i], vals[i])`, in element order
+    /// (duplicate addresses keep last-writer-wins semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` and `vals` differ in length.
+    pub fn store_indexed(&mut self, base: u64, idx: &[u64], vals: &[u64]) {
+        assert_eq!(idx.len(), vals.len(), "scatter index/value length mismatch");
+        for (&off, &v) in idx.iter().zip(vals) {
+            self.store(base.wrapping_add(off), v);
+        }
+    }
+
+    /// Installs `(address, value)` pairs (a compiled program's
+    /// `mem_init`), batching contiguous ascending runs through
+    /// [`MemImage::store_slice`].
+    pub fn seed(&mut self, pairs: &[(u64, u64)]) {
+        let mut buf = [0u64; PAGE_WORDS];
+        let mut i = 0;
+        while i < pairs.len() {
+            let start = pairs[i].0;
+            let mut n = 1;
+            while i + n < pairs.len()
+                && n < PAGE_WORDS
+                && pairs[i + n].0 == start.wrapping_add(8 * n as u64)
+            {
+                n += 1;
+            }
+            if n >= 4 && Self::run_fits(start, n) {
+                for (b, p) in buf[..n].iter_mut().zip(&pairs[i..i + n]) {
+                    *b = p.1;
+                }
+                self.store_slice(start, &buf[..n]);
+            } else {
+                for &(a, v) in &pairs[i..i + n] {
+                    self.store(a, v);
+                }
+            }
+            i += n;
+        }
     }
 
     /// Number of words ever written.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.words.len()
+        self.written_words
     }
 
     /// `true` if nothing has been written.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.words.is_empty()
+        self.written_words == 0
     }
 
     /// Iterates `(address, value)` over all written words, unordered.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.words.iter().map(|(a, v)| (*a, *v))
+        self.page_nos
+            .iter()
+            .zip(&self.pages)
+            .flat_map(|(&page_no, page)| {
+                let base = page_no << PAGE_BYTE_SHIFT;
+                (0..PAGE_WORDS)
+                    .filter(|&wi| page.is_written(wi))
+                    .map(move |wi| (base + 8 * wi as u64, page.words[wi]))
+            })
     }
 
     /// `true` if the written (non-zero-default) state of `self` and
@@ -52,8 +434,7 @@ impl MemImage {
     /// image reads the same in both.
     #[must_use]
     pub fn same_contents(&self, other: &MemImage) -> bool {
-        self.words.iter().all(|(a, v)| other.load(*a) == *v)
-            && other.words.iter().all(|(a, v)| self.load(*a) == *v)
+        self.iter().all(|(a, v)| other.load(a) == v) && other.iter().all(|(a, v)| self.load(a) == v)
     }
 }
 
@@ -95,5 +476,241 @@ mod tests {
         assert!(!a.same_contents(&b));
         a.store(0x20, 5);
         assert!(a.same_contents(&b));
+    }
+
+    #[test]
+    fn slice_round_trip_across_page_boundary() {
+        let mut m = MemImage::new();
+        // 0xff8 is the last word of page 0; the run spills into page 1.
+        let vals: Vec<u64> = (0..20).map(|i| 1000 + i).collect();
+        m.store_slice(0xff8, &vals);
+        let mut out = vec![0u64; 20];
+        m.load_slice(0xff8, &mut out);
+        assert_eq!(out, vals);
+        assert_eq!(m.len(), 20);
+        assert_eq!(m.load(0xff8), 1000);
+        assert_eq!(m.load(0x1000), 1001);
+    }
+
+    #[test]
+    fn strided_negative_matches_elementwise() {
+        let mut m = MemImage::new();
+        let vals = [111u64, 222, 333];
+        m.store_strided(0x3000, -8, &vals);
+        assert_eq!(m.load(0x3000), 111);
+        assert_eq!(m.load(0x2ff8), 222);
+        assert_eq!(m.load(0x2ff0), 333);
+        let mut out = [0u64; 3];
+        m.load_strided(0x3000, -8, &mut out);
+        assert_eq!(out, vals);
+    }
+
+    #[test]
+    fn strided_wide_stride_uses_element_path() {
+        let mut m = MemImage::new();
+        m.store_strided(0x100, 4096 + 8, &[7, 8, 9]);
+        assert_eq!(m.load(0x100), 7);
+        assert_eq!(m.load(0x100 + 4104), 8);
+        assert_eq!(m.load(0x100 + 2 * 4104), 9);
+        let mut out = [0u64; 3];
+        m.load_strided(0x100, 4096 + 8, &mut out);
+        assert_eq!(out, [7, 8, 9]);
+    }
+
+    #[test]
+    fn indexed_round_trip_and_duplicate_order() {
+        let mut m = MemImage::new();
+        m.store_indexed(0x1000, &[0, 0x20, 0], &[1, 2, 3]);
+        // Duplicate address 0x1000: last writer (element 2) wins.
+        assert_eq!(m.load(0x1000), 3);
+        assert_eq!(m.load(0x1020), 2);
+        let mut out = [0u64; 2];
+        m.load_indexed(0x1000, &[0x20, 0], &mut out);
+        assert_eq!(out, [2, 3]);
+    }
+
+    #[test]
+    fn seed_batches_runs_and_handles_scattered_pairs() {
+        let contiguous: Vec<(u64, u64)> = (0..600u64).map(|i| (0x2000 + 8 * i, i * 3)).collect();
+        let mut scattered = contiguous.clone();
+        scattered.push((0x9_0000, 77));
+        scattered.push((0x10, 88));
+        let mut m = MemImage::new();
+        m.seed(&scattered);
+        let mut reference = MemImage::new();
+        for &(a, v) in &scattered {
+            reference.store(a, v);
+        }
+        assert_eq!(m, reference);
+        assert_eq!(m.load(0x2000 + 8 * 599), 599 * 3);
+        assert_eq!(m.load(0x9_0000), 77);
+    }
+
+    #[test]
+    fn eq_requires_same_written_set() {
+        let mut a = MemImage::new();
+        let mut b = MemImage::new();
+        a.store(0x10, 0);
+        // `a` wrote an explicit zero; `b` wrote nothing. Observational
+        // reads agree (same_contents) but the written sets differ.
+        assert!(a.same_contents(&b));
+        assert_ne!(a, b);
+        b.store(0x10, 0);
+        assert_eq!(a, b);
+    }
+
+    // ------------------------------------------------------------------
+    // Model-based property suite: the paged image versus the sparse
+    // HashMap reference model it replaced, under random interleaved
+    // scalar/slice/strided/indexed traffic (mirrors the `SlotQueue`
+    // seed-loop suite in `oov-core`).
+    // ------------------------------------------------------------------
+
+    /// SplitMix64 (same constants as the workspace harness).
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// The reference model: the exact semantics of the old sparse
+    /// image.
+    #[derive(Default)]
+    struct ModelMem(HashMap<u64, u64>);
+
+    impl ModelMem {
+        fn load(&self, addr: u64) -> u64 {
+            self.0.get(&(addr & !7)).copied().unwrap_or(0)
+        }
+
+        fn store(&mut self, addr: u64, value: u64) {
+            self.0.insert(addr & !7, value);
+        }
+    }
+
+    /// Addresses cluster around a handful of regions whose runs cross
+    /// page boundaries, plus occasional far-flung pages, so the
+    /// directory, the last-page cache and the bitmap batching all get
+    /// exercised.
+    fn rand_addr(rng: &mut u64) -> u64 {
+        let region = match splitmix(rng) % 4 {
+            0 => 0x0,
+            1 => 0xf00,       // runs from here cross the 0x1000 page edge
+            2 => 0x7ff8,      // last word of page 7
+            _ => 0x1234_5000, // a far page, hits the directory
+        };
+        // Sometimes unaligned: the image must round down.
+        region + (splitmix(rng) % 0x220) * 8 + (splitmix(rng) % 3)
+    }
+
+    fn check_equivalence(paged: &MemImage, model: &ModelMem, seed: u64) {
+        assert_eq!(paged.len(), model.0.len(), "seed {seed}: len diverged");
+        // iter() equivalence: same (addr, value) multiset.
+        let mut got: Vec<(u64, u64)> = paged.iter().collect();
+        let mut want: Vec<(u64, u64)> = model.0.iter().map(|(&a, &v)| (a, v)).collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want, "seed {seed}: iter() diverged");
+        // same_contents against a paged rebuild of the model.
+        let mut rebuilt = MemImage::new();
+        for &(a, v) in &want {
+            rebuilt.store(a, v);
+        }
+        assert!(
+            paged.same_contents(&rebuilt) && rebuilt.same_contents(paged),
+            "seed {seed}: same_contents diverged"
+        );
+        assert_eq!(*paged, rebuilt, "seed {seed}: eq diverged");
+    }
+
+    #[test]
+    fn model_based_random_interleavings() {
+        for seed in 0..24u64 {
+            let mut rng = 0xda7a_0000 + seed;
+            let mut paged = MemImage::new();
+            let mut model = ModelMem::default();
+            for step in 0..400 {
+                let addr = rand_addr(&mut rng);
+                let n = (splitmix(&mut rng) % 160) as usize + 1;
+                match splitmix(&mut rng) % 8 {
+                    0 => {
+                        let v = splitmix(&mut rng) % 5; // small values, zeros included
+                        paged.store(addr, v);
+                        model.store(addr, v);
+                    }
+                    1 => {
+                        assert_eq!(
+                            paged.load(addr),
+                            model.load(addr),
+                            "seed {seed} step {step}: load({addr:#x})"
+                        );
+                    }
+                    2 => {
+                        let vals: Vec<u64> = (0..n).map(|_| splitmix(&mut rng) % 100).collect();
+                        paged.store_slice(addr, &vals);
+                        for (i, &v) in vals.iter().enumerate() {
+                            model.store((addr & !7) + 8 * i as u64, v);
+                        }
+                    }
+                    3 => {
+                        let mut out = vec![0u64; n];
+                        paged.load_slice(addr, &mut out);
+                        for (i, &v) in out.iter().enumerate() {
+                            assert_eq!(
+                                v,
+                                model.load((addr & !7) + 8 * i as u64),
+                                "seed {seed} step {step}: load_slice[{i}]"
+                            );
+                        }
+                    }
+                    4 => {
+                        let stride = [8i64, -8, 16, -24, 4096][(splitmix(&mut rng) % 5) as usize];
+                        let vals: Vec<u64> = (0..n).map(|_| splitmix(&mut rng) % 100).collect();
+                        paged.store_strided(addr, stride, &vals);
+                        for (i, &v) in vals.iter().enumerate() {
+                            model.store(addr.wrapping_add_signed(stride * i as i64), v);
+                        }
+                    }
+                    5 => {
+                        let stride = [8i64, -8, 16, -24, 4096][(splitmix(&mut rng) % 5) as usize];
+                        let mut out = vec![0u64; n];
+                        paged.load_strided(addr, stride, &mut out);
+                        for (i, &v) in out.iter().enumerate() {
+                            assert_eq!(
+                                v,
+                                model.load(addr.wrapping_add_signed(stride * i as i64)),
+                                "seed {seed} step {step}: load_strided[{i}]"
+                            );
+                        }
+                    }
+                    6 => {
+                        let idx: Vec<u64> =
+                            (0..n).map(|_| (splitmix(&mut rng) % 0x400) * 8).collect();
+                        let vals: Vec<u64> = (0..n).map(|_| splitmix(&mut rng) % 100).collect();
+                        paged.store_indexed(addr, &idx, &vals);
+                        for (&off, &v) in idx.iter().zip(&vals) {
+                            model.store(addr.wrapping_add(off), v);
+                        }
+                    }
+                    _ => {
+                        let pairs: Vec<(u64, u64)> = (0..n)
+                            .map(|i| {
+                                // Mostly contiguous, occasionally broken
+                                // runs, so seed() exercises both paths.
+                                let gap = u64::from(splitmix(&mut rng).is_multiple_of(16));
+                                (addr + 8 * (i as u64 + gap * 64), splitmix(&mut rng) % 100)
+                            })
+                            .collect();
+                        paged.seed(&pairs);
+                        for &(a, v) in &pairs {
+                            model.store(a, v);
+                        }
+                    }
+                }
+            }
+            check_equivalence(&paged, &model, seed);
+        }
     }
 }

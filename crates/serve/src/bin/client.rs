@@ -171,6 +171,7 @@ fn run() -> Result<(), String> {
             println!("requests:             {}", s.requests);
             println!("result cache hits:    {}", s.result_hits);
             println!("result cache misses:  {}", s.result_misses);
+            println!("result evictions:     {}", s.result_evictions);
             println!("suite lookups:        {}", s.suite_requests);
             println!(
                 "suite compiles:       smoke {}, paper {}",

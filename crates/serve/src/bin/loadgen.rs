@@ -21,6 +21,10 @@
 //! * `--scale <smoke|paper>`  default `smoke`
 //! * `--verify`             recompute every unique point in-process
 //!   and assert the served `SimStats` are bit-identical
+//! * `--cache-entries <n>`  per-shard result-cache LRU cap for
+//!   `--spawn`ed servers (default: unbounded). Incompatible with
+//!   `--cache-file`: the restart check asserts a zero-miss warm run,
+//!   which a capped (evicting) cache cannot guarantee.
 //! * `--cache-file <path>`  restart test (implies `--spawn`): run the
 //!   whole workload against a server dumping its caches to `<path>`,
 //!   shut it down, start a *fresh* server loading `<path>`, and run
@@ -90,6 +94,7 @@ struct Args {
     scale: Scale,
     verify: bool,
     cache_file: Option<String>,
+    cache_entries: Option<usize>,
     out: String,
 }
 
@@ -103,6 +108,7 @@ fn parse_args() -> Result<Args, String> {
         scale: Scale::Smoke,
         verify: false,
         cache_file: None,
+        cache_entries: None,
         out: concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").into(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -137,10 +143,19 @@ fn parse_args() -> Result<Args, String> {
                 args.cache_file = Some(value(&mut i)?);
                 args.spawn = true;
             }
+            "--cache-entries" => args.cache_entries = Some(number(&mut i)?),
             "--out" => args.out = value(&mut i)?,
             other => return Err(format!("unknown flag {other}")),
         }
         i += 1;
+    }
+    if args.cache_entries.is_some() && args.cache_file.is_some() {
+        return Err(
+            "--cache-entries cannot be combined with --cache-file: the restart \
+             check asserts a zero-miss warm run, which an evicting cache cannot \
+             guarantee"
+                .into(),
+        );
     }
     Ok(args)
 }
@@ -246,6 +261,7 @@ fn run() -> Result<(), String> {
     let persist = |load: bool, dump: bool| PersistOptions {
         load: (load && args.cache_file.is_some()).then(|| args.cache_file.clone().unwrap().into()),
         dump: (dump && args.cache_file.is_some()).then(|| args.cache_file.clone().unwrap().into()),
+        max_entries: args.cache_entries,
     };
     let server = if args.spawn {
         let handle = Server::start_with("127.0.0.1:0", args.shards, persist(false, true))

@@ -14,6 +14,9 @@
 //!   from any shard count loads into any other)
 //! * `--cache-dump <path>` write every shard's result cache to
 //!   `<path>` at graceful shutdown (atomic: temp file + rename)
+//! * `--cache-entries <n>` bound each shard's result cache to `n`
+//!   entries with LRU eviction (default: unbounded), so persistence
+//!   dumps and long-running daemons cannot grow without limit
 //!
 //! The process runs until a client sends a `shutdown` request (e.g.
 //! `client --addr ... shutdown`) or it is killed.
@@ -40,6 +43,16 @@ fn main() {
             "--addr" => addr = value(&mut i, &argv),
             "--cache-load" => persist.load = Some(value(&mut i, &argv).into()),
             "--cache-dump" => persist.dump = Some(value(&mut i, &argv).into()),
+            "--cache-entries" => {
+                persist.max_entries = value(&mut i, &argv)
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .or_else(|| {
+                        eprintln!("error: --cache-entries needs a positive integer");
+                        std::process::exit(2);
+                    });
+            }
             "--shards" => {
                 shards = value(&mut i, &argv)
                     .parse()

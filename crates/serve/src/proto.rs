@@ -285,6 +285,9 @@ pub struct StatsSnapshot {
     pub result_hits: u64,
     /// Requests that had to simulate.
     pub result_misses: u64,
+    /// Result-cache entries evicted by the per-shard LRU cap
+    /// (`--cache-entries`; 0 when the caches are unbounded).
+    pub result_evictions: u64,
     /// Suite lookups (every simulation performs one).
     pub suite_requests: u64,
     /// Smoke-scale suite compilations (memoisation holds this at ≤ 1).
@@ -303,6 +306,7 @@ impl StatsSnapshot {
             ("requests", self.requests.into()),
             ("result_hits", self.result_hits.into()),
             ("result_misses", self.result_misses.into()),
+            ("result_evictions", self.result_evictions.into()),
             ("suite_requests", self.suite_requests.into()),
             ("suite_compiles_smoke", self.suite_compiles_smoke.into()),
             ("suite_compiles_paper", self.suite_compiles_paper.into()),
@@ -323,6 +327,7 @@ impl StatsSnapshot {
             requests: field("requests")?,
             result_hits: field("result_hits")?,
             result_misses: field("result_misses")?,
+            result_evictions: field("result_evictions")?,
             suite_requests: field("suite_requests")?,
             suite_compiles_smoke: field("suite_compiles_smoke")?,
             suite_compiles_paper: field("suite_compiles_paper")?,

@@ -49,6 +49,7 @@ struct Engine {
     suites: SuiteCache,
     result_hits: AtomicU64,
     result_misses: AtomicU64,
+    result_evictions: AtomicU64,
     per_shard: Vec<AtomicU64>,
     shutdown: AtomicBool,
 }
@@ -59,6 +60,7 @@ impl Engine {
             suites: SuiteCache::new(),
             result_hits: AtomicU64::new(0),
             result_misses: AtomicU64::new(0),
+            result_evictions: AtomicU64::new(0),
             per_shard: (0..n_shards).map(|_| AtomicU64::new(0)).collect(),
             shutdown: AtomicBool::new(false),
         }
@@ -75,6 +77,7 @@ impl Engine {
             requests: per_shard_requests.iter().sum(),
             result_hits: self.result_hits.load(Ordering::Relaxed),
             result_misses: self.result_misses.load(Ordering::Relaxed),
+            result_evictions: self.result_evictions.load(Ordering::Relaxed),
             suite_requests: self.suites.requests(),
             suite_compiles_smoke,
             suite_compiles_paper,
@@ -83,13 +86,101 @@ impl Engine {
     }
 }
 
-/// Result-cache persistence configuration for [`Server::start_with`].
+/// Result-cache configuration for [`Server::start_with`]: persistence
+/// plus the per-shard size bound.
 #[derive(Debug, Default, Clone)]
 pub struct PersistOptions {
     /// Seed the shard result caches from this dump at startup.
     pub load: Option<PathBuf>,
     /// Write every shard's result cache to this path at shutdown.
     pub dump: Option<PathBuf>,
+    /// Maximum result-cache entries **per shard** (`--cache-entries`).
+    /// `None` (the default) keeps the caches unbounded; with a cap,
+    /// the least-recently-used entry is evicted on overflow, so
+    /// persistence dumps and long loadgen runs cannot grow without
+    /// limit.
+    pub max_entries: Option<usize>,
+}
+
+/// A shard's private result cache with an optional LRU cap.
+///
+/// Eviction is a linear minimum scan over the (bounded) map — at the
+/// cap sizes this knob is for, an O(n) pass per insert is noise next
+/// to the simulation the insert just paid for, and it keeps the store
+/// a plain `HashMap` with no intrusive list to maintain.
+struct ShardCache {
+    map: HashMap<u64, ShardCacheEntry>,
+    /// `usize::MAX` when unbounded.
+    cap: usize,
+    /// Logical clock: bumped on every lookup/insert, stamped on the
+    /// touched entry.
+    tick: u64,
+}
+
+struct ShardCacheEntry {
+    machine_fp: u64,
+    result: SimResult,
+    last_used: u64,
+}
+
+impl ShardCache {
+    fn new(cap: Option<usize>) -> Self {
+        ShardCache {
+            map: HashMap::new(),
+            // A zero cap would make every insert evict itself; treat
+            // it as "cache one entry".
+            cap: cap.unwrap_or(usize::MAX).max(1),
+            tick: 0,
+        }
+    }
+
+    /// Looks up `key`, refreshing its LRU stamp on a hit.
+    fn get(&mut self, key: u64) -> Option<&SimResult> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&key).map(|e| {
+            e.last_used = tick;
+            &e.result
+        })
+    }
+
+    /// Inserts `key`, evicting the least-recently-used entry when at
+    /// the cap. Returns `true` if an entry was evicted.
+    fn insert(&mut self, key: u64, machine_fp: u64, result: SimResult) -> bool {
+        self.tick += 1;
+        let mut evicted = false;
+        if !self.map.contains_key(&key) && self.map.len() >= self.cap {
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k)
+            {
+                self.map.remove(&victim);
+                evicted = true;
+            }
+        }
+        self.map.insert(
+            key,
+            ShardCacheEntry {
+                machine_fp,
+                result,
+                last_used: self.tick,
+            },
+        );
+        evicted
+    }
+
+    fn into_lines(self) -> Vec<CacheLine> {
+        self.map
+            .into_iter()
+            .map(|(key, e)| CacheLine {
+                key,
+                machine_fp: e.machine_fp,
+                result: e.result,
+            })
+            .collect()
+    }
 }
 
 /// Server configuration and entry point.
@@ -155,6 +246,7 @@ impl Server {
 
         let mut senders = Vec::with_capacity(n_shards);
         let mut workers = Vec::with_capacity(n_shards);
+        let max_entries = persist_opts.max_entries;
         for (shard, seed) in seeds.into_iter().enumerate() {
             let (tx, rx) = mpsc::channel::<Job>();
             senders.push(tx);
@@ -162,7 +254,7 @@ impl Server {
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("oov-shard-{shard}"))
-                    .spawn(move || worker(shard, seed, &rx, &engine))?,
+                    .spawn(move || worker(shard, seed, max_entries, &rx, &engine))?,
             );
         }
 
@@ -264,21 +356,27 @@ impl ServerHandle {
 /// time. The cache is private to the shard — the fingerprint router
 /// guarantees no other shard ever sees the same configuration — and
 /// is returned when the job channel closes, so shutdown can persist
-/// it without any locking on the hot path.
+/// it without any locking on the hot path. With a `max_entries` cap,
+/// the cache evicts its least-recently-used entry on overflow.
 fn worker(
     shard: usize,
     seed: Vec<CacheLine>,
+    max_entries: Option<usize>,
     rx: &mpsc::Receiver<Job>,
     engine: &Engine,
 ) -> Vec<CacheLine> {
-    let mut cache: HashMap<u64, (u64, SimResult)> = seed
-        .into_iter()
-        .map(|e| (e.key, (e.machine_fp, e.result)))
-        .collect();
+    let mut cache = ShardCache::new(max_entries);
+    for e in seed {
+        // Seeding through the same entry point applies the cap to an
+        // oversized dump too (later lines win, matching file order).
+        if cache.insert(e.key, e.machine_fp, e.result) {
+            engine.result_evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
     while let Ok(job) = rx.recv() {
         engine.per_shard[shard].fetch_add(1, Ordering::Relaxed);
         let fp = job.req.fingerprint();
-        let result = if let Some((_, hit)) = cache.get(&fp) {
+        let result = if let Some(hit) = cache.get(fp) {
             engine.result_hits.fetch_add(1, Ordering::Relaxed);
             SimResult {
                 cached: true,
@@ -300,20 +398,15 @@ fn worker(
                 cached: false,
                 shard,
             };
-            cache.insert(fp, (job.req.machine.fingerprint(), r.clone()));
+            if cache.insert(fp, job.req.machine.fingerprint(), r.clone()) {
+                engine.result_evictions.fetch_add(1, Ordering::Relaxed);
+            }
             r
         };
         // A dropped reply receiver just means the client went away.
         let _ = job.reply.send((job.tag, result));
     }
-    cache
-        .into_iter()
-        .map(|(key, (machine_fp, result))| CacheLine {
-            key,
-            machine_fp,
-            result,
-        })
-        .collect()
+    cache.into_lines()
 }
 
 /// Routes every point to its shard and returns the shared reply

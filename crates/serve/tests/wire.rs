@@ -93,6 +93,7 @@ fn every_response_variant_round_trips() {
             requests: 10,
             result_hits: 4,
             result_misses: 6,
+            result_evictions: 2,
             suite_requests: 6,
             suite_compiles_smoke: 1,
             suite_compiles_paper: 0,
@@ -298,6 +299,7 @@ fn result_caches_survive_a_restart() {
         PersistOptions {
             load: None,
             dump: Some(dump.clone()),
+            ..PersistOptions::default()
         },
     )
     .expect("server start");
@@ -322,6 +324,7 @@ fn result_caches_survive_a_restart() {
         PersistOptions {
             load: Some(dump.clone()),
             dump: None,
+            ..PersistOptions::default()
         },
     )
     .expect("warm server start");
@@ -353,4 +356,65 @@ fn result_caches_survive_a_restart() {
         .expect("shutdown");
     server.join();
     std::fs::remove_file(&dump).ok();
+}
+
+/// The `--cache-entries` LRU cap: with one shard bounded to two
+/// entries, a third distinct request evicts the least-recently-used
+/// result; warm entries keep answering as hits, and a re-request of
+/// the evicted point is a fresh (but still bit-identical) miss.
+#[test]
+fn bounded_result_cache_evicts_lru_and_keeps_warm_hits() {
+    let server = Server::start_with(
+        "127.0.0.1:0",
+        1, // one shard, so every request shares the bounded cache
+        PersistOptions {
+            max_entries: Some(2),
+            ..PersistOptions::default()
+        },
+    )
+    .expect("server start");
+    let addr = server.addr();
+    let mut client = Client::connect(addr).expect("connect");
+
+    let reqs = [
+        SimRequest::ooo_default(Program::Trfd, Scale::Smoke),
+        SimRequest::ooo_default(Program::Dyfesm, Scale::Smoke),
+        SimRequest::ooo_default(Program::Nasa7, Scale::Smoke),
+    ];
+    // Fill: A, B hit capacity; C evicts A (the LRU entry).
+    let first: Vec<SimResult> = reqs
+        .iter()
+        .map(|r| client.sim(r).expect("cold sim"))
+        .collect();
+    assert!(first.iter().all(|r| !r.cached));
+
+    // B is still resident (warm hit refreshes its stamp)...
+    let b = client.sim(&reqs[1]).expect("warm sim");
+    assert!(b.cached, "B should still be cached");
+    assert_eq!(b.stats, first[1].stats);
+
+    // ...so re-requesting A misses (it was evicted), recomputes
+    // bit-identically, and evicts C (now the LRU entry, since B was
+    // just touched).
+    let a = client.sim(&reqs[0]).expect("re-sim of evicted point");
+    assert!(!a.cached, "A should have been evicted");
+    assert_eq!(a.stats, first[0].stats, "recomputed result diverged");
+
+    // B survived both evictions.
+    let b2 = client.sim(&reqs[1]).expect("warm sim");
+    assert!(b2.cached, "B should have survived both evictions");
+
+    let stats = Client::connect(addr)
+        .expect("connect")
+        .stats()
+        .expect("stats");
+    assert_eq!(stats.result_misses, 4, "A, B, C cold + A recomputed");
+    assert_eq!(stats.result_hits, 2, "two warm hits on B");
+    assert_eq!(stats.result_evictions, 2, "A then C evicted");
+
+    Client::connect(addr)
+        .expect("connect")
+        .shutdown()
+        .expect("shutdown");
+    server.join();
 }

@@ -8,7 +8,12 @@
 //!
 //! The operation semantics intentionally mirror `oov_exec::Machine` — the
 //! two implementations are kept separate so that a bug in one cannot hide
-//! in the other.
+//! in the other. Like the machine, the interpreter is batched: vector
+//! memory traffic goes through the [`MemImage`] bulk API and vector
+//! values reuse their destination buffers (a virtual register redefined
+//! on every loop iteration recycles one allocation), with operands
+//! snapshotted into scratch buffers before the destination is taken so
+//! `dst == src` forms stay well defined.
 
 use std::collections::HashMap;
 
@@ -32,6 +37,9 @@ enum Value {
 pub struct IrInterp {
     regs: HashMap<VirtReg, Value>,
     mem: MemImage,
+    /// Operand snapshot buffers, recycled across instructions.
+    scratch_a: Vec<u64>,
+    scratch_b: Vec<u64>,
 }
 
 impl IrInterp {
@@ -52,15 +60,18 @@ impl IrInterp {
     #[must_use]
     pub fn run_kernel(kernel: &Kernel) -> MemImage {
         let mut it = IrInterp::new();
-        for &(a, v) in &kernel.mem_init {
-            it.mem.store(a, v);
-        }
+        it.mem.seed(&kernel.mem_init);
         for seg in kernel.segments() {
             for outer in 0..u64::from(seg.outer_trips) {
                 // Carried registers start at zero each outer iteration,
                 // matching the lowered code's zero-init prologue.
                 for &c in &seg.carried {
-                    it.regs.insert(c, zero_value(c));
+                    let zero = match c {
+                        VirtReg::V(_) => Value::Vector(it.take_vec_buffer(c, 128)),
+                        VirtReg::M(_) => Value::Mask(0),
+                        _ => Value::Scalar(0),
+                    };
+                    it.regs.insert(c, zero);
                 }
                 for iter in 0..u64::from(seg.trips) {
                     for inst in &seg.body {
@@ -80,7 +91,9 @@ impl IrInterp {
         }
     }
 
-    fn vector(&self, v: VirtReg, vl: usize) -> Vec<u64> {
+    /// Borrow of the first `vl` elements of a vector value, with the
+    /// definition/width checks every read performs.
+    fn vector_ref(&self, v: VirtReg, vl: usize) -> &[u64] {
         match self.regs.get(&v) {
             Some(Value::Vector(xs)) => {
                 assert!(
@@ -88,7 +101,7 @@ impl IrInterp {
                     "kernel reads {vl} elements of {v} but only {} were written",
                     xs.len()
                 );
-                xs[..vl].to_vec()
+                &xs[..vl]
             }
             Some(_) => panic!("{v} is not a vector"),
             None => panic!("use of {v} before definition"),
@@ -103,14 +116,22 @@ impl IrInterp {
         }
     }
 
-    /// Second operand of a vector op: vector, scalar broadcast, or
-    /// immediate — mirroring `oov_exec::Machine::vector_or_broadcast`.
-    fn vec_operand(&self, inst: &KInst, n: usize, vl: usize) -> Vec<u64> {
+    /// Snapshots `vl` elements of `v` into `out` (cleared first).
+    fn read_vector_into(&self, v: VirtReg, vl: usize, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend_from_slice(self.vector_ref(v, vl));
+    }
+
+    /// Snapshots the second operand of a vector op into `out`: vector,
+    /// scalar broadcast, or immediate — mirroring
+    /// `oov_exec::Machine::fill_vector_operand`.
+    fn read_vec_operand_into(&self, inst: &KInst, n: usize, vl: usize, out: &mut Vec<u64>) {
+        out.clear();
         match inst.srcs.get(n) {
-            Some(&r @ VirtReg::V(_)) => self.vector(r, vl),
-            Some(&r @ (VirtReg::S(_) | VirtReg::A(_))) => vec![self.scalar(r); vl],
+            Some(&r @ VirtReg::V(_)) => out.extend_from_slice(self.vector_ref(r, vl)),
+            Some(&r @ (VirtReg::S(_) | VirtReg::A(_))) => out.resize(vl, self.scalar(r)),
             Some(&r @ VirtReg::M(_)) => panic!("{r} cannot be a vector operand"),
-            None => vec![inst.imm as u64; vl],
+            None => out.resize(vl, inst.imm as u64),
         }
     }
 
@@ -118,6 +139,21 @@ impl IrInterp {
         match inst.srcs.get(n) {
             Some(&r) => self.scalar(r),
             None => inst.imm as u64,
+        }
+    }
+
+    /// Recycles the destination's previous vector buffer (if it has
+    /// one), returning it zeroed at length `vl`. Callers must snapshot
+    /// every source first — after this the old value of `r` is gone.
+    fn take_vec_buffer(&mut self, r: VirtReg, vl: usize) -> Vec<u64> {
+        match self.regs.get_mut(&r) {
+            Some(Value::Vector(xs)) => {
+                let mut v = std::mem::take(xs);
+                v.clear();
+                v.resize(vl, 0);
+                v
+            }
+            _ => vec![0; vl],
         }
     }
 
@@ -163,60 +199,71 @@ impl IrInterp {
             VLoad => {
                 let a = inst.addr.as_ref().unwrap();
                 let b = base.unwrap();
-                let xs: Vec<u64> = (0..vl as i64)
-                    .map(|i| self.mem.load(b.wrapping_add_signed(a.stride_bytes * i)))
-                    .collect();
+                let mut xs = self.take_vec_buffer(inst.dst.unwrap(), vl);
+                self.mem.load_strided(b, a.stride_bytes, &mut xs);
                 self.regs.insert(inst.dst.unwrap(), Value::Vector(xs));
             }
             VStore => {
                 let a = inst.addr.as_ref().unwrap();
                 let b = base.unwrap();
-                let xs = self.vector(inst.srcs[0], vl);
-                for (i, x) in xs.into_iter().enumerate() {
-                    self.mem
-                        .store(b.wrapping_add_signed(a.stride_bytes * i as i64), x);
-                }
+                let mut data = std::mem::take(&mut self.scratch_a);
+                self.read_vector_into(inst.srcs[0], vl, &mut data);
+                self.mem.store_strided(b, a.stride_bytes, &data);
+                self.scratch_a = data;
             }
             VGather => {
                 let b = base.unwrap();
-                let idx = self.vector(inst.srcs[0], vl);
-                let xs: Vec<u64> = idx
-                    .iter()
-                    .map(|&o| self.mem.load(b.wrapping_add(o)))
-                    .collect();
+                let mut idx = std::mem::take(&mut self.scratch_a);
+                self.read_vector_into(inst.srcs[0], vl, &mut idx);
+                let mut xs = self.take_vec_buffer(inst.dst.unwrap(), vl);
+                self.mem.load_indexed(b, &idx, &mut xs);
                 self.regs.insert(inst.dst.unwrap(), Value::Vector(xs));
+                self.scratch_a = idx;
             }
             VScatter => {
                 let b = base.unwrap();
-                let data = self.vector(inst.srcs[0], vl);
-                let idx = self.vector(inst.srcs[1], vl);
-                for (o, x) in idx.into_iter().zip(data) {
-                    self.mem.store(b.wrapping_add(o), x);
-                }
+                let mut data = std::mem::take(&mut self.scratch_a);
+                let mut idx = std::mem::take(&mut self.scratch_b);
+                self.read_vector_into(inst.srcs[0], vl, &mut data);
+                self.read_vector_into(inst.srcs[1], vl, &mut idx);
+                self.mem.store_indexed(b, &idx, &data);
+                self.scratch_a = data;
+                self.scratch_b = idx;
             }
             VAdd | VMul | VDiv | VLogic | VShift => {
-                let av = self.vector(inst.srcs[0], vl);
-                let bv = self.vec_operand(inst, 1, vl);
-                let xs: Vec<u64> = (0..vl)
-                    .map(|i| match inst.op {
-                        VAdd => av[i].wrapping_add(bv[i]),
-                        VMul => av[i].wrapping_mul(bv[i].max(1)),
-                        VDiv => av[i] / bv[i].max(1),
-                        VLogic => av[i] ^ bv[i],
-                        VShift => av[i].rotate_left(1) ^ bv[i],
-                        _ => unreachable!(),
-                    })
-                    .collect();
+                let mut av = std::mem::take(&mut self.scratch_a);
+                let mut bv = std::mem::take(&mut self.scratch_b);
+                self.read_vector_into(inst.srcs[0], vl, &mut av);
+                self.read_vec_operand_into(inst, 1, vl, &mut bv);
+                let mut xs = self.take_vec_buffer(inst.dst.unwrap(), vl);
+                let lanes = xs.iter_mut().zip(av.iter().zip(&bv));
+                match inst.op {
+                    VAdd => lanes.for_each(|(d, (&x, &y))| *d = x.wrapping_add(y)),
+                    VMul => lanes.for_each(|(d, (&x, &y))| *d = x.wrapping_mul(y.max(1))),
+                    VDiv => lanes.for_each(|(d, (&x, &y))| *d = x / y.max(1)),
+                    VLogic => lanes.for_each(|(d, (&x, &y))| *d = x ^ y),
+                    VShift => lanes.for_each(|(d, (&x, &y))| *d = x.rotate_left(1) ^ y),
+                    _ => unreachable!(),
+                }
                 self.regs.insert(inst.dst.unwrap(), Value::Vector(xs));
+                self.scratch_a = av;
+                self.scratch_b = bv;
             }
             VSqrt => {
-                let av = self.vector(inst.srcs[0], vl);
-                let xs: Vec<u64> = av.into_iter().map(u64::isqrt).collect();
+                let mut av = std::mem::take(&mut self.scratch_a);
+                self.read_vector_into(inst.srcs[0], vl, &mut av);
+                let mut xs = self.take_vec_buffer(inst.dst.unwrap(), vl);
+                for (d, &x) in xs.iter_mut().zip(&av) {
+                    *d = x.isqrt();
+                }
                 self.regs.insert(inst.dst.unwrap(), Value::Vector(xs));
+                self.scratch_a = av;
             }
             VCmp => {
-                let av = self.vector(inst.srcs[0], vl);
-                let bv = self.vec_operand(inst, 1, vl);
+                let mut av = std::mem::take(&mut self.scratch_a);
+                let mut bv = std::mem::take(&mut self.scratch_b);
+                self.read_vector_into(inst.srcs[0], vl, &mut av);
+                self.read_vec_operand_into(inst, 1, vl, &mut bv);
                 let mut m = 0u128;
                 for i in 0..vl {
                     if av[i] > bv[i] {
@@ -224,19 +271,28 @@ impl IrInterp {
                     }
                 }
                 self.regs.insert(inst.dst.unwrap(), Value::Mask(m));
+                self.scratch_a = av;
+                self.scratch_b = bv;
             }
             VMerge => {
-                let av = self.vector(inst.srcs[0], vl);
-                let bv = self.vector(inst.srcs[1], vl);
+                let mut av = std::mem::take(&mut self.scratch_a);
+                let mut bv = std::mem::take(&mut self.scratch_b);
+                self.read_vector_into(inst.srcs[0], vl, &mut av);
+                self.read_vector_into(inst.srcs[1], vl, &mut bv);
                 let m = self.mask(inst.srcs[2]);
-                let xs: Vec<u64> = (0..vl)
-                    .map(|i| if m & (1 << i) != 0 { av[i] } else { bv[i] })
-                    .collect();
+                let mut xs = self.take_vec_buffer(inst.dst.unwrap(), vl);
+                for (i, d) in xs.iter_mut().enumerate() {
+                    *d = if m & (1 << i) != 0 { av[i] } else { bv[i] };
+                }
                 self.regs.insert(inst.dst.unwrap(), Value::Vector(xs));
+                self.scratch_a = av;
+                self.scratch_b = bv;
             }
             VReduce => {
-                let av = self.vector(inst.srcs[0], vl);
-                let sum = av.into_iter().fold(0u64, u64::wrapping_add);
+                let sum = self
+                    .vector_ref(inst.srcs[0], vl)
+                    .iter()
+                    .fold(0u64, |acc, &x| acc.wrapping_add(x));
                 self.regs.insert(inst.dst.unwrap(), Value::Scalar(sum));
             }
             VMaskOp => {
@@ -245,14 +301,6 @@ impl IrInterp {
                 self.regs.insert(inst.dst.unwrap(), Value::Mask(a ^ b));
             }
         }
-    }
-}
-
-fn zero_value(v: VirtReg) -> Value {
-    match v {
-        VirtReg::V(_) => Value::Vector(vec![0; 128]),
-        VirtReg::M(_) => Value::Mask(0),
-        _ => Value::Scalar(0),
     }
 }
 

@@ -168,12 +168,6 @@ impl Kernel {
         &self.segments
     }
 
-    /// Mutable access to the segments (used by the scheduler).
-    #[must_use]
-    pub(crate) fn segments_mut(&mut self) -> &mut Vec<LoopSeg> {
-        &mut self.segments
-    }
-
     /// Allocates a data array of `words` 8-byte words, 64-byte aligned.
     ///
     /// # Panics

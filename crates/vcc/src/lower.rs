@@ -137,16 +137,17 @@ fn zero_init(pinned: &[ArchReg], pc: &mut u64, trace: &mut Trace) {
     }
 }
 
-/// Lowers all segments of a kernel whose bodies were already scheduled
-/// and allocated, producing the dynamic trace.
-pub(crate) fn lower_kernel(
-    kernel: &Kernel,
+/// Lowers already-scheduled, allocated segments, producing the dynamic
+/// trace.
+pub(crate) fn lower_segments(
+    name: &str,
+    segments: &[crate::ir::LoopSeg],
     allocated: &[AllocatedSegment],
 ) -> (Trace, SpillSummary) {
-    let mut trace = Trace::new(kernel.name());
+    let mut trace = Trace::new(name);
     let mut spill = SpillSummary::default();
     let mut pc: u64 = 0x1000;
-    for (seg, alloc) in kernel.segments().iter().zip(allocated) {
+    for (seg, alloc) in segments.iter().zip(allocated) {
         spill.merge(&alloc.summary);
         let steps = iteration_steps(&alloc.body);
         // Fixed PCs: prologue, then one slot per step.
@@ -252,13 +253,12 @@ pub struct CompiledProgram {
 }
 
 impl CompiledProgram {
-    /// A golden-model machine with the program's initial memory installed.
+    /// A golden-model machine with the program's initial memory installed
+    /// (contiguous `mem_init` runs are bulk-seeded).
     #[must_use]
     pub fn golden_machine(&self) -> oov_exec::Machine {
         let mut m = oov_exec::Machine::new();
-        for &(a, v) in &self.mem_init {
-            m.memory_mut().store(a, v);
-        }
+        m.memory_mut().seed(&self.mem_init);
         m
     }
 }
@@ -285,19 +285,21 @@ impl Default for CompileOptions {
 /// Compiles a kernel: schedule → allocate → lower.
 #[must_use]
 pub fn compile_with(kernel: &Kernel, opts: &CompileOptions) -> CompiledProgram {
-    let mut scheduled = kernel.clone();
+    // Only the segments are copied for scheduling — `mem_init` (by far
+    // the largest part of a paper-scale kernel) is cloned exactly
+    // once, into the compiled program.
+    let mut segments: Vec<crate::ir::LoopSeg> = kernel.segments().to_vec();
     if opts.schedule {
-        for seg in scheduled_segments(&mut scheduled) {
+        for seg in &mut segments {
             crate::sched::schedule_segment(seg, &opts.lat);
         }
     }
     let mut slots = SlotAllocator::new();
-    let allocated: Vec<AllocatedSegment> = scheduled
-        .segments()
+    let allocated: Vec<AllocatedSegment> = segments
         .iter()
         .map(|seg| allocate_segment(seg, &mut slots))
         .collect();
-    let (trace, spill) = lower_kernel(&scheduled, &allocated);
+    let (trace, spill) = lower_segments(kernel.name(), &segments, &allocated);
     CompiledProgram {
         name: kernel.name().to_owned(),
         trace,
@@ -310,10 +312,6 @@ pub fn compile_with(kernel: &Kernel, opts: &CompileOptions) -> CompiledProgram {
 #[must_use]
 pub fn compile(kernel: &Kernel) -> CompiledProgram {
     compile_with(kernel, &CompileOptions::default())
-}
-
-fn scheduled_segments(k: &mut Kernel) -> impl Iterator<Item = &mut crate::ir::LoopSeg> {
-    k.segments_mut().iter_mut()
 }
 
 #[cfg(test)]
