@@ -35,19 +35,28 @@
 //!    tolerates a slide that happens to hit both artifacts; the floor
 //!    is the absolute line under the engine's whole point.
 //!
-//! 4. **Functional layer.** The architectural executor (`exec_ms` per
-//!    thousand trace instructions, median-normalised exactly like the
-//!    event cost but with its own machine factor) is gated per kernel
-//!    at `--max-exec-ratio` (default 3.0) — the paged-memory/batched-
-//!    execution win gets the same trend protection as the engines.
-//!    The suite compile (`suite_compile_ms` per thousand suite
-//!    instructions, one value per artifact, normalised by the exec
-//!    machine factor) is gated at the same bound. The functional bound
-//!    is wider than `--max-ratio` because a kernel's `mem_init`
-//!    seeding is a fixed cost that does not shrink with the smoke
-//!    trace, so per-instruction exec cost cancels less cleanly across
-//!    scales than engine cost does (a kernel with a large array space
-//!    and a short smoke trace legitimately drifts ~2x).
+//! 4. **Functional layer.** The architectural executor (warm-replay
+//!    `exec_ms` per thousand trace instructions, median-normalised
+//!    exactly like the event cost but with its own machine factor) is
+//!    gated per kernel at `--max-exec-ratio` (default 2.0) — the
+//!    paged-memory/batched-execution win gets the same trend
+//!    protection as the engines. This gate used to need a 3.0 bound
+//!    because `exec_ms` included the per-run `mem_init` seed — a
+//!    fixed cost that does not shrink with the smoke trace; now that
+//!    replays fork a frozen base image (the seed is paid once,
+//!    reported separately as `seed_ms`), warm exec cost cancels
+//!    across scales like engine cost does.
+//!
+//! 5. **Suite compile.** `suite_compile_ms` per thousand suite
+//!    instructions (one value per artifact, normalised by the exec
+//!    machine factor) is gated at `--max-compile-ratio` (default
+//!    8.0). The wide bound is structural: compiling a kernel is
+//!    dominated by per-kernel fixed work (scheduling the same segment
+//!    bodies, seeding the same-size base images — array sizes do not
+//!    scale with trip counts), so per-instruction normalisation
+//!    inflates the smoke ratio by roughly the trace-length scale
+//!    factor (~4–5×). The gate still catches an order-of-magnitude
+//!    compile regression, which is what it is for.
 
 use std::process::ExitCode;
 
@@ -59,7 +68,9 @@ struct KernelCost {
     norm: f64,
     /// naive_ms / event_ms, default config.
     speedup: f64,
-    /// exec_ms per 1000 trace instructions (the functional layer).
+    /// Warm-replay exec_ms per 1000 trace instructions (the
+    /// functional layer; the one-time seed cost is a separate
+    /// `seed_ms` column and is not gated).
     exec_norm: f64,
     /// Dynamic trace length (for suite-level normalisation).
     trace_len: f64,
@@ -148,7 +159,8 @@ fn run() -> Result<Vec<String>, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut files: Vec<&str> = Vec::new();
     let mut max_ratio = 2.0f64;
-    let mut max_exec_ratio = 3.0f64;
+    let mut max_exec_ratio = 2.0f64;
+    let mut max_compile_ratio = 8.0f64;
     let mut min_speedup = 1.5f64;
     let mut i = 0;
     while i < argv.len() {
@@ -168,6 +180,14 @@ fn run() -> Result<Vec<String>, String> {
                     .ok_or("missing value for --max-exec-ratio")?
                     .parse()
                     .map_err(|e| format!("--max-exec-ratio: {e}"))?;
+            }
+            "--max-compile-ratio" => {
+                i += 1;
+                max_compile_ratio = argv
+                    .get(i)
+                    .ok_or("missing value for --max-compile-ratio")?
+                    .parse()
+                    .map_err(|e| format!("--max-compile-ratio: {e}"))?;
             }
             "--min-speedup" => {
                 i += 1;
@@ -278,9 +298,9 @@ fn run() -> Result<Vec<String>, String> {
     if let (Some(fc), Some(bc)) = (fresh_doc.compile_norm, base_doc.compile_norm) {
         let ratio = fc / bc / exec_factor;
         println!("suite compile cost: {ratio:.2}x vs baseline (normalised)");
-        if ratio > max_exec_ratio {
+        if ratio > max_compile_ratio {
             regressions.push(format!(
-                "suite_compile_ms regressed {ratio:.2}x (> {max_exec_ratio:.1}x)"
+                "suite_compile_ms regressed {ratio:.2}x (> {max_compile_ratio:.1}x)"
             ));
         }
     } else {

@@ -4,10 +4,11 @@
 //! exhibit as text (tables and ASCII charts). The binaries print them;
 //! the `all` binary also assembles `EXPERIMENTS.md`.
 
+use oov_core::SimArena;
 use oov_isa::{CommitMode, LatencyModel, LoadElimMode, OooConfig, RefConfig};
 use oov_stats::{BarChart, SimStats, Table};
 
-use crate::{ooo_run, Suite};
+use crate::{ooo_run, ooo_run_in, Suite};
 
 /// Memory latencies swept by Figures 3 and 4.
 pub const REF_LATENCIES: [u32; 4] = [1, 20, 70, 100];
@@ -149,10 +150,11 @@ pub fn figure5(suite: &Suite) -> String {
     for (_, cells) in suite.par_map(|p, prog| {
         let refc = ref_run(prog, DEFAULT_LATENCY).cycles;
         let mut cells = vec![p.name().to_string()];
+        let mut arena = SimArena::new();
         for qs in [16usize, 128] {
             for regs in REG_SWEEP {
                 let cfg = base_cfg().with_phys_v_regs(regs).with_queue_slots(qs);
-                let c = ooo_run(prog, cfg).cycles;
+                let c = ooo_run_in(prog, cfg, &mut arena).cycles;
                 cells.push(format!("{:.2}", refc as f64 / c as f64));
             }
         }
@@ -232,9 +234,17 @@ pub fn figure8(suite: &Suite) -> String {
     ]);
     for (_, row) in suite.par_map(|p, prog| {
         let refs: Vec<u64> = lats.iter().map(|&l| ref_run(prog, l).cycles).collect();
+        let mut arena = SimArena::new();
         let ooos: Vec<u64> = lats
             .iter()
-            .map(|&l| ooo_run(prog, OooConfig::default().with_memory_latency(l)).cycles)
+            .map(|&l| {
+                ooo_run_in(
+                    prog,
+                    OooConfig::default().with_memory_latency(l),
+                    &mut arena,
+                )
+                .cycles
+            })
             .collect();
         let deg = 100.0 * (ooos[2] as f64 / ooos[0] as f64 - 1.0);
         vec![
@@ -269,12 +279,13 @@ pub fn figure9(suite: &Suite) -> String {
     for (_, cells) in suite.par_map(|p, prog| {
         let refc = ref_run(prog, DEFAULT_LATENCY).cycles;
         let mut cells = vec![p.name().to_string()];
+        let mut arena = SimArena::new();
         let mut early16 = 0u64;
         let mut late16 = 0u64;
         for mode in [CommitMode::Early, CommitMode::Late] {
             for regs in REG_SWEEP {
                 let cfg = base_cfg().with_phys_v_regs(regs).with_commit(mode);
-                let c = ooo_run(prog, cfg).cycles;
+                let c = ooo_run_in(prog, cfg, &mut arena).cycles;
                 if regs == 16 {
                     match mode {
                         CommitMode::Early => early16 = c,
@@ -341,11 +352,12 @@ fn elim_speedups(suite: &Suite, mode: LoadElimMode, title: &str) -> String {
     let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
     for (_, cells) in suite.par_map(|p, prog| {
         let mut cells = vec![p.name().to_string()];
+        let mut arena = SimArena::new();
         for r in regs {
             let base = base_cfg().with_phys_v_regs(r).with_commit(CommitMode::Late);
             let elim = base_cfg().with_phys_v_regs(r).with_load_elim(mode);
-            let bc = ooo_run(prog, base).cycles;
-            let ec = ooo_run(prog, elim).cycles;
+            let bc = ooo_run_in(prog, base, &mut arena).cycles;
+            let ec = ooo_run_in(prog, elim, &mut arena).cycles;
             cells.push(format!("{:.2}", bc as f64 / ec as f64));
         }
         cells
@@ -385,9 +397,10 @@ pub fn figure13(suite: &Suite) -> String {
             .with_commit(CommitMode::Late);
         let breq = ooo_run(prog, base).mem_requests;
         let mut cells = vec![p.name().to_string()];
+        let mut arena = SimArena::new();
         for mode in [LoadElimMode::Sle, LoadElimMode::SleVle] {
             let cfg = base_cfg().with_phys_v_regs(32).with_load_elim(mode);
-            let req = ooo_run(prog, cfg).mem_requests;
+            let req = ooo_run_in(prog, cfg, &mut arena).mem_requests;
             cells.push(format!(
                 "{:.1}% fewer requests",
                 100.0 * (1.0 - req as f64 / breq as f64)
@@ -481,12 +494,13 @@ pub fn frontend_batch_sweep(suite: &Suite) -> String {
         let mut cells = vec![p.name().to_string()];
         let mut times = Vec::new();
         let mut stats: Option<SimStats> = None;
+        let mut arena = SimArena::new();
         for b in BATCHES {
             let cfg = base_cfg().with_frontend_batch(b);
             let mut best = f64::INFINITY;
             for _ in 0..REPS {
                 let t0 = std::time::Instant::now();
-                let s = std::hint::black_box(ooo_run(prog, cfg));
+                let s = std::hint::black_box(ooo_run_in(prog, cfg, &mut arena));
                 best = best.min(t0.elapsed().as_secs_f64() * 1e3);
                 match &stats {
                     None => stats = Some(s),

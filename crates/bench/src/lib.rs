@@ -22,7 +22,10 @@
 
 pub mod experiments;
 
-use oov_core::{OooSim, Stepper};
+use std::sync::Arc;
+
+use oov_core::{OooSim, SimArena, Stepper};
+use oov_exec::BaseImage;
 use oov_isa::{MachineConfig, OooConfig, RefConfig};
 use oov_kernels::{Program, Scale};
 use oov_ref::RefSim;
@@ -36,13 +39,22 @@ pub struct Suite {
 
 impl Suite {
     /// Compiles all ten programs at the given scale, one worker thread
-    /// per program.
+    /// per program. Each worker also seeds the program's frozen base
+    /// image (`CompiledProgram::base_image`), so every later replay —
+    /// a sweep iteration, a serve miss, a golden check — forks it with
+    /// zero seed work.
     #[must_use]
     pub fn compile(scale: Scale) -> Self {
         let programs = std::thread::scope(|s| {
             let handles: Vec<_> = Program::ALL
                 .iter()
-                .map(|&p| s.spawn(move || (p, p.compile(scale))))
+                .map(|&p| {
+                    s.spawn(move || {
+                        let compiled = p.compile(scale);
+                        let _ = compiled.base_image(); // seed once, here
+                        (p, compiled)
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
@@ -65,6 +77,14 @@ impl Suite {
             .find(|(p, _)| *p == program)
             .map(|(_, c)| c)
             .expect("Suite::compile builds every program")
+    }
+
+    /// `(compiled, base_image)` for one program — the replay pair: the
+    /// trace to simulate plus the frozen initial memory to fork.
+    #[must_use]
+    pub fn get_pair(&self, program: Program) -> (&CompiledProgram, &Arc<BaseImage>) {
+        let prog = self.get(program);
+        (prog, prog.base_image())
     }
 
     /// Runs `f` over every program concurrently (one scoped thread per
@@ -116,6 +136,17 @@ pub fn ooo_run(prog: &CompiledProgram, cfg: OooConfig) -> SimStats {
     OooSim::new(cfg, &prog.trace).run().stats
 }
 
+/// As [`ooo_run`], but through a reusable [`SimArena`]: sweep loops
+/// hold one arena and every iteration after the first reuses its
+/// allocation footprint. Bit-identical to [`ooo_run`] (the parity grid
+/// asserts it).
+#[must_use]
+pub fn ooo_run_in(prog: &CompiledProgram, cfg: OooConfig, arena: &mut SimArena) -> SimStats {
+    OooSim::new_in(cfg, &prog.trace, arena)
+        .run_into(arena)
+        .stats
+}
+
 /// Runs either machine over a compiled program — the single entry
 /// point `oov-serve` shards execute, so a served result is produced by
 /// exactly the same code as a direct in-process run.
@@ -133,6 +164,21 @@ pub fn machine_run(
     stepper: Stepper,
     fault_at: Option<usize>,
 ) -> RunOutcome {
+    machine_run_in(prog, cfg, stepper, fault_at, &mut SimArena::new())
+}
+
+/// As [`machine_run`], but OOOVA runs go through a caller-held
+/// [`SimArena`] — the serve shards each keep one, so a long-lived
+/// worker reuses a single allocation footprint across every request it
+/// executes. The reference machine ignores the arena.
+#[must_use]
+pub fn machine_run_in(
+    prog: &CompiledProgram,
+    cfg: &MachineConfig,
+    stepper: Stepper,
+    fault_at: Option<usize>,
+    arena: &mut SimArena,
+) -> RunOutcome {
     match cfg {
         MachineConfig::Ref(c) => RunOutcome {
             stats: ref_run(prog, *c),
@@ -140,7 +186,7 @@ pub fn machine_run(
             faults_taken: 0,
         },
         MachineConfig::Ooo(c) => {
-            let mut sim = OooSim::new(*c, &prog.trace).with_stepper(stepper);
+            let mut sim = OooSim::new_in(*c, &prog.trace, arena).with_stepper(stepper);
             // Fault injection requires the late-commit model
             // (`with_fault_at` asserts it); anywhere else the fault
             // request is ignored, per this function's contract.
@@ -149,7 +195,7 @@ pub fn machine_run(
                     sim = sim.with_fault_at(idx);
                 }
             }
-            let r = sim.run();
+            let r = sim.run_into(arena);
             RunOutcome {
                 stats: r.stats,
                 ideal_cycles: r.ideal_cycles,
@@ -184,6 +230,11 @@ mod tests {
         let suite = Suite::compile(Scale::Smoke);
         for (p, c) in suite.iter() {
             assert_eq!(suite.get(p).trace.len(), c.trace.len());
+            // The replay pair: same program, its (prewarmed) base.
+            let (pair_prog, base) = suite.get_pair(p);
+            assert_eq!(pair_prog.trace.len(), c.trace.len());
+            assert_eq!(base.len(), c.mem_init.len());
+            assert!(std::sync::Arc::ptr_eq(base, c.base_image()));
         }
     }
 }

@@ -38,6 +38,14 @@ impl Btb {
         ((pc >> 2) as usize) % self.entries.len()
     }
 
+    /// Empties the BTB, resizing to `n` entries only if the geometry
+    /// changed (arena reuse).
+    pub(crate) fn reset(&mut self, n: usize) {
+        assert!(n > 0, "BTB needs at least one entry");
+        self.entries.clear();
+        self.entries.resize(n, None);
+    }
+
     /// Predicts a conditional branch at `pc`: `(taken, target)`.
     /// A missing entry predicts not-taken.
     #[must_use]
@@ -90,6 +98,12 @@ impl ReturnStack {
             depth: depth.max(1),
             stack: Vec::new(),
         }
+    }
+
+    /// Empties the stack and sets its depth (arena reuse).
+    pub(crate) fn reset(&mut self, depth: usize) {
+        self.stack.clear();
+        self.depth = depth.max(1);
     }
 
     /// Pushes a return address (on `call`).

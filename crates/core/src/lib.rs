@@ -50,7 +50,7 @@ mod verify;
 pub use btb::{Btb, ReturnStack};
 pub use rename::{PhysReg, RenameTable, RenameUnit};
 pub use rob::{DstInfo, EntryState, MemStage, QueueKind, Rob, RobEntry};
-pub use sim::{OooSim, RunResult, Stepper};
+pub use sim::{arena_constructions, OooSim, RunResult, SimArena, Stepper};
 pub use tags::{Tag, TagTable, TagUnit};
 
 #[cfg(test)]

@@ -69,6 +69,21 @@ impl RenameTable {
         self.class
     }
 
+    /// Reinitialises the table to its just-built state without
+    /// reallocating (arena reuse). `n_phys` and `class` are unchanged.
+    pub(crate) fn reinit(&mut self) {
+        let n_arch = usize::from(self.class.arch_count());
+        self.map.clear();
+        self.map.extend(0..n_arch as PhysReg);
+        self.refcount.fill(0);
+        for r in &mut self.refcount[..n_arch] {
+            *r = 1;
+        }
+        self.free.clear();
+        self.free
+            .extend(((n_arch as PhysReg)..(self.n_phys as PhysReg)).rev());
+    }
+
     /// Total physical registers.
     #[must_use]
     pub fn n_phys(&self) -> usize {
@@ -222,6 +237,25 @@ impl RenameUnit {
     #[must_use]
     pub fn none() -> PhysReg {
         NONE
+    }
+
+    /// Resets the unit to the just-built state for the given physical
+    /// counts, reusing each table's storage when its size is unchanged
+    /// (the warm-sweep case) and rebuilding it otherwise.
+    pub(crate) fn reset_to(&mut self, phys_a: usize, phys_s: usize, phys_v: usize, phys_m: usize) {
+        let want = [
+            (RegClass::A, phys_a),
+            (RegClass::S, phys_s),
+            (RegClass::V, phys_v),
+            (RegClass::Mask, phys_m.max(9)),
+        ];
+        for (t, (class, n)) in self.tables.iter_mut().zip(want) {
+            if t.n_phys == n {
+                t.reinit();
+            } else {
+                *t = RenameTable::new(class, n);
+            }
+        }
     }
 }
 

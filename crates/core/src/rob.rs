@@ -155,6 +155,19 @@ impl Rob {
         }
     }
 
+    /// Empties the buffer and rewinds sequence numbering for a new
+    /// run, keeping the deque's storage (arena reuse).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub(crate) fn reset(&mut self, capacity: usize) {
+        assert!(capacity > 0, "ROB needs at least one slot");
+        self.entries.clear();
+        self.capacity = capacity;
+        self.next_seq = 0;
+    }
+
     /// `true` if no slot is available.
     #[must_use]
     pub fn is_full(&self) -> bool {

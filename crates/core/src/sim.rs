@@ -121,6 +121,32 @@ pub(crate) struct RegTiming {
 }
 
 impl RegTiming {
+    /// Reinitialises for register-file sizes `n`, reusing storage
+    /// where the sizes are unchanged (arena reuse).
+    fn reset(&mut self, n: [usize; 4]) {
+        let per_class = self
+            .avail_first
+            .iter_mut()
+            .zip(&mut self.avail_last)
+            .zip(&mut self.produced)
+            .zip(n);
+        for (((first, last), produced), len) in per_class {
+            first.clear();
+            first.resize(len, 0);
+            last.clear();
+            last.resize(len, 0);
+            produced.clear();
+            produced.resize(len, false);
+            // The initial architectural mappings (phys 0..8) hold
+            // valid data, as in `RegTiming::new`.
+            for b in produced.iter_mut().take(8) {
+                *b = true;
+            }
+        }
+        self.read_port_free.clear();
+        self.read_port_free.resize(n[2], 0);
+    }
+
     fn new(n: [usize; 4]) -> Self {
         let mk = |len: usize| vec![0u64; len];
         let mut produced: [Vec<bool>; 4] = [
@@ -268,34 +294,86 @@ pub struct OooSim<'t> {
     pub(crate) faults_taken: u64,
 }
 
-impl<'t> OooSim<'t> {
-    /// Builds a simulator for one run over `trace`.
-    #[must_use]
-    pub fn new(cfg: OooConfig, trace: &'t Trace) -> Self {
+#[cfg(debug_assertions)]
+static ARENA_ALLOCS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+#[inline]
+fn count_arena_construction() {
+    #[cfg(debug_assertions)]
+    ARENA_ALLOCS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Process-wide count of fresh simulator-storage constructions — every
+/// [`OooSim::new`] and every [`OooSim::new_in`] whose arena was empty.
+/// Replays through a warm [`SimArena`] do not count. Debug
+/// instrumentation for the allocation-free replay assertion — always 0
+/// in release builds.
+#[must_use]
+pub fn arena_constructions() -> u64 {
+    #[cfg(debug_assertions)]
+    {
+        ARENA_ALLOCS.load(std::sync::atomic::Ordering::Relaxed)
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        0
+    }
+}
+
+/// The allocation footprint of one [`OooSim`]: ROB storage, the four
+/// issue `SlotQueue`s, the wakeup index, the memory-pipe FIFO, the
+/// event heap, BTB/tag/rename/timing tables, occupancy intervals —
+/// everything a run heap-allocates except the per-entry source lists.
+#[derive(Debug)]
+struct Storage {
+    rename: RenameUnit,
+    rob: Rob,
+    timing: RegTiming,
+    tags: TagUnit,
+    waiters: [Vec<Vec<u64>>; 4],
+    events: BinaryHeap<Reverse<u64>>,
+    pending_events: Vec<u64>,
+    q_a: SlotQueue,
+    q_s: SlotQueue,
+    q_v: SlotQueue,
+    q_m: SlotQueue,
+    pipe_pending: VecDeque<u64>,
+    fetch_buf: VecDeque<usize>,
+    btb: Btb,
+    ras: ReturnStack,
+    btb_updates: Vec<(u64, u64, bool, u64)>,
+    occ: OccupancyTracker,
+    cache: Option<ScalarCache>,
+    pending_copies: Vec<(RegClass, PhysReg, RegClass, PhysReg, u64)>,
+}
+
+/// Physical register-file sizes implied by a rename unit.
+fn phys_counts(rename: &RenameUnit) -> [usize; 4] {
+    [
+        rename.table(RegClass::A).n_phys(),
+        rename.table(RegClass::S).n_phys(),
+        rename.table(RegClass::V).n_phys(),
+        rename.table(RegClass::Mask).n_phys(),
+    ]
+}
+
+impl Storage {
+    /// Builds fresh storage for `cfg` (counted by
+    /// [`arena_constructions`]).
+    fn fresh(cfg: &OooConfig) -> Storage {
+        count_arena_construction();
         let rename = RenameUnit::new(
             cfg.phys_a_regs,
             cfg.phys_s_regs,
             cfg.phys_v_regs,
             cfg.phys_mask_regs,
         );
-        let n = [
-            rename.table(RegClass::A).n_phys(),
-            rename.table(RegClass::S).n_phys(),
-            rename.table(RegClass::V).n_phys(),
-            rename.table(RegClass::Mask).n_phys(),
-        ];
-        OooSim {
+        let n = phys_counts(&rename);
+        Storage {
             timing: RegTiming::new(n),
             tags: TagUnit::new(n[0], n[1], n[2]),
             rename,
-            cfg,
-            trace,
-            now: 0,
             rob: Rob::new(cfg.rob_entries),
-            stepper: Stepper::default(),
-            progressed: false,
-            progress_word: 0,
-            sched: Scheduler::new(),
             waiters: [
                 vec![Vec::new(); n[0]],
                 vec![Vec::new(); n[1]],
@@ -304,38 +382,233 @@ impl<'t> OooSim<'t> {
             ],
             events: BinaryHeap::with_capacity(64),
             pending_events: Vec::with_capacity(64),
-            last_wake_stale: false,
-            noted_head: (u64::MAX, u64::MAX),
-            scan_wake: u64::MAX,
-            stage_cycle_counts: [0; 9],
             q_a: SlotQueue::new(),
             q_s: SlotQueue::new(),
             q_v: SlotQueue::new(),
             q_m: SlotQueue::new(),
-            stage: [None; 3],
             pipe_pending: VecDeque::new(),
-            fetch_idx: 0,
             fetch_buf: VecDeque::new(),
-            fetch_blocked: None,
-            fetch_resume_at: None,
             btb: Btb::new(cfg.btb_entries),
             ras: ReturnStack::new(cfg.ras_depth),
             btb_updates: Vec::new(),
-            fu1_free: 0,
-            fu2_free: 0,
-            bus: AddressBus::new(),
-            traffic: TrafficCounter::new(),
             occ: OccupancyTracker::new(),
             cache: cfg
                 .scalar_cache
                 .map(|c| ScalarCache::new(c.size_bytes, c.line_bytes)),
             pending_copies: Vec::new(),
+        }
+    }
+
+    /// Reinitialises recycled storage to the exact just-built state
+    /// for `cfg`, reusing every allocation whose geometry is unchanged
+    /// (the warm-sweep case: same config point replayed — zero
+    /// allocations; a changed config resizes only what moved).
+    fn reset(&mut self, cfg: &OooConfig) {
+        self.rename.reset_to(
+            cfg.phys_a_regs,
+            cfg.phys_s_regs,
+            cfg.phys_v_regs,
+            cfg.phys_mask_regs,
+        );
+        let n = phys_counts(&self.rename);
+        self.timing.reset(n);
+        self.tags.reset_to(n[0], n[1], n[2]);
+        for (ws, &len) in self.waiters.iter_mut().zip(&n) {
+            for w in ws.iter_mut() {
+                w.clear();
+            }
+            ws.resize_with(len, Vec::new);
+        }
+        self.events.clear();
+        self.pending_events.clear();
+        self.rob.reset(cfg.rob_entries);
+        self.q_a.clear();
+        self.q_s.clear();
+        self.q_v.clear();
+        self.q_m.clear();
+        self.pipe_pending.clear();
+        self.fetch_buf.clear();
+        self.btb.reset(cfg.btb_entries);
+        self.ras.reset(cfg.ras_depth);
+        self.btb_updates.clear();
+        self.occ.clear();
+        self.pending_copies.clear();
+        self.cache = match cfg.scalar_cache {
+            None => None,
+            Some(c) => match self.cache.take() {
+                Some(mut old) if old.geometry() == (c.size_bytes, c.line_bytes) => {
+                    old.reset();
+                    Some(old)
+                }
+                _ => Some(ScalarCache::new(c.size_bytes, c.line_bytes)),
+            },
+        };
+    }
+}
+
+/// A reusable simulation arena: one allocation footprint shared by
+/// successive [`OooSim`] runs, so sweep iterations and serve shards
+/// stop paying a full construct-and-drop per config point.
+///
+/// ```
+/// use oov_core::{OooSim, SimArena};
+/// use oov_isa::{OooConfig, Trace};
+///
+/// let trace = Trace::new("empty");
+/// let mut arena = SimArena::new();
+/// for _ in 0..3 {
+///     // First iteration builds the storage; later ones recycle it.
+///     let sim = OooSim::new_in(OooConfig::default(), &trace, &mut arena);
+///     let _stats = sim.run_into(&mut arena);
+/// }
+/// ```
+///
+/// The arena is engine-agnostic (naive, event-driven and the
+/// stage-masking ablation all run through the same storage), and the
+/// parity grid asserts bit-identical [`SimStats`] against fresh
+/// construction. [`arena_constructions`] counts the fresh builds so
+/// tests can assert a warm replay allocated nothing.
+#[derive(Debug, Default)]
+pub struct SimArena {
+    storage: Option<Storage>,
+}
+
+impl SimArena {
+    /// An empty arena: the first [`OooSim::new_in`] builds storage,
+    /// every later one recycles it.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes the recycled storage (reset for `cfg`) or builds fresh.
+    /// Unboxed on purpose: the struct is a few hundred bytes of
+    /// handles, so moving it in and out of the arena costs two plain
+    /// memcpys per iteration — no heap traffic at all.
+    fn prepare(&mut self, cfg: &OooConfig) -> Storage {
+        match self.storage.take() {
+            Some(mut st) => {
+                st.reset(cfg);
+                st
+            }
+            None => Storage::fresh(cfg),
+        }
+    }
+}
+
+impl<'t> OooSim<'t> {
+    /// Builds a simulator for one run over `trace`.
+    #[must_use]
+    pub fn new(cfg: OooConfig, trace: &'t Trace) -> Self {
+        Self::assemble(cfg, trace, Storage::fresh(&cfg))
+    }
+
+    /// As [`OooSim::new`], but reusing `arena`'s allocation footprint
+    /// (building it on the arena's first use). Pair with
+    /// [`OooSim::run_into`] to hand the storage back for the next
+    /// iteration.
+    #[must_use]
+    pub fn new_in(cfg: OooConfig, trace: &'t Trace, arena: &mut SimArena) -> Self {
+        let storage = arena.prepare(&cfg);
+        Self::assemble(cfg, trace, storage)
+    }
+
+    /// Scatters `st` plus fresh per-run scalars into a simulator. The
+    /// resulting state is identical whether `st` came from
+    /// [`Storage::fresh`] or [`Storage::reset`] — the parity grid
+    /// holds the two paths bit-identical.
+    fn assemble(cfg: OooConfig, trace: &'t Trace, st: Storage) -> Self {
+        let Storage {
+            rename,
+            rob,
+            timing,
+            tags,
+            waiters,
+            events,
+            pending_events,
+            q_a,
+            q_s,
+            q_v,
+            q_m,
+            pipe_pending,
+            fetch_buf,
+            btb,
+            ras,
+            btb_updates,
+            occ,
+            cache,
+            pending_copies,
+        } = st;
+        OooSim {
+            timing,
+            tags,
+            rename,
+            cfg,
+            trace,
+            now: 0,
+            rob,
+            stepper: Stepper::default(),
+            progressed: false,
+            progress_word: 0,
+            sched: Scheduler::new(),
+            waiters,
+            events,
+            pending_events,
+            last_wake_stale: false,
+            noted_head: (u64::MAX, u64::MAX),
+            scan_wake: u64::MAX,
+            stage_cycle_counts: [0; 9],
+            q_a,
+            q_s,
+            q_v,
+            q_m,
+            stage: [None; 3],
+            pipe_pending,
+            fetch_idx: 0,
+            fetch_buf,
+            fetch_blocked: None,
+            fetch_resume_at: None,
+            btb,
+            ras,
+            btb_updates,
+            fu1_free: 0,
+            fu2_free: 0,
+            bus: AddressBus::new(),
+            traffic: TrafficCounter::new(),
+            occ,
+            cache,
+            pending_copies,
             committed: 0,
             max_complete: 0,
             stats: SimStats::new(),
             checker: None,
             fault_at: None,
             faults_taken: 0,
+        }
+    }
+
+    /// Dismantles the simulator back into its reusable storage.
+    fn into_storage(self) -> Storage {
+        Storage {
+            rename: self.rename,
+            rob: self.rob,
+            timing: self.timing,
+            tags: self.tags,
+            waiters: self.waiters,
+            events: self.events,
+            pending_events: self.pending_events,
+            q_a: self.q_a,
+            q_s: self.q_s,
+            q_v: self.q_v,
+            q_m: self.q_m,
+            pipe_pending: self.pipe_pending,
+            fetch_buf: self.fetch_buf,
+            btb: self.btb,
+            ras: self.ras,
+            btb_updates: self.btb_updates,
+            occ: self.occ,
+            cache: self.cache,
+            pending_copies: self.pending_copies,
         }
     }
 
@@ -362,6 +635,18 @@ impl<'t> OooSim<'t> {
     pub fn with_checker_seeded(mut self, init: &[(u64, u64)]) -> Self {
         let mut c = Checker::new(self.trace);
         c.seed(init);
+        self.checker = Some(c);
+        self
+    }
+
+    /// As [`OooSim::with_checker`], but installs the checker's memory
+    /// as a copy-on-write fork of a compiled program's frozen base
+    /// image (`CompiledProgram::base_image`) — the warm-replay path:
+    /// no per-run seed work.
+    #[must_use]
+    pub fn with_checker_base(mut self, base: &std::sync::Arc<oov_exec::BaseImage>) -> Self {
+        let mut c = Checker::new(self.trace);
+        c.seed_base(base);
         self.checker = Some(c);
         self
     }
@@ -393,6 +678,21 @@ impl<'t> OooSim<'t> {
     /// Runs to completion and returns the results.
     #[must_use]
     pub fn run(mut self) -> RunResult {
+        self.run_inner()
+    }
+
+    /// Runs to completion, then returns the simulator's allocation
+    /// footprint to `arena` so the next [`OooSim::new_in`] reuses it —
+    /// the warm-sweep path: one storage build per arena lifetime, zero
+    /// per-iteration allocation thereafter.
+    #[must_use]
+    pub fn run_into(mut self, arena: &mut SimArena) -> RunResult {
+        let result = self.run_inner();
+        arena.storage = Some(self.into_storage());
+        result
+    }
+
+    fn run_inner(&mut self) -> RunResult {
         let total = self.trace.len() as u64;
         let mut last_commit_cycle = 0;
         let mut last_committed = 0;
@@ -509,7 +809,7 @@ impl<'t> OooSim<'t> {
         self.stats.load_requests = self.traffic.loads();
         self.stats.store_requests = self.traffic.stores();
         self.stats.spill_requests = self.traffic.spill_loads() + self.traffic.spill_stores();
-        self.stats.breakdown = self.occ.into_breakdown(cycles);
+        self.stats.breakdown = self.occ.take_breakdown(cycles);
         RunResult {
             stats: self.stats,
             ideal_cycles: self.trace.ideal_cycles(),

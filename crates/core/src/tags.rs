@@ -118,6 +118,13 @@ impl TagTable {
         self.tags.fill(None);
     }
 
+    /// Clears and resizes the table for `n_phys` registers, reusing
+    /// storage when the size is unchanged (arena reuse).
+    pub(crate) fn reset(&mut self, n_phys: usize) {
+        self.tags.clear();
+        self.tags.resize(n_phys, None);
+    }
+
     /// Number of valid tags (for tests and diagnostics).
     #[must_use]
     pub fn valid_count(&self) -> usize {
@@ -184,6 +191,13 @@ impl TagUnit {
         self.a.clear();
         self.s.clear();
         self.v.clear();
+    }
+
+    /// Resets the unit for the given register-file sizes (arena reuse).
+    pub(crate) fn reset_to(&mut self, phys_a: usize, phys_s: usize, phys_v: usize) {
+        self.a.reset(phys_a);
+        self.s.reset(phys_s);
+        self.v.reset(phys_v);
     }
 }
 

@@ -12,8 +12,9 @@
 //! stores vector values per in-flight instruction).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use oov_exec::Machine;
+use oov_exec::{BaseImage, Machine};
 use oov_isa::{RegClass, Trace};
 
 use crate::rename::PhysReg;
@@ -62,6 +63,12 @@ impl Checker {
     /// Seeds initial memory (a compiled program's `mem_init`).
     pub(crate) fn seed(&mut self, init: &[(u64, u64)]) {
         self.machine.memory_mut().seed(init);
+    }
+
+    /// Installs initial memory as a copy-on-write fork of a compiled
+    /// program's frozen base image — no seed work per run.
+    pub(crate) fn seed_base(&mut self, base: &Arc<BaseImage>) {
+        self.machine.reset_to_base(base);
     }
 
     /// Called at dispatch, in program order: execute architecturally and

@@ -18,6 +18,14 @@
 //! autovectorizable slice loop per opcode, with no per-instruction
 //! allocation.
 //!
+//! For replay-heavy callers the seeded initial memory itself is shared:
+//! [`MemImage::freeze`] produces an immutable, `Arc`-shared
+//! [`BaseImage`], and [`MemImage::fork`] / [`Machine::from_base`] build
+//! writable views that copy-on-write fault 4 KiB pages only on first
+//! store — a warm replay ([`Machine::reset_to_base`]) performs zero
+//! seeding and, with the recycled page pool, zero allocation (asserted
+//! by the debug-only [`page_allocations`] counter).
+//!
 //! All operations are defined over `u64` with wrapping arithmetic, which is
 //! sufficient for dataflow-equivalence checking (the experiments never
 //! depend on floating-point rounding).
@@ -43,4 +51,4 @@ mod machine;
 mod memory;
 
 pub use machine::Machine;
-pub use memory::MemImage;
+pub use memory::{page_allocations, BaseImage, MemImage};

@@ -16,9 +16,11 @@
 //! `vadd v0, v0, v0` and a gather whose index register is its own
 //! destination behave as if operands were latched at issue.
 
+use std::sync::Arc;
+
 use oov_isa::{ArchReg, Instruction, MemKind, MemRef, Opcode, RegClass, Trace, MAX_VL};
 
-use crate::MemImage;
+use crate::{BaseImage, MemImage};
 
 const VLEN: usize = MAX_VL as usize;
 
@@ -68,6 +70,31 @@ impl Machine {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A machine with zeroed registers whose memory is a copy-on-write
+    /// fork of `base` — the replay entry point: no seeding, no page
+    /// allocation for data that is only read.
+    #[must_use]
+    pub fn from_base(base: &Arc<BaseImage>) -> Self {
+        Machine {
+            mem: MemImage::fork(base),
+            ..Self::default()
+        }
+    }
+
+    /// Rewinds the machine for the next replay: registers zeroed,
+    /// memory re-forked from `base` with the previous run's pages
+    /// recycled ([`MemImage::reset_to_base`]), so warm replays perform
+    /// no seeding and no allocation.
+    pub fn reset_to_base(&mut self, base: &Arc<BaseImage>) {
+        self.a.fill(0);
+        self.s.fill(0);
+        for v in &mut self.v {
+            v.fill(0);
+        }
+        self.masks.fill(0);
+        self.mem.reset_to_base(base);
     }
 
     /// Read-only view of memory.

@@ -44,6 +44,39 @@
 //! operand that the destination may alias before writing — the bulk
 //! API cannot see register aliasing.
 //!
+//! # Copy-on-write base layers
+//!
+//! Replay-heavy callers (the bench sweeps, the serve shards, the
+//! golden checks) execute the *same* seeded initial memory over and
+//! over. [`MemImage::freeze`] turns a seeded image into an immutable
+//! [`BaseImage`] that is shared behind an `Arc`; [`MemImage::fork`]
+//! then builds a writable image that starts with **zero owned pages**:
+//!
+//! * loads and `is_written` fall through to the base when the fork
+//!   does not own the page (a second one-entry cache keeps repeated
+//!   base reads O(1));
+//! * the **first store** to a base-resident page copy-on-write faults
+//!   the whole 4 KiB page (words *and* written bitmap) into the fork,
+//!   after which the owned copy fully shadows the base page;
+//! * `len`/`iter`/`eq`/[`MemImage::same_contents`] observe the union —
+//!   exactly the state a fresh image re-seeded from the same pairs
+//!   would have, which the model-based suite below pins.
+//!
+//! **CoW aliasing rules.** A base page and its faulted copy never
+//! alias: the fault copies the page, so later stores through the fork
+//! are invisible to the base and to sibling forks. The base itself is
+//! immutable by construction (`freeze` consumes the image; `BaseImage`
+//! has no `&mut` API), so a fork's fall-through reads are stable for
+//! the base's lifetime. Forking a fork is allowed: `freeze` first
+//! flattens the chain by materialising every unshadowed base page, so
+//! a `BaseImage` is always self-contained (depth ≤ 1 at run time).
+//!
+//! [`MemImage::reset_to_base`] recycles a fork for the next replay:
+//! owned pages move to a private free pool and later faults pop from
+//! it, so the **second and later replays of the same workload allocate
+//! no pages at all** — asserted by the debug-only
+//! [`page_allocations`] counter.
+//!
 //! All addresses are byte addresses; accesses are 8-byte aligned words
 //! (the study's access granularity — paper §6.1 tags carry `sz`, which
 //! is always 8 here), and `addr` is rounded down to a word boundary.
@@ -55,6 +88,7 @@
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Words per page.
 const PAGE_WORDS: usize = 512;
@@ -79,6 +113,7 @@ struct Page {
 
 impl Page {
     fn new_boxed() -> Box<Page> {
+        count_page_alloc();
         Box::new(Page {
             words: [0; PAGE_WORDS],
             written: [0; BITMAP_WORDS],
@@ -88,12 +123,51 @@ impl Page {
     fn is_written(&self, word_ix: usize) -> bool {
         self.written[word_ix >> 6] & (1u64 << (word_ix & 63)) != 0
     }
+
+    /// Resets a recycled page to the all-zero, nothing-written state.
+    fn zero(&mut self) {
+        self.words.fill(0);
+        self.written.fill(0);
+    }
+
+    /// Overwrites this page with `other`'s words and bitmap (the
+    /// copy-on-write fault).
+    fn copy_from(&mut self, other: &Page) {
+        self.words.copy_from_slice(&other.words);
+        self.written.copy_from_slice(&other.written);
+    }
 }
 
-/// A paged memory image of 64-bit words. See the module docs for the
-/// layout and the bulk-access API.
-#[derive(Clone)]
-pub struct MemImage {
+#[cfg(debug_assertions)]
+static PAGE_ALLOCS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+#[inline]
+fn count_page_alloc() {
+    #[cfg(debug_assertions)]
+    PAGE_ALLOCS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Process-wide count of 4 KiB page allocations (fresh `Box<Page>`
+/// constructions; pool reuse and copy-on-write faults served from the
+/// pool do not count). Debug instrumentation for the allocation-free
+/// replay assertion — always 0 in release builds.
+#[must_use]
+pub fn page_allocations() -> u64 {
+    #[cfg(debug_assertions)]
+    {
+        PAGE_ALLOCS.load(std::sync::atomic::Ordering::Relaxed)
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        0
+    }
+}
+
+/// An immutable, `Arc`-shared seeded memory image — the frozen base
+/// layer copy-on-write forks read through. Build one with
+/// [`MemImage::freeze`]; fork writable images from it with
+/// [`MemImage::fork`]. See the module docs for the aliasing rules.
+pub struct BaseImage {
     /// Page number → index into `pages`.
     dir: HashMap<u64, u32>,
     /// Page number of `pages[i]`, for iteration.
@@ -101,8 +175,87 @@ pub struct MemImage {
     pages: Vec<Box<Page>>,
     /// Number of distinct words ever written.
     written_words: usize,
-    /// `(page_no, index)` of the most recently touched page.
+}
+
+impl fmt::Debug for BaseImage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BaseImage")
+            .field("words", &self.written_words)
+            .field("pages", &self.pages.len())
+            .finish()
+    }
+}
+
+impl BaseImage {
+    fn page_ref(&self, page_no: u64) -> Option<&Page> {
+        self.dir.get(&page_no).map(|&ix| &*self.pages[ix as usize])
+    }
+
+    /// Number of words ever written into the base.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.written_words
+    }
+
+    /// `true` if the base holds no written words.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.written_words == 0
+    }
+
+    /// Reads the word at byte address `addr` (rounded down to 8 bytes).
+    #[must_use]
+    pub fn load(&self, addr: u64) -> u64 {
+        let word = addr >> 3;
+        match self.page_ref(word >> PAGE_WORD_SHIFT) {
+            Some(p) => p.words[(word & WORD_IX_MASK) as usize],
+            None => 0,
+        }
+    }
+}
+
+/// A paged memory image of 64-bit words. See the module docs for the
+/// layout, the bulk-access API and the copy-on-write base layer.
+pub struct MemImage {
+    /// Page number → index into `pages` (owned pages only).
+    dir: HashMap<u64, u32>,
+    /// Page number of `pages[i]`, for iteration.
+    page_nos: Vec<u64>,
+    pages: Vec<Box<Page>>,
+    /// Number of distinct words ever written — owned pages plus
+    /// fall-through base pages (a faulted copy carries its base
+    /// page's bitmap, so the union never double-counts).
+    written_words: usize,
+    /// The frozen base layer reads fall through to (forks only).
+    base: Option<Arc<BaseImage>>,
+    /// Recycled pages ([`MemImage::reset_to_base`]); faults pop from
+    /// here before allocating.
+    pool: Vec<Box<Page>>,
+    /// `(page_no, index)` of the most recently touched owned page.
     last: Cell<(u64, u32)>,
+    /// Direct-mapped `(page_no, index)` cache of recently read base
+    /// pages, indexed by `page_no % ways`. Multi-way because a loop
+    /// body typically streams several input arrays at once — a
+    /// one-entry cache thrashes on that cyclic pattern. A CoW fault
+    /// evicts the faulted page's slot, so a cached base page is never
+    /// owned (the invariant that lets reads probe this cache first).
+    last_base: [Cell<(u64, u32)>; BASE_CACHE_WAYS],
+}
+
+/// Ways in the base-page read cache (power of two).
+const BASE_CACHE_WAYS: usize = 8;
+
+/// The base-cache slot for `page_no`. A multiplicative (Fibonacci)
+/// hash picks the way: kernels allocate their arrays at aligned
+/// strides, so the low page-number bits are congruent across arrays
+/// and would map every streamed array to one slot.
+#[inline]
+fn base_way(page_no: u64) -> usize {
+    (page_no.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 61) as usize & (BASE_CACHE_WAYS - 1)
+}
+
+fn empty_base_cache() -> [Cell<(u64, u32)>; BASE_CACHE_WAYS] {
+    std::array::from_fn(|_| Cell::new((NO_PAGE, 0)))
 }
 
 impl Default for MemImage {
@@ -112,7 +265,27 @@ impl Default for MemImage {
             page_nos: Vec::new(),
             pages: Vec::new(),
             written_words: 0,
+            base: None,
+            pool: Vec::new(),
             last: Cell::new((NO_PAGE, 0)),
+            last_base: empty_base_cache(),
+        }
+    }
+}
+
+impl Clone for MemImage {
+    /// Deep-copies the owned pages and shares the base; the page pool
+    /// is not cloned (it is a recycling cache, not state).
+    fn clone(&self) -> Self {
+        MemImage {
+            dir: self.dir.clone(),
+            page_nos: self.page_nos.clone(),
+            pages: self.pages.clone(),
+            written_words: self.written_words,
+            base: self.base.clone(),
+            pool: Vec::new(),
+            last: self.last.clone(),
+            last_base: self.last_base.clone(),
         }
     }
 }
@@ -122,6 +295,10 @@ impl fmt::Debug for MemImage {
         f.debug_struct("MemImage")
             .field("words", &self.written_words)
             .field("pages", &self.pages.len())
+            .field(
+                "base_pages",
+                &self.base.as_ref().map_or(0, |b| b.pages.len()),
+            )
             .finish()
     }
 }
@@ -147,6 +324,70 @@ impl MemImage {
         Self::default()
     }
 
+    /// Freezes this image into an immutable, shareable base layer.
+    ///
+    /// If the image is itself a fork, the chain is flattened first
+    /// (every unshadowed base page is materialised), so the returned
+    /// base is self-contained and forks of it read through exactly one
+    /// level.
+    #[must_use]
+    pub fn freeze(mut self) -> BaseImage {
+        if let Some(base) = self.base.take() {
+            for (&page_no, page) in base.page_nos.iter().zip(&base.pages) {
+                if self.dir.contains_key(&page_no) {
+                    continue;
+                }
+                let ix = u32::try_from(self.pages.len()).expect("page directory overflow");
+                let copy = match self.pool.pop() {
+                    Some(mut p) => {
+                        p.copy_from(page);
+                        p
+                    }
+                    None => {
+                        count_page_alloc();
+                        Box::new((**page).clone())
+                    }
+                };
+                self.pages.push(copy);
+                self.page_nos.push(page_no);
+                self.dir.insert(page_no, ix);
+            }
+        }
+        BaseImage {
+            dir: self.dir,
+            page_nos: self.page_nos,
+            pages: self.pages,
+            written_words: self.written_words,
+        }
+    }
+
+    /// A writable fork of `base`: observationally identical to the
+    /// image that was frozen, but with zero owned pages — reads fall
+    /// through, the first store to a page copy-on-write faults it.
+    #[must_use]
+    pub fn fork(base: &Arc<BaseImage>) -> Self {
+        MemImage {
+            written_words: base.written_words,
+            base: Some(Arc::clone(base)),
+            ..Self::default()
+        }
+    }
+
+    /// Rewinds a fork (or any image) to be a fresh fork of `base`,
+    /// recycling its owned pages into the free pool so the next
+    /// replay's copy-on-write faults allocate nothing.
+    pub fn reset_to_base(&mut self, base: &Arc<BaseImage>) {
+        self.pool.append(&mut self.pages);
+        self.dir.clear();
+        self.page_nos.clear();
+        self.written_words = base.written_words;
+        self.base = Some(Arc::clone(base));
+        self.last.set((NO_PAGE, 0));
+        for slot in &self.last_base {
+            slot.set((NO_PAGE, 0));
+        }
+    }
+
     /// Index of `page_no` in `pages`, if allocated, via the last-page
     /// cache.
     #[inline]
@@ -160,8 +401,29 @@ impl MemImage {
         Some(ix as usize)
     }
 
-    /// Index of `page_no` in `pages`, allocating a zeroed page on
-    /// first touch.
+    /// The base layer's page for `page_no`, via the base-page cache.
+    /// Callers must have missed the owned-page lookup first (a faulted
+    /// copy shadows its base page; the fault evicts any stale
+    /// base-cache entry, so the invariant "a cached base page is never
+    /// owned" lets [`MemImage::page_for_read`] consult this cache
+    /// before the owned directory).
+    #[inline]
+    fn base_page(&self, page_no: u64) -> Option<&Page> {
+        let base = self.base.as_deref()?;
+        let slot = &self.last_base[base_way(page_no)];
+        let (cached_no, cached_ix) = slot.get();
+        if cached_no == page_no {
+            return Some(&base.pages[cached_ix as usize]);
+        }
+        let ix = *base.dir.get(&page_no)?;
+        slot.set((page_no, ix));
+        Some(&base.pages[ix as usize])
+    }
+
+    /// Index of `page_no` in `pages`, faulting it in on first touch: a
+    /// copy of the base page when the base holds it (the CoW fault), a
+    /// zeroed page otherwise. Recycled pool pages are used before
+    /// allocating.
     #[inline]
     fn page_ix_or_insert(&mut self, page_no: u64) -> usize {
         let (cached_no, cached_ix) = self.last.get();
@@ -172,9 +434,32 @@ impl MemImage {
             Some(&ix) => ix,
             None => {
                 let ix = u32::try_from(self.pages.len()).expect("page directory overflow");
-                self.pages.push(Page::new_boxed());
+                let recycled = self.pool.pop();
+                let from_base = self.base.as_deref().and_then(|base| base.page_ref(page_no));
+                let page = match (recycled, from_base) {
+                    (Some(mut p), Some(bp)) => {
+                        p.copy_from(bp);
+                        p
+                    }
+                    (Some(mut p), None) => {
+                        p.zero();
+                        p
+                    }
+                    (None, Some(bp)) => {
+                        count_page_alloc();
+                        Box::new((*bp).clone())
+                    }
+                    (None, None) => Page::new_boxed(),
+                };
+                self.pages.push(page);
                 self.page_nos.push(page_no);
                 self.dir.insert(page_no, ix);
+                // The owned copy shadows the base page from now on; a
+                // stale base-cache entry must not serve reads for it.
+                let slot = &self.last_base[base_way(page_no)];
+                if slot.get().0 == page_no {
+                    slot.set((NO_PAGE, 0));
+                }
                 ix
             }
         };
@@ -182,13 +467,41 @@ impl MemImage {
         ix as usize
     }
 
+    /// The page `page_no` reads resolve to — owned pages shadow the
+    /// base, untouched pages are `None`.
+    ///
+    /// Fast path: both one-entry caches are checked before any
+    /// directory hash, so repeated reads of the same page — owned *or*
+    /// base-resident — stay hash-free. The base cache is probed first
+    /// because a fork's read mix is dominated by fall-through reads of
+    /// seeded input data; probe order cannot affect the answer, since
+    /// the CoW fault evicts a shadowed base-cache entry (a cached base
+    /// page is never owned).
+    #[inline]
+    fn page_for_read(&self, page_no: u64) -> Option<&Page> {
+        let (base_no, base_ix) = self.last_base[base_way(page_no)].get();
+        if base_no == page_no {
+            if let Some(base) = self.base.as_deref() {
+                return Some(&base.pages[base_ix as usize]);
+            }
+        }
+        let (cached_no, cached_ix) = self.last.get();
+        if cached_no == page_no {
+            return Some(&self.pages[cached_ix as usize]);
+        }
+        match self.page_ix(page_no) {
+            Some(ix) => Some(&self.pages[ix]),
+            None => self.base_page(page_no),
+        }
+    }
+
     /// Reads the word at byte address `addr` (rounded down to 8 bytes).
     #[must_use]
     #[inline]
     pub fn load(&self, addr: u64) -> u64 {
         let word = addr >> 3;
-        match self.page_ix(word >> PAGE_WORD_SHIFT) {
-            Some(ix) => self.pages[ix].words[(word & WORD_IX_MASK) as usize],
+        match self.page_for_read(word >> PAGE_WORD_SHIFT) {
+            Some(p) => p.words[(word & WORD_IX_MASK) as usize],
             None => 0,
         }
     }
@@ -209,14 +522,13 @@ impl MemImage {
         }
     }
 
-    /// `true` if some store targeted the word at `addr` (even a zero).
+    /// `true` if some store targeted the word at `addr` (even a zero),
+    /// in this image or in its frozen base.
     #[must_use]
     pub fn is_written(&self, addr: u64) -> bool {
         let word = addr >> 3;
-        match self.page_ix(word >> PAGE_WORD_SHIFT) {
-            Some(ix) => self.pages[ix].is_written((word & WORD_IX_MASK) as usize),
-            None => false,
-        }
+        self.page_for_read(word >> PAGE_WORD_SHIFT)
+            .is_some_and(|p| p.is_written((word & WORD_IX_MASK) as usize))
     }
 
     /// Reads `out.len()` consecutive words starting at `addr` (rounded
@@ -231,8 +543,8 @@ impl MemImage {
             let wi = (word & WORD_IX_MASK) as usize;
             let n = (PAGE_WORDS - wi).min(out.len());
             let (chunk, rest) = out.split_at_mut(n);
-            match self.page_ix(word >> PAGE_WORD_SHIFT) {
-                Some(ix) => chunk.copy_from_slice(&self.pages[ix].words[wi..wi + n]),
+            match self.page_for_read(word >> PAGE_WORD_SHIFT) {
+                Some(p) => chunk.copy_from_slice(&p.words[wi..wi + n]),
                 None => chunk.fill(0),
             }
             out = rest;
@@ -416,17 +728,29 @@ impl MemImage {
         self.written_words == 0
     }
 
-    /// Iterates `(address, value)` over all written words, unordered.
+    /// Iterates `(address, value)` over all written words, unordered —
+    /// owned pages first, then every base page the fork has not
+    /// shadowed.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.page_nos
+        fn page_words(page_no: u64, page: &Page) -> impl Iterator<Item = (u64, u64)> + '_ {
+            let base = page_no << PAGE_BYTE_SHIFT;
+            (0..PAGE_WORDS)
+                .filter(|&wi| page.is_written(wi))
+                .map(move |wi| (base + 8 * wi as u64, page.words[wi]))
+        }
+        let own = self
+            .page_nos
             .iter()
             .zip(&self.pages)
-            .flat_map(|(&page_no, page)| {
-                let base = page_no << PAGE_BYTE_SHIFT;
-                (0..PAGE_WORDS)
-                    .filter(|&wi| page.is_written(wi))
-                    .map(move |wi| (base + 8 * wi as u64, page.words[wi]))
-            })
+            .flat_map(|(&page_no, page)| page_words(page_no, page));
+        let fall_through = self.base.as_deref().into_iter().flat_map(move |b| {
+            b.page_nos
+                .iter()
+                .zip(&b.pages)
+                .filter(|(page_no, _)| !self.dir.contains_key(page_no))
+                .flat_map(|(&page_no, page)| page_words(page_no, page))
+        });
+        own.chain(fall_through)
     }
 
     /// `true` if the written (non-zero-default) state of `self` and
@@ -711,6 +1035,208 @@ mod tests {
                 }
             }
             check_equivalence(&paged, &model, seed);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Copy-on-write base/fork semantics.
+    // ------------------------------------------------------------------
+
+    fn seeded_base() -> Arc<BaseImage> {
+        let mut m = MemImage::new();
+        m.store(0x1000, 11);
+        m.store(0x1008, 22);
+        m.store(0xff8, 33); // last word of page 0
+        m.store(0x9_0000, 44); // a far page
+        Arc::new(m.freeze())
+    }
+
+    #[test]
+    fn fork_reads_fall_through_without_owning_pages() {
+        let base = seeded_base();
+        let f = MemImage::fork(&base);
+        assert_eq!(f.load(0x1000), 11);
+        assert_eq!(f.load(0x9_0000), 44);
+        assert_eq!(f.load(0x5000), 0, "unwritten reads stay zero");
+        assert!(f.is_written(0x1008));
+        assert!(!f.is_written(0x5000));
+        assert_eq!(f.len(), base.len());
+        assert_eq!(f.pages.len(), 0, "reads must not fault pages");
+    }
+
+    #[test]
+    fn fork_store_faults_the_page_and_leaves_base_untouched() {
+        let base = seeded_base();
+        let mut f = MemImage::fork(&base);
+        f.store(0x1000, 99); // same page as 0x1008
+        assert_eq!(f.load(0x1000), 99);
+        assert_eq!(f.load(0x1008), 22, "CoW fault copies the whole page");
+        assert_eq!(f.pages.len(), 1, "exactly one page faulted");
+        // Base immutability: the base and a sibling fork still see the
+        // original value.
+        assert_eq!(base.load(0x1000), 11);
+        let sibling = MemImage::fork(&base);
+        assert_eq!(sibling.load(0x1000), 11);
+        // Overwriting an already-written word does not change len;
+        // writing a fresh word does.
+        assert_eq!(f.len(), base.len());
+        f.store(0x1010, 7);
+        assert_eq!(f.len(), base.len() + 1);
+    }
+
+    #[test]
+    fn sibling_forks_are_isolated() {
+        let base = seeded_base();
+        let mut a = MemImage::fork(&base);
+        let mut b = MemImage::fork(&base);
+        a.store(0x1000, 100);
+        b.store(0x1000, 200);
+        assert_eq!(a.load(0x1000), 100);
+        assert_eq!(b.load(0x1000), 200);
+        b.store(0x2000, 5);
+        assert_eq!(a.load(0x2000), 0);
+    }
+
+    #[test]
+    fn fork_slice_store_faults_across_page_boundary() {
+        let base = seeded_base();
+        let mut f = MemImage::fork(&base);
+        // 0xff8 is the last word of page 0 (written 33 in the base);
+        // the run spills into page 1 (also base-resident via 0x1000).
+        let vals: Vec<u64> = (0..4).map(|i| 500 + i).collect();
+        f.store_slice(0xff8, &vals);
+        assert_eq!(f.pages.len(), 2, "both pages fault");
+        assert_eq!(f.load(0xff8), 500);
+        assert_eq!(f.load(0x1000), 501);
+        assert_eq!(f.load(0x1008), 502);
+        assert_eq!(base.load(0xff8), 33);
+        assert_eq!(base.load(0x1000), 11);
+    }
+
+    #[test]
+    fn fork_matches_reseeded_image_observationally() {
+        let pairs: Vec<(u64, u64)> = (0..700u64).map(|i| (0x3000 + 8 * i, i * 7)).collect();
+        let mut seeded = MemImage::new();
+        seeded.seed(&pairs);
+        let base = Arc::new(seeded.freeze());
+        let mut fork = MemImage::fork(&base);
+        let mut flat = MemImage::new();
+        flat.seed(&pairs);
+        assert_eq!(fork, flat);
+        assert!(fork.same_contents(&flat) && flat.same_contents(&fork));
+        // Divergence breaks both, symmetrically.
+        fork.store(0x3000, u64::MAX);
+        assert_ne!(fork, flat);
+        assert!(!fork.same_contents(&flat));
+        flat.store(0x3000, u64::MAX);
+        assert_eq!(fork, flat);
+    }
+
+    #[test]
+    fn freeze_flattens_a_fork_chain() {
+        let base = seeded_base();
+        let mut f = MemImage::fork(&base);
+        f.store(0x1000, 99);
+        f.store(0x7000, 7);
+        let refrozen = Arc::new(f.freeze());
+        let g = MemImage::fork(&refrozen);
+        assert_eq!(g.load(0x1000), 99, "fork's write survives the freeze");
+        assert_eq!(g.load(0x1008), 22, "shadowed page kept its other words");
+        assert_eq!(g.load(0x9_0000), 44, "unshadowed base page materialised");
+        assert_eq!(g.load(0x7000), 7);
+        assert!(g.base.as_ref().unwrap().dir.contains_key(&(0x9_0000 >> 12)));
+    }
+
+    #[test]
+    fn reset_to_base_recycles_pages_through_the_pool() {
+        // The global `page_allocations` counter is asserted in
+        // `tests/alloc_smoke.rs` (its own process); here, where unit
+        // tests run concurrently, we assert the structural pool
+        // behaviour instead: reset moves owned pages to the pool and
+        // re-faulting drains it without growing total page count.
+        let base = seeded_base();
+        let mut f = MemImage::fork(&base);
+        // Warm-up replay: fault two base pages and one fresh page.
+        f.store(0x1000, 1);
+        f.store(0x9_0000, 2);
+        f.store(0x5000, 3);
+        assert_eq!((f.pages.len(), f.pool.len()), (3, 0));
+        for round in 0..3u64 {
+            f.reset_to_base(&base);
+            assert_eq!((f.pages.len(), f.pool.len()), (0, 3), "round {round}");
+            assert_eq!(f.load(0x1000), 11, "round {round}: reset lost the base");
+            f.store(0x1000, round);
+            f.store(0x9_0000, round + 1);
+            f.store(0x5000, round + 2);
+            assert_eq!(
+                (f.pages.len(), f.pool.len()),
+                (3, 0),
+                "round {round}: faults must pop the pool, not allocate"
+            );
+            assert_eq!(f.load(0x1000), round);
+            assert_eq!(f.load(0x1008), 22);
+        }
+    }
+
+    /// Model-based fork suite: random traffic builds a base (mirrored
+    /// in the HashMap model), then a fork takes more random traffic
+    /// while the base must stay frozen at its snapshot.
+    #[test]
+    fn model_based_fork_against_reference() {
+        for seed in 0..16u64 {
+            let mut rng = 0xc0u64 << 56 | seed;
+            let mut img = MemImage::new();
+            let mut model = ModelMem::default();
+            // Phase 1: build the base.
+            for _ in 0..120 {
+                let addr = rand_addr(&mut rng);
+                let v = splitmix(&mut rng) % 50;
+                img.store(addr, v);
+                model.store(addr, v);
+            }
+            let base_model: HashMap<u64, u64> = model.0.clone();
+            let base = Arc::new(img.freeze());
+            // Phase 2: the fork diverges under mixed scalar/slice
+            // traffic; the model follows the fork.
+            let mut fork = MemImage::fork(&base);
+            for step in 0..200 {
+                let addr = rand_addr(&mut rng);
+                match splitmix(&mut rng) % 4 {
+                    0 => {
+                        let v = splitmix(&mut rng) % 50;
+                        fork.store(addr, v);
+                        model.store(addr, v);
+                    }
+                    1 => {
+                        let n = (splitmix(&mut rng) % 96) as usize + 1;
+                        let vals: Vec<u64> = (0..n).map(|_| splitmix(&mut rng) % 50).collect();
+                        fork.store_slice(addr, &vals);
+                        for (i, &v) in vals.iter().enumerate() {
+                            model.store((addr & !7) + 8 * i as u64, v);
+                        }
+                    }
+                    2 => {
+                        assert_eq!(
+                            fork.load(addr),
+                            model.load(addr),
+                            "seed {seed} step {step}: fork load({addr:#x})"
+                        );
+                    }
+                    _ => {
+                        assert_eq!(
+                            fork.is_written(addr),
+                            model.0.contains_key(&(addr & !7)),
+                            "seed {seed} step {step}: is_written({addr:#x})"
+                        );
+                    }
+                }
+            }
+            check_equivalence(&fork, &model, seed);
+            // The base never moved.
+            for (&a, &v) in &base_model {
+                assert_eq!(base.load(a), v, "seed {seed}: base mutated at {a:#x}");
+            }
+            assert_eq!(base.len(), base_model.len());
         }
     }
 }

@@ -43,6 +43,20 @@ impl ScalarCache {
         }
     }
 
+    /// `(size_bytes, line_bytes)` this cache was built with.
+    #[must_use]
+    pub fn geometry(&self) -> (u64, u64) {
+        (self.tags.len() as u64 * self.line_bytes, self.line_bytes)
+    }
+
+    /// Empties the cache and zeroes its counters, keeping the tag
+    /// storage (arena reuse).
+    pub fn reset(&mut self) {
+        self.tags.fill(None);
+        self.hits = 0;
+        self.misses = 0;
+    }
+
     fn index_and_tag(&self, addr: u64) -> (usize, u64) {
         let line = addr / self.line_bytes;
         let idx = (line as usize) % self.tags.len();

@@ -28,7 +28,8 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use oov_bench::machine_run;
+use oov_bench::machine_run_in;
+use oov_core::SimArena;
 
 use crate::cache::SuiteCache;
 use crate::persist::{self, CacheLine};
@@ -102,84 +103,147 @@ pub struct PersistOptions {
     pub max_entries: Option<usize>,
 }
 
+/// Sentinel slot index for "no neighbour".
+const NO_SLOT: usize = usize::MAX;
+
 /// A shard's private result cache with an optional LRU cap.
 ///
-/// Eviction is a linear minimum scan over the (bounded) map — at the
-/// cap sizes this knob is for, an O(n) pass per insert is noise next
-/// to the simulation the insert just paid for, and it keeps the store
-/// a plain `HashMap` with no intrusive list to maintain.
+/// Recency is an intrusive doubly-linked list threaded through a slot
+/// vector (`prev`/`next` indices), with a `HashMap` from request
+/// fingerprint to slot: lookup, touch-to-front, insert and
+/// evict-the-tail are all O(1) — the previous implementation's O(n)
+/// minimum scan per insert is gone, so large `--cache-entries` caps no
+/// longer tax every miss.
 struct ShardCache {
-    map: HashMap<u64, ShardCacheEntry>,
+    map: HashMap<u64, usize>,
+    slots: Vec<ShardCacheEntry>,
+    /// Recycled slot indices from evictions.
+    free: Vec<usize>,
+    /// Most-recently-used slot (`NO_SLOT` when empty).
+    head: usize,
+    /// Least-recently-used slot (`NO_SLOT` when empty) — the eviction
+    /// victim.
+    tail: usize,
     /// `usize::MAX` when unbounded.
     cap: usize,
-    /// Logical clock: bumped on every lookup/insert, stamped on the
-    /// touched entry.
-    tick: u64,
 }
 
 struct ShardCacheEntry {
+    key: u64,
     machine_fp: u64,
     result: SimResult,
-    last_used: u64,
+    prev: usize,
+    next: usize,
 }
 
 impl ShardCache {
     fn new(cap: Option<usize>) -> Self {
         ShardCache {
             map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NO_SLOT,
+            tail: NO_SLOT,
             // A zero cap would make every insert evict itself; treat
             // it as "cache one entry".
             cap: cap.unwrap_or(usize::MAX).max(1),
-            tick: 0,
         }
     }
 
-    /// Looks up `key`, refreshing its LRU stamp on a hit.
+    /// Unlinks `slot` from the recency list.
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        match prev {
+            NO_SLOT => self.head = next,
+            p => self.slots[p].next = next,
+        }
+        match next {
+            NO_SLOT => self.tail = prev,
+            n => self.slots[n].prev = prev,
+        }
+    }
+
+    /// Links `slot` at the most-recently-used end.
+    fn push_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NO_SLOT;
+        self.slots[slot].next = self.head;
+        match self.head {
+            NO_SLOT => self.tail = slot,
+            h => self.slots[h].prev = slot,
+        }
+        self.head = slot;
+    }
+
+    /// Looks up `key`, moving it to the recency front on a hit.
     fn get(&mut self, key: u64) -> Option<&SimResult> {
-        self.tick += 1;
-        let tick = self.tick;
-        self.map.get_mut(&key).map(|e| {
-            e.last_used = tick;
-            &e.result
-        })
+        let slot = *self.map.get(&key)?;
+        if self.head != slot {
+            self.unlink(slot);
+            self.push_front(slot);
+        }
+        Some(&self.slots[slot].result)
     }
 
     /// Inserts `key`, evicting the least-recently-used entry when at
     /// the cap. Returns `true` if an entry was evicted.
     fn insert(&mut self, key: u64, machine_fp: u64, result: SimResult) -> bool {
-        self.tick += 1;
-        let mut evicted = false;
-        if !self.map.contains_key(&key) && self.map.len() >= self.cap {
-            if let Some(victim) = self
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(&k, _)| k)
-            {
-                self.map.remove(&victim);
-                evicted = true;
+        if let Some(&slot) = self.map.get(&key) {
+            // Overwrite in place and touch.
+            self.slots[slot].machine_fp = machine_fp;
+            self.slots[slot].result = result;
+            if self.head != slot {
+                self.unlink(slot);
+                self.push_front(slot);
             }
+            return false;
         }
-        self.map.insert(
+        let evicted = if self.map.len() >= self.cap {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NO_SLOT, "cap >= 1 and map at cap");
+            self.unlink(victim);
+            self.map.remove(&self.slots[victim].key);
+            self.free.push(victim);
+            true
+        } else {
+            false
+        };
+        let entry = ShardCacheEntry {
             key,
-            ShardCacheEntry {
-                machine_fp,
-                result,
-                last_used: self.tick,
-            },
-        );
+            machine_fp,
+            result,
+            prev: NO_SLOT,
+            next: NO_SLOT,
+        };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot] = entry;
+                slot
+            }
+            None => {
+                self.slots.push(entry);
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
         evicted
     }
 
     fn into_lines(self) -> Vec<CacheLine> {
-        self.map
-            .into_iter()
-            .map(|(key, e)| CacheLine {
-                key,
+        // Walk the recency list so only live slots are emitted (the
+        // free list may hold stale evicted entries).
+        let mut lines = Vec::with_capacity(self.map.len());
+        let mut slot = self.head;
+        while slot != NO_SLOT {
+            let e = &self.slots[slot];
+            lines.push(CacheLine {
+                key: e.key,
                 machine_fp: e.machine_fp,
-                result: e.result,
-            })
-            .collect()
+                result: e.result.clone(),
+            });
+            slot = e.next;
+        }
+        lines
     }
 }
 
@@ -366,6 +430,10 @@ fn worker(
     engine: &Engine,
 ) -> Vec<CacheLine> {
     let mut cache = ShardCache::new(max_entries);
+    // One simulation arena per shard: every cache miss this worker
+    // executes reuses the same allocation footprint, so a miss pays
+    // simulation only — no per-request simulator construction.
+    let mut arena = SimArena::new();
     for e in seed {
         // Seeding through the same entry point applies the cap to an
         // oversized dump too (later lines win, matching file order).
@@ -385,11 +453,12 @@ fn worker(
         } else {
             engine.result_misses.fetch_add(1, Ordering::Relaxed);
             let suite = engine.suites.get(job.req.scale);
-            let out = machine_run(
+            let out = machine_run_in(
                 suite.get(job.req.program),
                 &job.req.machine,
                 job.req.stepper,
                 job.req.fault_at,
+                &mut arena,
             );
             let r = SimResult {
                 stats: out.stats,
@@ -528,5 +597,79 @@ fn handle_connection(
                 write_response(&mut writer, &Response::SweepDone { count: next })?;
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oov_stats::SimStats;
+
+    fn result(tag: u64) -> SimResult {
+        SimResult {
+            stats: SimStats {
+                cycles: tag,
+                ..SimStats::new()
+            },
+            ideal_cycles: 0,
+            faults_taken: 0,
+            cached: false,
+            shard: 0,
+        }
+    }
+
+    fn keys_mru_to_lru(c: &ShardCache) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut slot = c.head;
+        while slot != NO_SLOT {
+            out.push(c.slots[slot].key);
+            slot = c.slots[slot].next;
+        }
+        out
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_in_order() {
+        let mut c = ShardCache::new(Some(2));
+        assert!(!c.insert(1, 10, result(1)));
+        assert!(!c.insert(2, 20, result(2)));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert_eq!(c.get(1).unwrap().stats.cycles, 1);
+        assert!(c.insert(3, 30, result(3)), "must evict at the cap");
+        assert!(c.get(2).is_none(), "2 was the LRU entry");
+        assert_eq!(keys_mru_to_lru(&c), vec![3, 1]);
+        // Evicted slot is recycled, list stays consistent.
+        assert!(c.insert(4, 40, result(4)));
+        assert_eq!(keys_mru_to_lru(&c), vec![4, 3]);
+        assert_eq!(c.slots.len(), 2, "slots are recycled, not grown");
+    }
+
+    #[test]
+    fn lru_overwrite_touches_without_evicting() {
+        let mut c = ShardCache::new(Some(2));
+        c.insert(1, 10, result(1));
+        c.insert(2, 20, result(2));
+        assert!(!c.insert(1, 11, result(100)), "overwrite never evicts");
+        assert_eq!(c.get(1).unwrap().stats.cycles, 100);
+        assert_eq!(keys_mru_to_lru(&c), vec![1, 2]);
+        let mut lines = c.into_lines();
+        lines.sort_by_key(|l| l.key);
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].machine_fp, 11);
+    }
+
+    #[test]
+    fn lru_unbounded_and_single_entry_caps() {
+        let mut c = ShardCache::new(None);
+        for k in 0..64 {
+            assert!(!c.insert(k, k, result(k)));
+        }
+        assert_eq!(c.into_lines().len(), 64);
+        // A zero cap behaves as "cache one entry".
+        let mut one = ShardCache::new(Some(0));
+        assert!(!one.insert(1, 1, result(1)));
+        assert!(one.insert(2, 2, result(2)));
+        assert!(one.get(1).is_none());
+        assert_eq!(one.get(2).unwrap().stats.cycles, 2);
     }
 }

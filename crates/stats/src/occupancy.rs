@@ -87,11 +87,32 @@ impl OccupancyTracker {
             .sum()
     }
 
+    /// Empties the tracker for reuse, keeping the interval storage.
+    pub fn clear(&mut self) {
+        for iv in &mut self.intervals {
+            iv.clear();
+        }
+    }
+
+    /// As [`OccupancyTracker::into_breakdown`], but leaves the tracker
+    /// empty and reusable: the intervals are swept into the breakdown
+    /// and cleared in place (their storage is retained for the next
+    /// run — the arena-reuse path).
+    pub fn take_breakdown(&mut self, total_cycles: u64) -> StateBreakdown {
+        let b = self.sweep(total_cycles);
+        self.clear();
+        b
+    }
+
     /// Sweeps all intervals into the joint 8-state breakdown over
     /// `total_cycles` cycles (cycles `0..total_cycles`). Busy intervals
     /// beyond the total are clipped.
     #[must_use]
     pub fn into_breakdown(self, total_cycles: u64) -> StateBreakdown {
+        self.sweep(total_cycles)
+    }
+
+    fn sweep(&self, total_cycles: u64) -> StateBreakdown {
         let merged: Vec<Vec<(u64, u64)>> = (0..3).map(|u| self.merged(u)).collect();
         // Event sweep: +1/-1 deltas per unit at interval boundaries.
         let mut events: Vec<(u64, usize, i32)> = Vec::new();

@@ -55,12 +55,13 @@ impl IrInterp {
         &self.mem
     }
 
-    /// Runs a kernel from scratch: installs `mem_init`, executes every
-    /// segment over its iteration space, and returns the final image.
+    /// Runs a kernel from scratch: forks the kernel's cached base
+    /// image (no per-run seeding), executes every segment over its
+    /// iteration space, and returns the final image.
     #[must_use]
     pub fn run_kernel(kernel: &Kernel) -> MemImage {
         let mut it = IrInterp::new();
-        it.mem.seed(&kernel.mem_init);
+        it.mem = MemImage::fork(kernel.base_image());
         for seg in kernel.segments() {
             for outer in 0..u64::from(seg.outer_trips) {
                 // Carried registers start at zero each outer iteration,

@@ -9,6 +9,9 @@
 //! Static PCs are stable across iterations so that the OOOVA's branch
 //! target buffer sees the same loop branch every time.
 
+use std::sync::{Arc, OnceLock};
+
+use oov_exec::{BaseImage, Machine, MemImage};
 use oov_isa::{ArchReg, BranchInfo, Instruction, MemRef, Opcode, RegClass, Trace};
 
 use crate::ir::{AddrExpr, Kernel};
@@ -250,16 +253,38 @@ pub struct CompiledProgram {
     pub mem_init: Vec<(u64, u64)>,
     /// Spill code inserted by the register allocator.
     pub spill: SpillSummary,
+    /// The seeded base image, built once on first use and shared by
+    /// every machine forked from this program.
+    base: OnceLock<Arc<BaseImage>>,
 }
 
 impl CompiledProgram {
-    /// A golden-model machine with the program's initial memory installed
-    /// (contiguous `mem_init` runs are bulk-seeded).
+    /// The program's frozen initial-memory image. `mem_init` is seeded
+    /// exactly once per program (cached behind a `OnceLock`); every
+    /// replay forks this base copy-on-write instead of re-seeding.
     #[must_use]
-    pub fn golden_machine(&self) -> oov_exec::Machine {
-        let mut m = oov_exec::Machine::new();
-        m.memory_mut().seed(&self.mem_init);
-        m
+    pub fn base_image(&self) -> &Arc<BaseImage> {
+        self.base.get_or_init(|| {
+            let mut m = MemImage::new();
+            m.seed(&self.mem_init);
+            Arc::new(m.freeze())
+        })
+    }
+
+    /// A machine with zeroed registers whose memory is a copy-on-write
+    /// fork of [`CompiledProgram::base_image`]: on warm calls this
+    /// performs zero seed work and zero page allocation for read-only
+    /// data.
+    #[must_use]
+    pub fn fresh_machine(&self) -> Machine {
+        Machine::from_base(self.base_image())
+    }
+
+    /// A golden-model machine with the program's initial memory
+    /// installed (an alias of [`CompiledProgram::fresh_machine`]).
+    #[must_use]
+    pub fn golden_machine(&self) -> Machine {
+        self.fresh_machine()
     }
 }
 
@@ -305,6 +330,7 @@ pub fn compile_with(kernel: &Kernel, opts: &CompileOptions) -> CompiledProgram {
         trace,
         mem_init: kernel.mem_init.clone(),
         spill,
+        base: OnceLock::new(),
     }
 }
 

@@ -1,0 +1,77 @@
+//! Allocation-count smoke check: the second and later replays of a
+//! warm sweep iteration must be **seed-free and allocation-free**.
+//!
+//! Two debug-only process-wide counters back the assertion:
+//! [`oov::exec::page_allocations`] counts fresh 4 KiB page
+//! constructions in the functional layer (pool reuse and base
+//! fall-through do not count), and [`oov::core::arena_constructions`]
+//! counts fresh simulator-storage builds (a warm [`SimArena`] recycle
+//! does not count). Both compile to constant 0 in release builds, so
+//! the test self-skips there.
+//!
+//! This file deliberately holds a single `#[test]`: integration-test
+//! files run as separate processes, so no concurrently running test
+//! can touch the global counters mid-measurement.
+
+use oov::core::{arena_constructions, OooSim, SimArena};
+use oov::exec::page_allocations;
+use oov::isa::{CommitMode, OooConfig};
+use oov::kernels::{Program, Scale};
+
+#[test]
+fn warm_replay_allocates_nothing() {
+    if !cfg!(debug_assertions) {
+        eprintln!("alloc_smoke: counters are debug-only; skipping in release");
+        return;
+    }
+    let prog = Program::Trfd.compile(Scale::Smoke);
+    // Seed once: freezing the base image is the only seed work ever
+    // performed for this program.
+    let base = prog.base_image().clone();
+    let grid = [
+        OooConfig::default(),
+        OooConfig::default().with_commit(CommitMode::Late),
+    ];
+
+    // Warm-up iteration: builds the arena storage, faults the machine's
+    // written pages, grows every queue to its steady state.
+    let mut arena = SimArena::new();
+    let mut machine = prog.fresh_machine();
+    let mut first = Vec::new();
+    for cfg in grid {
+        first.push(OooSim::new_in(cfg, &prog.trace, &mut arena).run_into(&mut arena));
+    }
+    machine.run(&prog.trace);
+    let warm_digest = machine.register_digest();
+
+    // Second replay of the same sweep iteration: zero seeding, zero
+    // page allocations, zero arena constructions.
+    let pages_before = page_allocations();
+    let arenas_before = arena_constructions();
+    machine.reset_to_base(&base);
+    let mut second = Vec::new();
+    for cfg in grid {
+        second.push(OooSim::new_in(cfg, &prog.trace, &mut arena).run_into(&mut arena));
+    }
+    machine.run(&prog.trace);
+    assert_eq!(
+        page_allocations(),
+        pages_before,
+        "warm functional replay allocated pages"
+    );
+    assert_eq!(
+        arena_constructions(),
+        arenas_before,
+        "warm simulator replay built fresh storage"
+    );
+
+    // And the warm replay is not just cheap but correct: identical
+    // stats to the first iteration and to fresh construction, and the
+    // machine reproduces its architectural state bit-for-bit.
+    assert_eq!(machine.register_digest(), warm_digest);
+    for ((cfg, a), b) in grid.iter().zip(&first).zip(&second) {
+        assert_eq!(a.stats, b.stats, "replay diverged for {cfg:?}");
+    }
+    let fresh = OooSim::new(grid[0], &prog.trace).run();
+    assert_eq!(fresh.stats, second[0].stats);
+}

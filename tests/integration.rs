@@ -132,7 +132,7 @@ fn load_elimination_reduces_traffic_and_is_value_correct() {
         .stats;
         let vle_cfg = OooConfig::default().with_load_elim(LoadElimMode::SleVle);
         let vle = OooSim::new(vle_cfg, &prog.trace)
-            .with_checker_seeded(&prog.mem_init)
+            .with_checker_base(prog.base_image())
             .run()
             .stats;
         assert!(

@@ -3,8 +3,14 @@
 //! across the whole kernel × commit-mode × load-elimination grid —
 //! every table and figure of the paper reproduction depends on these
 //! counters.
+//!
+//! Every grid point also runs a third time through a shared
+//! [`SimArena`] (one arena per program, reused across every config in
+//! the grid — naive oracle included on the pressure grid), asserting
+//! that recycled simulator storage is indistinguishable from fresh
+//! construction.
 
-use oov::core::{OooSim, Stepper};
+use oov::core::{OooSim, SimArena, Stepper};
 use oov::isa::{CommitMode, LoadElimMode, OooConfig};
 use oov::kernels::{Program, Scale};
 
@@ -50,6 +56,7 @@ fn engine_parity_across_kernel_and_config_grid() {
         for p in Program::ALL {
             s.spawn(move || {
                 let prog = p.compile(Scale::Smoke);
+                let mut arena = SimArena::new();
                 for (name, cfg) in config_grid() {
                     let naive = OooSim::new(cfg, &prog.trace)
                         .with_stepper(Stepper::Naive)
@@ -64,6 +71,13 @@ fn engine_parity_across_kernel_and_config_grid() {
                     assert_eq!(
                         naive.ideal_cycles, event.ideal_cycles,
                         "{p} [{name}]: ideal bound diverged"
+                    );
+                    let recycled = OooSim::new_in(cfg, &prog.trace, &mut arena)
+                        .with_stepper(Stepper::EventDriven)
+                        .run_into(&mut arena);
+                    assert_eq!(
+                        event.stats, recycled.stats,
+                        "{p} [{name}]: arena-recycled run diverged from fresh construction"
                     );
                 }
             });
@@ -98,10 +112,14 @@ fn engine_parity_under_queue_and_register_pressure() {
             let variants = &variants;
             s.spawn(move || {
                 let prog = p.compile(Scale::Smoke);
+                let mut arena = SimArena::new();
                 for (name, cfg) in variants {
-                    let naive = OooSim::new(*cfg, &prog.trace)
+                    // The naive oracle runs through the shared arena —
+                    // structural parameters change between variants, so
+                    // this exercises the arena's resize path too.
+                    let naive = OooSim::new_in(*cfg, &prog.trace, &mut arena)
                         .with_stepper(Stepper::Naive)
-                        .run();
+                        .run_into(&mut arena);
                     let event = OooSim::new(*cfg, &prog.trace).run();
                     assert_eq!(
                         naive.stats, event.stats,
@@ -140,12 +158,15 @@ fn engine_parity_with_precise_traps_swept_over_fault_points() {
                 fault_points.sort_unstable();
                 fault_points.dedup();
                 let cfg = OooConfig::default().with_commit(CommitMode::Late);
+                let mut arena = SimArena::new();
                 for fault_at in fault_points {
                     let naive = OooSim::new(cfg, &prog.trace)
                         .with_stepper(Stepper::Naive)
                         .with_fault_at(fault_at)
                         .run();
-                    let event = OooSim::new(cfg, &prog.trace).with_fault_at(fault_at).run();
+                    let event = OooSim::new_in(cfg, &prog.trace, &mut arena)
+                        .with_fault_at(fault_at)
+                        .run_into(&mut arena);
                     assert_eq!(
                         naive.stats, event.stats,
                         "{p}: trap recovery diverged at fault point {fault_at}/{len}"

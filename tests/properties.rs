@@ -81,7 +81,7 @@ fn load_elimination_is_sound() {
             OooConfig::default().with_load_elim(LoadElimMode::SleVle),
             &prog.trace,
         )
-        .with_checker_seeded(&prog.mem_init)
+        .with_checker_base(prog.base_image())
         .run()
         .stats;
         assert!(vle.mem_requests <= base.mem_requests, "seed {seed}");
