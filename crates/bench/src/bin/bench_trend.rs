@@ -47,7 +47,19 @@
 //!    reported separately as `seed_ms`), warm exec cost cancels
 //!    across scales like engine cost does.
 //!
-//! 5. **Suite compile.** `suite_compile_ms` per thousand suite
+//! 5. **Trace-hook overhead.** The pipeline-tracing hooks compiled
+//!    into the event engine must be free when no sink is attached
+//!    (they are a single `Option` branch each). The same normalised
+//!    per-kernel cost as gate 1 is re-checked against the much tighter
+//!    `--max-trace-overhead-ratio` (default 1.05): any kernel whose
+//!    cost drifts past 5% of the baseline — hook-heavy issue scans are
+//!    the likely culprit — fails. Like gate 1 this is median-relative,
+//!    so a perfectly uniform slowdown folds into the machine factor;
+//!    on a same-machine, same-scale comparison the printed factor
+//!    itself is the uniform component, which is how the committed
+//!    baseline is validated locally.
+//!
+//! 6. **Suite compile.** `suite_compile_ms` per thousand suite
 //!    instructions (one value per artifact, normalised by the exec
 //!    machine factor) is gated at `--max-compile-ratio` (default
 //!    8.0). The wide bound is structural: compiling a kernel is
@@ -162,6 +174,7 @@ fn run() -> Result<Vec<String>, String> {
     let mut max_exec_ratio = 2.0f64;
     let mut max_compile_ratio = 8.0f64;
     let mut min_speedup = 1.5f64;
+    let mut max_trace_overhead = 1.05f64;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -196,6 +209,14 @@ fn run() -> Result<Vec<String>, String> {
                     .ok_or("missing value for --min-speedup")?
                     .parse()
                     .map_err(|e| format!("--min-speedup: {e}"))?;
+            }
+            "--max-trace-overhead-ratio" => {
+                i += 1;
+                max_trace_overhead = argv
+                    .get(i)
+                    .ok_or("missing value for --max-trace-overhead-ratio")?
+                    .parse()
+                    .map_err(|e| format!("--max-trace-overhead-ratio: {e}"))?;
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             file => files.push(file),
@@ -265,6 +286,14 @@ fn run() -> Result<Vec<String>, String> {
                 f.name
             ));
         }
+        let cost = f.norm / b.norm / machine_factor;
+        if cost > max_trace_overhead {
+            regressions.push(format!(
+                "{} [default]: cost {cost:.3}x past the trace-hook overhead bound \
+                 ({max_trace_overhead:.2}x) — dormant tracing must stay free",
+                f.name
+            ));
+        }
         let mut check = |section: &str, metric: &str, ratio: f64| {
             if ratio > max_ratio {
                 regressions.push(format!(
@@ -273,7 +302,6 @@ fn run() -> Result<Vec<String>, String> {
                 ));
             }
         };
-        let cost = f.norm / b.norm / machine_factor;
         check("default", "normalised cost", cost);
         check("default", "engine speedup", b.speedup / f.speedup);
         let q128 = f.q128.zip(b.q128).map(|((fc, fs), (bc, bs))| {

@@ -18,8 +18,12 @@
 //! * `--elim <off|sle|sle+vle|sle+vle+sse>`  default `off`
 //! * `--scale <smoke|paper>`          default `paper`
 //! * `--breakdown`                    print the 8-state cycle breakdown
+//! * `--trace <path>`                 write a pipeline lifecycle trace in
+//!   Konata format (ooo machine only; open with the Konata viewer) and
+//!   print the stall-attribution table. With `--program all` the program
+//!   name is inserted before the extension.
 
-use oov_core::OooSim;
+use oov_core::{OooSim, TraceSink};
 use oov_isa::{CommitMode, LoadElimMode, OooConfig, RefConfig};
 use oov_kernels::{Program, Scale};
 use oov_ref::RefSim;
@@ -35,6 +39,7 @@ struct Args {
     elim: LoadElimMode,
     scale: Scale,
     breakdown: bool,
+    trace: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -48,6 +53,7 @@ fn parse_args() -> Result<Args, String> {
         elim: LoadElimMode::Off,
         scale: Scale::Paper,
         breakdown: false,
+        trace: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -107,6 +113,7 @@ fn parse_args() -> Result<Args, String> {
                 };
             }
             "--breakdown" => args.breakdown = true,
+            "--trace" => args.trace = Some(value(&mut i)?.into()),
             other => return Err(format!("unknown flag {other}")),
         }
         i += 1;
@@ -114,7 +121,23 @@ fn parse_args() -> Result<Args, String> {
     if args.programs.is_empty() {
         return Err("--program is required (a benchmark name, or `all`)".into());
     }
+    if args.trace.is_some() && args.machine != "ooo" {
+        return Err("--trace only applies to the ooo machine".into());
+    }
     Ok(args)
+}
+
+/// `out.kanata` → `out.<program>.kanata` when tracing several programs.
+fn trace_path(base: &std::path::Path, program: &str, many: bool) -> std::path::PathBuf {
+    if !many {
+        return base.to_path_buf();
+    }
+    let stem = base.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+    let ext = base
+        .extension()
+        .and_then(|s| s.to_str())
+        .unwrap_or("kanata");
+    base.with_file_name(format!("{stem}.{program}.{ext}"))
 }
 
 fn report(name: &str, stats: &SimStats, ideal: u64, breakdown: bool) {
@@ -170,8 +193,28 @@ fn main() {
                 if args.elim != LoadElimMode::Off {
                     cfg = cfg.with_load_elim(args.elim);
                 }
-                let r = OooSim::new(cfg, &prog.trace).run();
+                let mut sim = OooSim::new(cfg, &prog.trace);
+                if args.trace.is_some() {
+                    sim = sim.with_trace(TraceSink::new());
+                }
+                let r = sim.run();
                 report(p.name(), &r.stats, ideal, args.breakdown);
+                if let (Some(base), Some(sink)) = (&args.trace, &r.trace) {
+                    let path = trace_path(base, p.name(), args.programs.len() > 1);
+                    if let Err(e) = sink.write_konata(&path) {
+                        eprintln!("error: writing {}: {e}", path.display());
+                        std::process::exit(1);
+                    }
+                    println!(
+                        "  trace: {} records -> {}",
+                        sink.records().len(),
+                        path.display()
+                    );
+                    let stalls = sink.stall_table();
+                    if !stalls.is_empty() {
+                        print!("{}", stalls.render());
+                    }
+                }
             }
             other => {
                 eprintln!("error: unknown machine {other} (use ref|ooo)");

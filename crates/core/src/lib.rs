@@ -45,6 +45,7 @@ mod rob;
 mod sim;
 mod stages;
 mod tags;
+mod trace;
 mod verify;
 
 pub use btb::{Btb, ReturnStack};
@@ -52,6 +53,7 @@ pub use rename::{PhysReg, RenameTable, RenameUnit};
 pub use rob::{DstInfo, EntryState, MemStage, QueueKind, Rob, RobEntry};
 pub use sim::{arena_constructions, OooSim, RunResult, SimArena, Stepper};
 pub use tags::{Tag, TagTable, TagUnit};
+pub use trace::{TraceRecord, TraceSink};
 
 #[cfg(test)]
 mod tests {

@@ -202,6 +202,9 @@ pub struct RunResult {
     pub ideal_cycles: u64,
     /// Precise traps taken during the run (§5 fault injection).
     pub faults_taken: u64,
+    /// The filled lifecycle trace, when one was attached with
+    /// [`OooSim::with_trace`].
+    pub trace: Option<crate::trace::TraceSink>,
 }
 
 /// The out-of-order vector architecture simulator.
@@ -292,6 +295,11 @@ pub struct OooSim<'t> {
     /// Inject a precise trap at this trace index (late commit only).
     pub(crate) fault_at: Option<usize>,
     pub(crate) faults_taken: u64,
+    /// Optional pipeline lifecycle trace sink (per-run, like the
+    /// checker: not part of the arena storage, so attaching one never
+    /// perturbs warm-replay reuse). Boxed to keep the disabled case a
+    /// single word.
+    pub(crate) sink: Option<Box<crate::trace::TraceSink>>,
 }
 
 #[cfg(debug_assertions)]
@@ -584,6 +592,7 @@ impl<'t> OooSim<'t> {
             checker: None,
             fault_at: None,
             faults_taken: 0,
+            sink: None,
         }
     }
 
@@ -618,6 +627,17 @@ impl<'t> OooSim<'t> {
     #[must_use]
     pub fn with_stepper(mut self, stepper: Stepper) -> Self {
         self.stepper = stepper;
+        self
+    }
+
+    /// Attaches a pipeline lifecycle trace sink: per-instruction
+    /// stage timestamps and stall attribution, returned (filled) in
+    /// [`RunResult::trace`]. The sink is strictly passive — a traced
+    /// run produces bit-identical [`SimStats`] — but it records every
+    /// instruction, so only use it on runs you intend to inspect.
+    #[must_use]
+    pub fn with_trace(mut self, sink: crate::trace::TraceSink) -> Self {
+        self.sink = Some(Box::new(sink));
         self
     }
 
@@ -761,6 +781,14 @@ impl<'t> OooSim<'t> {
                 self.stats.rename_stall_cycles += skipped * d_rename;
                 self.stats.queue_stall_cycles += skipped * d_queue;
                 self.stats.rob_stall_cycles += skipped * d_rob;
+                // Mirror the replayed stall deltas into the trace so
+                // its per-cycle attribution matches `SimStats` in the
+                // event engine exactly as it does in the naive one.
+                if let Some(s) = self.sink.as_deref_mut() {
+                    s.on_cycle_stall(oov_stats::StallKind::RenameStall, skipped * d_rename);
+                    s.on_cycle_stall(oov_stats::StallKind::QueueFull, skipped * d_queue);
+                    s.on_cycle_stall(oov_stats::StallKind::RobFull, skipped * d_rob);
+                }
                 self.now = t;
             } else {
                 panic!(
@@ -814,6 +842,7 @@ impl<'t> OooSim<'t> {
             stats: self.stats,
             ideal_cycles: self.trace.ideal_cycles(),
             faults_taken: self.faults_taken,
+            trace: self.sink.take().map(|b| *b),
         }
     }
 

@@ -112,6 +112,9 @@ impl OooSim<'_> {
                 return;
             }
             let e = self.rob.pop().expect("head vanished");
+            if let Some(s) = self.sink.as_deref_mut() {
+                s.on_commit(e.seq, e.issue_time, e.complete_time, self.now);
+            }
             if let Some(d) = e.dst {
                 self.rename.table_mut(d.class).release(d.old);
             }
@@ -137,6 +140,9 @@ impl OooSim<'_> {
         self.faults_taken += 1;
         self.progress(StageId::Commit);
         while let Some(e) = self.rob.pop_tail() {
+            if let Some(s) = self.sink.as_deref_mut() {
+                s.on_squash(e.seq, self.now);
+            }
             if let Some(d) = e.dst {
                 self.rename
                     .table_mut(d.class)
@@ -154,6 +160,9 @@ impl OooSim<'_> {
         self.stage = [None; 3];
         self.pipe_pending.clear();
         self.fetch_buf.clear();
+        if let Some(s) = self.sink.as_deref_mut() {
+            s.on_squash_frontend();
+        }
         self.fetch_blocked = None;
         self.fetch_resume_at = None;
         self.pending_copies.clear();

@@ -44,11 +44,17 @@ impl OooSim<'_> {
         let inst = &self.trace.instructions()[idx];
         if self.rob.is_full() {
             self.stats.rob_stall_cycles += 1;
+            if let Some(s) = self.sink.as_deref_mut() {
+                s.on_cycle_stall(oov_stats::StallKind::RobFull, 1);
+            }
             return;
         }
         let kind = self.route_queue(inst);
         if self.queue_of(kind).len() >= self.cfg.queue_slots {
             self.stats.queue_stall_cycles += 1;
+            if let Some(s) = self.sink.as_deref_mut() {
+                s.on_cycle_stall(oov_stats::StallKind::QueueFull, 1);
+            }
             return;
         }
         let defer_vector = kind == QueueKind::M && self.vle_on();
@@ -73,6 +79,9 @@ impl OooSim<'_> {
             } else {
                 if !self.rename.table(class).can_alloc() {
                     self.stats.rename_stall_cycles += 1;
+                    if let Some(s) = self.sink.as_deref_mut() {
+                        s.on_cycle_stall(oov_stats::StallKind::RenameStall, 1);
+                    }
                     return;
                 }
                 let (new, old) = self
@@ -122,6 +131,9 @@ impl OooSim<'_> {
             }
         }
         let seq = self.rob.push(entry);
+        if let Some(s) = self.sink.as_deref_mut() {
+            s.on_dispatch(seq, idx, inst.op, inst.vl, self.now);
+        }
         self.queue_of(kind).push_back(seq);
         // M-queue entries are tracked by the memory pipe, not the
         // source-wakeup index (their readiness checks are per-operand at

@@ -61,6 +61,9 @@ impl OooSim<'_> {
             }
         }
         self.fetch_buf.push_back(idx);
+        if let Some(s) = self.sink.as_deref_mut() {
+            s.on_fetch(idx, self.now);
+        }
         self.progress(StageId::Fetch);
     }
 }

@@ -63,11 +63,17 @@ impl OooSim<'_> {
             // performs the full checks so parity validates both.
             if self.stepper == crate::Stepper::EventDriven {
                 if e.waiting_srcs > 0 {
+                    if let Some(s) = self.sink.as_deref_mut() {
+                        s.on_wait(seq, oov_stats::StallKind::SourcesPending);
+                    }
                     continue;
                 }
                 let t = self.entry_ready_time(e);
                 if t > self.now {
                     self.note_scan_wake(t);
+                    if let Some(s) = self.sink.as_deref_mut() {
+                        s.on_wait(seq, oov_stats::StallKind::SourcesPending);
+                    }
                     continue;
                 }
             }
@@ -93,10 +99,20 @@ impl OooSim<'_> {
                     continue;
                 }
                 match p.mem {
-                    Some(pm) if pm.ranges_overlap(&mem) => continue 'outer,
+                    Some(pm) if pm.ranges_overlap(&mem) => {
+                        if let Some(s) = self.sink.as_deref_mut() {
+                            s.on_wait(seq, oov_stats::StallKind::MemDisambiguation);
+                        }
+                        continue 'outer;
+                    }
                     // Range not yet known (still in early stages): since
                     // ours is known and theirs is not, be conservative.
-                    None => continue 'outer,
+                    None => {
+                        if let Some(s) = self.sink.as_deref_mut() {
+                            s.on_wait(seq, oov_stats::StallKind::MemDisambiguation);
+                        }
+                        continue 'outer;
+                    }
                     _ => {}
                 }
             }
@@ -107,6 +123,9 @@ impl OooSim<'_> {
                     continue;
                 };
                 if !self.timing.is_produced(c, p) || self.timing.last(c, p) + 1 > self.now {
+                    if let Some(s) = self.sink.as_deref_mut() {
+                        s.on_wait(seq, oov_stats::StallKind::IndexVectorWait);
+                    }
                     continue;
                 }
             }
@@ -117,10 +136,18 @@ impl OooSim<'_> {
                 };
                 match self.src_ready_time(c, p, true) {
                     Some(t) if t <= self.now => {}
-                    _ => continue,
+                    _ => {
+                        if let Some(s) = self.sink.as_deref_mut() {
+                            s.on_wait(seq, oov_stats::StallKind::StoreDataWait);
+                        }
+                        continue;
+                    }
                 }
                 // Late commit: stores execute only at the ROB head.
                 if self.cfg.commit == CommitMode::Late && self.rob.head_seq() != Some(seq) {
+                    if let Some(s) = self.sink.as_deref_mut() {
+                        s.on_wait(seq, oov_stats::StallKind::LateCommitHead);
+                    }
                     continue;
                 }
             }
@@ -133,6 +160,9 @@ impl OooSim<'_> {
                     .map(|c| c.peek_load(mem.base))
                     .unwrap_or(false);
             if !cache_hit && !self.bus.is_free(self.now) {
+                if let Some(s) = self.sink.as_deref_mut() {
+                    s.on_wait(seq, oov_stats::StallKind::BusBusy);
+                }
                 continue;
             }
             self.do_issue_mem(seq, cache_hit, pos);

@@ -56,14 +56,23 @@ impl OooSim<'_> {
                 // `sources_ready` unconditionally so the parity tests
                 // cross-check both the index and the accumulator.
                 if e.waiting_srcs > 0 {
+                    if let Some(s) = self.sink.as_deref_mut() {
+                        s.on_wait(seq, oov_stats::StallKind::SourcesPending);
+                    }
                     continue;
                 }
                 let t = self.entry_ready_time(e);
                 if t > self.now {
                     self.note_scan_wake(t);
+                    if let Some(s) = self.sink.as_deref_mut() {
+                        s.on_wait(seq, oov_stats::StallKind::SourcesPending);
+                    }
                     continue;
                 }
             } else if !self.sources_ready(e, false) {
+                if let Some(s) = self.sink.as_deref_mut() {
+                    s.on_wait(seq, oov_stats::StallKind::SourcesPending);
+                }
                 continue;
             }
             let Some(e) = self.rob.get(seq) else { continue };

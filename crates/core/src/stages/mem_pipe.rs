@@ -106,6 +106,9 @@ impl OooSim<'_> {
             let elim = self.try_vector_eliminate(seq);
             if elim == Stage3Rename::Stalled {
                 self.stats.rename_stall_cycles += 1;
+                if let Some(s) = self.sink.as_deref_mut() {
+                    s.on_cycle_stall(oov_stats::StallKind::RenameStall, 1);
+                }
                 return false;
             }
             if elim == Stage3Rename::Eliminated {
@@ -120,6 +123,9 @@ impl OooSim<'_> {
             // Vector compute under VLE: move to the V queue.
             if self.q_v.len() >= self.cfg.queue_slots {
                 self.stats.queue_stall_cycles += 1;
+                if let Some(s) = self.sink.as_deref_mut() {
+                    s.on_cycle_stall(oov_stats::StallKind::QueueFull, 1);
+                }
                 return false;
             }
             if let Some(e) = self.rob.get_mut(seq) {

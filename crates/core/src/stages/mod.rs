@@ -94,6 +94,34 @@
 //! safe ceiling, not a tuned value: raising it buys nothing the sweep
 //! can measure, and lowering it to 1 (disabling fusion) costs only the
 //! re-check overhead on those short ramps.
+//!
+//! # Lifecycle tracing and stall attribution
+//!
+//! Every stage carries optional [`crate::TraceSink`] hooks (a single
+//! dormant `Option` branch when no sink is attached — `bench_trend`
+//! gates that they stay free). The sink records each instruction's
+//! fetch/dispatch/issue/complete/commit timestamps for the Konata
+//! export, plus a stall table keyed by [`oov_stats::StallKind`]. The
+//! mapping from stall reason to trace annotation:
+//!
+//! | stage | stall reason | kind | annotation |
+//! |---|---|---|---|
+//! | dispatch, mem pipe S3 | ROB full / queue full / no phys reg | `RobFull` / `QueueFull` / `RenameStall` | `ROB` / `Q` / `REN` |
+//! | any issue scan | source operands pending | `SourcesPending` | `SRC` |
+//! | vector issue | both vector FUs busy | `FuBusy` | `FU` |
+//! | memory issue | older store range unresolved | `MemDisambiguation` | `DIS` |
+//! | memory issue | index vector not produced | `IndexVectorWait` | `IDX` |
+//! | memory issue | store data not ready | `StoreDataWait` | `STD` |
+//! | memory issue | late-commit head wait | `LateCommitHead` | `HEAD` |
+//! | memory issue | address bus busy | `BusBusy` | `BUS` |
+//!
+//! The per-cycle family (first row) mirrors the `SimStats` stall
+//! counters bit-exactly — including the dead-cycle arithmetic replay —
+//! so `sink.stall_table()` totals can be cross-checked against the
+//! engine's own accounting (the trace tests do). Issue-side waits
+//! charge each instruction's dispatch→issue gap to the *last* reason a
+//! scan rejected it, resolved at commit; the split is engine-dependent
+//! (the event engine runs fewer scans) but the totals agree.
 
 pub(crate) mod commit;
 pub(crate) mod dispatch;

@@ -1,0 +1,561 @@
+//! Dep-free observability primitives for the simulation stack:
+//! monotonic [`Counter`]s, [`Gauge`]s and mergeable log2-bucketed
+//! [`Histogram`]s behind a named [`Registry`].
+//!
+//! The record path is lock-free: every metric is a handful of atomics
+//! behind an [`Arc`] handle, so a worker shard records a latency with
+//! two relaxed `fetch_add`s and one `fetch_max` — no lock, no
+//! allocation. The registry's mutex guards only registration and
+//! snapshotting, which happen off the hot path. Per-shard instances
+//! (one histogram per worker, registered under distinct names) are
+//! merged on the read side with [`Histogram::merge_from`].
+//!
+//! # Histogram layout
+//!
+//! Values 0–15 get exact unit buckets. Above that, each power-of-two
+//! major bucket is split into 16 linear sub-buckets (4 significant
+//! bits), HDR-style: `976` buckets cover the full `u64` range with a
+//! worst-case relative error of 1/16 (6.25%). Percentiles use the
+//! nearest-rank rule and report the containing bucket's lower bound,
+//! so `percentile` on a histogram equals the bucket lower bound of the
+//! same rank in a sorted reference vector — an exact, testable
+//! equivalence (see the crate's property suite).
+//!
+//! # Example
+//!
+//! ```
+//! use oov_obs::{Histogram, Registry};
+//!
+//! let reg = Registry::new();
+//! let h = reg.histogram("latency_ns");
+//! for v in [100, 200, 300, 400_000] {
+//!     h.record(v);
+//! }
+//! assert_eq!(h.count(), 4);
+//! assert_eq!(h.max(), 400_000);
+//! let snap = reg.snapshot();
+//! let back = Histogram::from_json(snap.get("histograms").and_then(|h| h.get("latency_ns")).unwrap()).unwrap();
+//! assert_eq!(back.count(), 4);
+//! assert_eq!(back.percentile(50.0), h.percentile(50.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+
+use oov_proto::Json;
+
+/// Number of histogram buckets: 16 exact unit buckets plus 16 linear
+/// sub-buckets for each of the 60 power-of-two majors `2^4..2^63`.
+pub const NUM_BUCKETS: usize = 16 + 60 * 16;
+
+/// Bucket index for a value: exact below 16, then log2 major × 16
+/// linear sub-buckets keyed by the 4 bits after the leading one.
+#[must_use]
+pub fn bucket_index(v: u64) -> usize {
+    if v < 16 {
+        v as usize
+    } else {
+        let top = 63 - v.leading_zeros() as usize; // >= 4
+        let sub = ((v >> (top - 4)) & 0xF) as usize;
+        16 + (top - 4) * 16 + sub
+    }
+}
+
+/// Lower bound (smallest value) of bucket `i` — what percentile
+/// extraction reports for any value in the bucket.
+///
+/// # Panics
+///
+/// Panics if `i >= NUM_BUCKETS`.
+#[must_use]
+pub fn bucket_lo(i: usize) -> u64 {
+    assert!(i < NUM_BUCKETS, "bucket index out of range");
+    if i < 16 {
+        i as u64
+    } else {
+        let top = (i - 16) / 16 + 4;
+        let sub = ((i - 16) % 16) as u64;
+        (1u64 << top) | (sub << (top - 4))
+    }
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// A signed gauge: a level that moves both ways (queue depth,
+/// in-flight requests).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Overwrites the level.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Relaxed);
+    }
+
+    /// Current level.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// A mergeable log2-bucketed histogram of `u64` samples (nanoseconds,
+/// cycles — any non-negative magnitude). See the crate docs for the
+/// bucket layout and error bound.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Lock-free: two relaxed adds and a
+    /// `fetch_max`.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+        self.max.fetch_max(v, Relaxed);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Sum of all recorded samples.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Relaxed)
+    }
+
+    /// Largest recorded sample, exact (not bucketed). Zero when empty.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max.load(Relaxed)
+    }
+
+    /// Arithmetic mean of the recorded samples; zero when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Nearest-rank percentile (`p` in 0–100), reported as the lower
+    /// bound of the containing bucket (≤ 6.25% below the true value).
+    /// Zero when empty.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * count as f64).ceil() as u64;
+        let rank = rank.clamp(1, count);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Relaxed);
+            if cum >= rank {
+                return bucket_lo(i);
+            }
+        }
+        bucket_lo(NUM_BUCKETS - 1)
+    }
+
+    /// Folds another histogram into this one (bucket-wise addition;
+    /// the max is the max of the two).
+    pub fn merge_from(&self, other: &Histogram) {
+        for (b, o) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = o.load(Relaxed);
+            if n > 0 {
+                b.fetch_add(n, Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count(), Relaxed);
+        self.sum.fetch_add(other.sum(), Relaxed);
+        self.max.fetch_max(other.max(), Relaxed);
+    }
+
+    /// JSON form: `{"count", "sum", "max", "buckets": [[index, n], ...]}`
+    /// with only the non-empty buckets listed.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Relaxed);
+                (n > 0).then(|| Json::Arr(vec![Json::Num(i as f64), Json::Num(n as f64)]))
+            })
+            .collect();
+        Json::obj(vec![
+            ("count", Json::Num(self.count() as f64)),
+            ("sum", Json::Num(self.sum() as f64)),
+            ("max", Json::Num(self.max() as f64)),
+            ("buckets", Json::Arr(buckets)),
+        ])
+    }
+
+    /// Inverse of [`Histogram::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a field is missing, malformed or a
+    /// bucket index is out of range.
+    pub fn from_json(j: &Json) -> Result<Histogram, String> {
+        let num = |field: &str| {
+            j.get(field)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("histogram: bad `{field}`"))
+        };
+        let h = Histogram::new();
+        h.count.store(num("count")?, Relaxed);
+        h.sum.store(num("sum")?, Relaxed);
+        h.max.store(num("max")?, Relaxed);
+        let buckets = j
+            .get("buckets")
+            .and_then(Json::as_arr)
+            .ok_or("histogram: missing `buckets`")?;
+        for pair in buckets {
+            let cells = pair.as_arr().ok_or("histogram: bucket is not a pair")?;
+            let (Some(i), Some(n)) = (
+                cells.first().and_then(Json::as_usize),
+                cells.get(1).and_then(Json::as_u64),
+            ) else {
+                return Err("histogram: malformed bucket pair".into());
+            };
+            if i >= NUM_BUCKETS {
+                return Err(format!("histogram: bucket index {i} out of range"));
+            }
+            h.buckets[i].store(n, Relaxed);
+        }
+        Ok(h)
+    }
+}
+
+/// A named metric handle held by the registry.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of metrics. Registration hands out `Arc`
+/// handles; recording through a handle never touches the registry
+/// lock. [`Registry::snapshot`] serialises everything as one JSON
+/// object with deterministic (sorted) key order.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Vec<(String, Metric)>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        if let Some((_, m)) = inner.iter().find(|(n, _)| n == name) {
+            return m.clone();
+        }
+        let m = make();
+        inner.push((name.to_string(), m.clone()));
+        m
+    }
+
+    /// Registers (or retrieves) a counter named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        match self.get_or_insert(name, || Metric::Counter(Arc::new(Counter::new()))) {
+            Metric::Counter(c) => c,
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Registers (or retrieves) a gauge named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        match self.get_or_insert(name, || Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g,
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Registers (or retrieves) a histogram named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        match self.get_or_insert(name, || Metric::Histogram(Arc::new(Histogram::new()))) {
+            Metric::Histogram(h) => h,
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Serialises every registered metric:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`,
+    /// keys sorted within each section.
+    #[must_use]
+    pub fn snapshot(&self) -> Json {
+        let mut entries: Vec<(String, Metric)> =
+            self.inner.lock().expect("registry poisoned").clone();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for (name, m) in &entries {
+            match m {
+                Metric::Counter(c) => counters.push((name.clone(), Json::Num(c.get() as f64))),
+                Metric::Gauge(g) => gauges.push((name.clone(), Json::Num(g.get() as f64))),
+                Metric::Histogram(h) => histograms.push((name.clone(), h.to_json())),
+            }
+        }
+        Json::Obj(vec![
+            ("counters".to_string(), Json::Obj(counters)),
+            ("gauges".to_string(), Json::Obj(gauges)),
+            ("histograms".to_string(), Json::Obj(histograms)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_buckets_are_exact() {
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lo(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_lo_is_the_bucket_floor() {
+        for v in [
+            16u64,
+            17,
+            31,
+            32,
+            33,
+            1000,
+            4095,
+            4096,
+            1 << 20,
+            (1 << 20) + 12345,
+            u64::MAX,
+        ] {
+            let i = bucket_index(v);
+            let lo = bucket_lo(i);
+            assert!(lo <= v, "lo {lo} > v {v}");
+            assert_eq!(bucket_index(lo), i, "lo of bucket {i} maps elsewhere");
+            // Relative error bound: lo >= v * 16/17 > v * (1 - 1/16).
+            assert!(
+                (v - lo) as f64 <= v as f64 / 16.0,
+                "error too large for {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone() {
+        let mut prev = 0;
+        for shift in 0..64 {
+            for v in [(1u64 << shift), (1u64 << shift) + 1, (1u64 << shift) - 1] {
+                let i = bucket_index(v);
+                let _ = prev; // monotonicity checked pairwise below
+                prev = i;
+            }
+        }
+        // Dense check over a small range plus boundaries.
+        let mut last = bucket_index(0);
+        for v in 1..100_000u64 {
+            let i = bucket_index(v);
+            assert!(i >= last, "bucket_index not monotone at {v}");
+            last = i;
+        }
+    }
+
+    #[test]
+    fn percentiles_and_mean() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(50.0), 0);
+        h.record(10);
+        assert_eq!(h.percentile(0.0), 10);
+        assert_eq!(h.percentile(50.0), 10);
+        assert_eq!(h.percentile(100.0), 10);
+        for v in 1..=100u64 {
+            let h = Histogram::new();
+            for s in 1..=v {
+                h.record(s);
+            }
+            // Values <= 15 are exact; nearest-rank p50 of 1..=v.
+            let rank = ((0.5 * v as f64).ceil() as u64).clamp(1, v);
+            if rank < 16 {
+                assert_eq!(h.percentile(50.0), rank, "p50 of 1..={v}");
+            }
+        }
+        let h = Histogram::new();
+        h.record(2);
+        h.record(4);
+        assert!((h.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(h.max(), 4);
+    }
+
+    #[test]
+    fn merge_is_bucketwise_addition() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [1u64, 5, 100, 1 << 30] {
+            a.record(v);
+        }
+        for v in [2u64, 100, 1 << 40] {
+            b.record(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.count(), 7);
+        assert_eq!(a.sum(), 1 + 5 + 100 + (1 << 30) + 2 + 100 + (1 << 40));
+        assert_eq!(a.max(), 1 << 40);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let h = Histogram::new();
+        for v in [0u64, 15, 16, 1000, 1 << 50] {
+            h.record(v);
+        }
+        let j = h.to_json();
+        let text = j.to_string();
+        let back = Histogram::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.count(), h.count());
+        assert_eq!(back.max(), h.max());
+        for p in [0.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(back.percentile(p), h.percentile(p));
+        }
+    }
+
+    #[test]
+    fn registry_hands_out_shared_handles() {
+        let reg = Registry::new();
+        let c1 = reg.counter("reqs");
+        let c2 = reg.counter("reqs");
+        c1.inc();
+        c2.add(2);
+        assert_eq!(c1.get(), 3);
+        let g = reg.gauge("depth");
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        reg.histogram("lat").record(42);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.get("counters")
+                .and_then(|c| c.get("reqs"))
+                .and_then(Json::as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            snap.get("gauges")
+                .and_then(|g| g.get("depth"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        assert!(snap.get("histograms").and_then(|h| h.get("lat")).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn registry_rejects_kind_confusion() {
+        let reg = Registry::new();
+        let _ = reg.counter("x");
+        let _ = reg.gauge("x");
+    }
+}

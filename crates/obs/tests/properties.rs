@@ -1,0 +1,212 @@
+//! Model-based property suite for the histogram, mirroring the
+//! SlotQueue/paged-image suites: a deterministic seed loop drives
+//! random `u64` samples through a [`Histogram`] and a sorted-`Vec`
+//! reference model, asserting the exact percentile equivalence the
+//! bucket scheme guarantees (nearest rank + monotone bucketing ⇒
+//! `h.percentile(p) == bucket_lo(bucket_index(ref[rank]))`), merge
+//! linearity, and a lossless JSON round trip.
+
+use oov_obs::{bucket_index, bucket_lo, Histogram, NUM_BUCKETS};
+use oov_proto::Json;
+
+const SEEDS: [u64; 16] = [
+    0x9e37_79b9_7f4a_7c15,
+    0x0123_4567_89ab_cdef,
+    0xdead_beef_cafe_f00d,
+    1,
+    2,
+    3,
+    42,
+    0xffff_ffff_ffff_fffe,
+    0x5555_5555_5555_5555,
+    0xaaaa_aaaa_aaaa_aaaa,
+    7,
+    11,
+    13,
+    0x1357_9bdf_2468_ace0,
+    99,
+    123_456_789,
+];
+
+/// SplitMix64 — the workspace's dependency-free PRNG.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A sample spread over the full magnitude range: a raw draw masked
+/// down by a random shift, so small values, bucket boundaries and
+/// huge values all appear.
+fn sample(state: &mut u64) -> u64 {
+    let v = splitmix(state);
+    let shift = (splitmix(state) % 64) as u32;
+    v >> shift
+}
+
+/// The reference model's percentile: nearest rank over a sorted copy,
+/// then the value's bucket lower bound (the histogram's resolution).
+fn ref_percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    let rank = rank.clamp(1, sorted.len());
+    bucket_lo(bucket_index(sorted[rank - 1]))
+}
+
+const PERCENTILES: [f64; 8] = [0.0, 10.0, 25.0, 50.0, 90.0, 99.0, 99.9, 100.0];
+
+#[test]
+fn histogram_matches_sorted_vec_reference() {
+    for seed in SEEDS {
+        let mut state = seed;
+        let h = Histogram::new();
+        let mut model: Vec<u64> = Vec::new();
+        let n = 1 + (splitmix(&mut state) % 2000) as usize;
+        for _ in 0..n {
+            let v = sample(&mut state);
+            h.record(v);
+            model.push(v);
+        }
+        model.sort_unstable();
+        assert_eq!(h.count(), model.len() as u64, "seed {seed:#x}");
+        assert_eq!(h.max(), *model.last().unwrap(), "seed {seed:#x}");
+        assert_eq!(
+            h.sum(),
+            model.iter().fold(0u64, |a, &v| a.wrapping_add(v)),
+            "seed {seed:#x}"
+        );
+        for p in PERCENTILES {
+            assert_eq!(
+                h.percentile(p),
+                ref_percentile(&model, p),
+                "seed {seed:#x}, p{p}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bucket_boundary_values_round_trip_through_their_bucket() {
+    // Every power of two, its neighbours, and every sub-bucket floor of
+    // a few majors: the floor of a value's bucket maps back to the same
+    // bucket and never exceeds the value.
+    let mut cases: Vec<u64> = vec![0, 1, 15, 16, 17, u64::MAX];
+    for shift in 1..64u32 {
+        let p = 1u64 << shift;
+        cases.extend([p - 1, p, p + 1]);
+    }
+    for top in [4u32, 10, 33, 63] {
+        for sub in 0..16u64 {
+            cases.push((1u64 << top) | (sub << (top - 4)));
+        }
+    }
+    for v in cases {
+        let i = bucket_index(v);
+        assert!(i < NUM_BUCKETS, "index out of range for {v}");
+        let lo = bucket_lo(i);
+        assert!(lo <= v, "floor above value for {v}");
+        assert_eq!(bucket_index(lo), i, "floor changed bucket for {v}");
+    }
+    // Monotone across all the interesting points.
+    let mut pts: Vec<u64> = (0..4096).collect();
+    for shift in 12..64u32 {
+        pts.extend([(1u64 << shift) - 1, 1u64 << shift, (1u64 << shift) + 1]);
+    }
+    pts.sort_unstable();
+    for w in pts.windows(2) {
+        assert!(
+            bucket_index(w[0]) <= bucket_index(w[1]),
+            "bucket_index not monotone between {} and {}",
+            w[0],
+            w[1]
+        );
+    }
+}
+
+#[test]
+fn empty_and_single_sample_percentiles() {
+    let h = Histogram::new();
+    for p in PERCENTILES {
+        assert_eq!(h.percentile(p), 0, "empty histogram p{p}");
+    }
+    assert_eq!(h.mean(), 0.0);
+    for v in [0u64, 7, 16, 1 << 40] {
+        let h = Histogram::new();
+        h.record(v);
+        let expect = bucket_lo(bucket_index(v));
+        for p in PERCENTILES {
+            assert_eq!(h.percentile(p), expect, "single sample {v} p{p}");
+        }
+    }
+}
+
+#[test]
+fn merge_equals_recording_the_concatenation() {
+    for seed in SEEDS {
+        let mut state = seed;
+        let parts: Vec<Vec<u64>> = (0..4)
+            .map(|_| {
+                let n = (splitmix(&mut state) % 300) as usize;
+                (0..n).map(|_| sample(&mut state)).collect()
+            })
+            .collect();
+        // Record each part into its own histogram (a per-shard
+        // instance), merge into one.
+        let merged = Histogram::new();
+        for part in &parts {
+            let shard = Histogram::new();
+            for &v in part {
+                shard.record(v);
+            }
+            merged.merge_from(&shard);
+        }
+        // Reference: one histogram over the concatenation.
+        let all = Histogram::new();
+        let mut model: Vec<u64> = Vec::new();
+        for part in &parts {
+            for &v in part {
+                all.record(v);
+                model.push(v);
+            }
+        }
+        model.sort_unstable();
+        assert_eq!(merged.count(), all.count(), "seed {seed:#x}");
+        assert_eq!(merged.sum(), all.sum(), "seed {seed:#x}");
+        assert_eq!(merged.max(), all.max(), "seed {seed:#x}");
+        for p in PERCENTILES {
+            assert_eq!(merged.percentile(p), all.percentile(p), "seed {seed:#x}");
+            assert_eq!(
+                merged.percentile(p),
+                ref_percentile(&model, p),
+                "seed {seed:#x}"
+            );
+        }
+    }
+}
+
+#[test]
+fn json_round_trip_is_lossless() {
+    for seed in SEEDS {
+        let mut state = seed;
+        let h = Histogram::new();
+        let n = (splitmix(&mut state) % 500) as usize;
+        for _ in 0..n {
+            // Cap at 2^40 so even the 500-sample sum stays under 2^53
+            // and survives the f64 wire representation exactly
+            // (latencies in ns are far below either bound).
+            h.record(sample(&mut state) & ((1 << 40) - 1));
+        }
+        let text = h.to_json().to_string();
+        let back = Histogram::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.count(), h.count(), "seed {seed:#x}");
+        assert_eq!(back.sum(), h.sum(), "seed {seed:#x}");
+        assert_eq!(back.max(), h.max(), "seed {seed:#x}");
+        for p in PERCENTILES {
+            assert_eq!(back.percentile(p), h.percentile(p), "seed {seed:#x}");
+        }
+    }
+}

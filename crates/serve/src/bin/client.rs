@@ -3,10 +3,15 @@
 //! ```text
 //! client --addr 127.0.0.1:7540 ping
 //! client --addr 127.0.0.1:7540 stats
+//! client --addr 127.0.0.1:7540 metrics
 //! client --addr 127.0.0.1:7540 sim --program trfd --regs 32 --latency 100 --commit late
 //! client --addr 127.0.0.1:7540 sweep --program all --regs 9,12,16,32,64 --ref
 //! client --addr 127.0.0.1:7540 shutdown
 //! ```
+//!
+//! `metrics` fetches the server's full metrics registry and renders
+//! counters and gauges as lines plus one latency table row per
+//! histogram (count, mean and tail percentiles, in microseconds).
 //!
 //! `sim` prints one result; `sweep` fans a program × register grid out
 //! in a single batched request and renders the same table shape as the
@@ -28,6 +33,8 @@
 use oov_core::Stepper;
 use oov_isa::{CommitMode, LoadElimMode, MachineConfig, OooConfig, RefConfig};
 use oov_kernels::{Program, Scale};
+use oov_obs::Histogram;
+use oov_proto::Json;
 use oov_serve::{Client, SimRequest};
 use oov_stats::Table;
 
@@ -141,7 +148,7 @@ fn parse_args() -> Result<Args, String> {
         i += 1;
     }
     if args.command.is_empty() {
-        return Err("missing command (ping|stats|sim|sweep|shutdown)".into());
+        return Err("missing command (ping|stats|metrics|sim|sweep|shutdown)".into());
     }
     Ok(args)
 }
@@ -178,6 +185,53 @@ fn run() -> Result<(), String> {
                 s.suite_compiles_smoke, s.suite_compiles_paper
             );
             println!("per-shard requests:   {:?}", s.per_shard_requests);
+            println!(
+                "shard balance:        {:.3} (min shard / mean; 1.0 = even)",
+                s.shard_balance
+            );
+        }
+        "metrics" => {
+            let snap = client.metrics()?;
+            let section = |name: &str| -> Vec<(String, Json)> {
+                match snap.get(name) {
+                    Some(Json::Obj(kv)) => kv.clone(),
+                    _ => Vec::new(),
+                }
+            };
+            for (name, v) in section("counters") {
+                println!("{name:<32} {v}");
+            }
+            for (name, v) in section("gauges") {
+                println!("{name:<32} {v}");
+            }
+            let hists = section("histograms");
+            if !hists.is_empty() {
+                let mut t = Table::new(&[
+                    "histogram (µs)",
+                    "count",
+                    "mean",
+                    "p50",
+                    "p90",
+                    "p99",
+                    "p99.9",
+                    "max",
+                ]);
+                let us = |ns: u64| format!("{:.1}", ns as f64 / 1e3);
+                for (name, j) in &hists {
+                    let h = Histogram::from_json(j)?;
+                    t.row_owned(vec![
+                        name.clone(),
+                        h.count().to_string(),
+                        format!("{:.1}", h.mean() / 1e3),
+                        us(h.percentile(50.0)),
+                        us(h.percentile(90.0)),
+                        us(h.percentile(99.0)),
+                        us(h.percentile(99.9)),
+                        us(h.max()),
+                    ]);
+                }
+                println!("{t}");
+            }
         }
         "shutdown" => {
             client.shutdown()?;

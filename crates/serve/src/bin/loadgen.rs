@@ -5,6 +5,12 @@
 //! memoisation (one compile per scale) and, with `--verify`,
 //! bit-identical parity between served and in-process results.
 //!
+//! Latencies are recorded into one shared [`oov_obs::Histogram`] — the
+//! same bucket layout the server's own `request.sim.latency_ns`
+//! histogram uses — so the emitted client-side percentiles (p50/p90/
+//! p99/p99.9) and the fetched server-side ones line up within bucket
+//! resolution plus wire round-trip cost; both land in the artifact.
+//!
 //! ```text
 //! cargo run -p oov-serve --release --bin loadgen -- \
 //!     --spawn --shards 4 --clients 8 --requests 64 --scale smoke --verify
@@ -38,6 +44,7 @@ use std::time::Instant;
 
 use oov_isa::{CommitMode, LoadElimMode, MachineConfig, OooConfig, RefConfig};
 use oov_kernels::{Program, Scale};
+use oov_obs::Histogram;
 use oov_proto::Json;
 use oov_serve::{Client, PersistOptions, Server, SimRequest, StatsSnapshot};
 
@@ -73,16 +80,23 @@ fn request_pool(scale: Scale) -> Vec<SimRequest> {
         .collect()
 }
 
-fn percentile(sorted_us: &[f64], p: f64) -> f64 {
-    if sorted_us.is_empty() {
-        return 0.0;
-    }
-    let rank = (p / 100.0 * (sorted_us.len() - 1) as f64).round() as usize;
-    sorted_us[rank.min(sorted_us.len() - 1)]
-}
-
 fn us(v: f64) -> Json {
     Json::Num((v * 10.0).round() / 10.0)
+}
+
+/// Full percentile set in microseconds — the same `oov-obs` histogram
+/// the server uses, so client- and server-side figures are directly
+/// comparable (both quantised to the same log2 buckets).
+fn latency_us(h: &Histogram) -> Json {
+    let p = |p: f64| us(h.percentile(p) as f64 / 1e3);
+    Json::obj(vec![
+        ("mean", us(h.mean() / 1e3)),
+        ("p50", p(50.0)),
+        ("p90", p(90.0)),
+        ("p99", p(99.0)),
+        ("p999", p(99.9)),
+        ("max", us(h.max() as f64 / 1e3)),
+    ])
 }
 
 struct Args {
@@ -160,13 +174,18 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// One complete load phase: K clients × M requests, latencies in µs.
+/// One complete load phase: K clients × M requests. Latencies land in
+/// one shared nanosecond histogram (atomic, so every client thread
+/// records into it directly).
 struct Phase {
-    latencies: Vec<f64>,
+    latency: Histogram,
     wall_ms: f64,
     client_hits: usize,
     verified: usize,
     stats: StatsSnapshot,
+    /// The server's own `request.sim.latency_ns` histogram, for the
+    /// client-vs-server comparison line (absent if the fetch fails).
+    server_sim_latency: Option<Histogram>,
 }
 
 /// Drives the full client workload against `addr` and snapshots the
@@ -186,13 +205,14 @@ fn drive(
         pool.len()
     );
     let t0 = Instant::now();
-    let per_client: Vec<(Vec<f64>, usize, usize)> = std::thread::scope(|s| {
+    let latency = Histogram::new();
+    let per_client: Vec<(usize, usize)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..args.clients)
             .map(|client_ix| {
+                let latency = &latency;
                 s.spawn(move || {
                     let mut client = Client::connect(addr).expect("loadgen connect");
                     let mut rng = 0x5eed_0000u64 + client_ix as u64;
-                    let mut latencies = Vec::with_capacity(args.requests);
                     let mut hits = 0;
                     let mut verified = 0;
                     for _ in 0..args.requests {
@@ -200,7 +220,7 @@ fn drive(
                         let req = &pool[ix];
                         let t = Instant::now();
                         let result = client.sim(req).expect("sim request failed");
-                        latencies.push(t.elapsed().as_secs_f64() * 1e6);
+                        latency.record(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
                         hits += usize::from(result.cached);
                         if let Some(want) = &expected[ix] {
                             assert_eq!(
@@ -211,7 +231,7 @@ fn drive(
                             verified += 1;
                         }
                     }
-                    (latencies, hits, verified)
+                    (hits, verified)
                 })
             })
             .collect();
@@ -221,14 +241,20 @@ fn drive(
             .collect()
     });
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-    let mut latencies: Vec<f64> = per_client.iter().flat_map(|(l, _, _)| l.clone()).collect();
-    latencies.sort_by(f64::total_cmp);
+    let mut probe = Client::connect(addr)?;
+    let stats = probe.stats()?;
+    let server_sim_latency = probe.metrics().ok().and_then(|snap| {
+        snap.get("histograms")
+            .and_then(|h| h.get("request.sim.latency_ns"))
+            .and_then(|j| Histogram::from_json(j).ok())
+    });
     Ok(Phase {
-        client_hits: per_client.iter().map(|(_, h, _)| h).sum(),
-        verified: per_client.iter().map(|(_, _, v)| v).sum(),
-        stats: Client::connect(addr)?.stats()?,
-        latencies,
+        client_hits: per_client.iter().map(|(h, _)| h).sum(),
+        verified: per_client.iter().map(|(_, v)| v).sum(),
+        stats,
+        latency,
         wall_ms,
+        server_sim_latency,
     })
 }
 
@@ -311,21 +337,34 @@ fn run() -> Result<(), String> {
     };
 
     let Phase {
-        latencies,
+        latency,
         wall_ms,
         client_hits,
         verified,
         stats,
+        server_sim_latency,
     } = phase;
-    let total = latencies.len();
-    let mean = latencies.iter().sum::<f64>() / total.max(1) as f64;
+    let total = latency.count() as usize;
     let throughput = total as f64 / (wall_ms / 1e3);
     println!(
         "{total} requests in {wall_ms:.1} ms = {throughput:.0} req/s \
-         (p50 {:.0} us, p99 {:.0} us)",
-        percentile(&latencies, 50.0),
-        percentile(&latencies, 99.0)
+         (p50 {:.0} us, p90 {:.0} us, p99 {:.0} us, p99.9 {:.0} us)",
+        latency.percentile(50.0) as f64 / 1e3,
+        latency.percentile(90.0) as f64 / 1e3,
+        latency.percentile(99.0) as f64 / 1e3,
+        latency.percentile(99.9) as f64 / 1e3,
     );
+    if let Some(server) = &server_sim_latency {
+        // Client latency = server service time + wire round trip; both
+        // sides use the same histogram buckets, so the figures line up
+        // within bucket resolution plus transport cost.
+        println!(
+            "server-side sim latency: p50 {:.0} us, p99 {:.0} us over {} requests",
+            server.percentile(50.0) as f64 / 1e3,
+            server.percentile(99.0) as f64 / 1e3,
+            server.count()
+        );
+    }
     println!(
         "cache: {} hits / {} misses (client saw {client_hits} cached); \
          suite compiles: smoke {}, paper {}; verified {verified}",
@@ -333,6 +372,10 @@ fn run() -> Result<(), String> {
         stats.result_misses,
         stats.suite_compiles_smoke,
         stats.suite_compiles_paper
+    );
+    println!(
+        "shards: {:?} requests (balance {:.3}; 1.0 = even)",
+        stats.per_shard_requests, stats.shard_balance
     );
 
     let doc = Json::obj(vec![
@@ -344,15 +387,12 @@ fn run() -> Result<(), String> {
         ("unique_points", pool.len().into()),
         ("wall_ms", us(wall_ms)),
         ("throughput_rps", us(throughput)),
+        ("latency_us", latency_us(&latency)),
         (
-            "latency_us",
-            Json::obj(vec![
-                ("mean", us(mean)),
-                ("p50", us(percentile(&latencies, 50.0))),
-                ("p90", us(percentile(&latencies, 90.0))),
-                ("p99", us(percentile(&latencies, 99.0))),
-                ("max", us(percentile(&latencies, 100.0))),
-            ]),
+            "server_sim_latency_us",
+            server_sim_latency
+                .as_ref()
+                .map_or(Json::Null, |h| latency_us(h)),
         ),
         (
             "cache",
@@ -376,6 +416,10 @@ fn run() -> Result<(), String> {
             "per_shard_requests",
             Json::Arr(stats.per_shard_requests.iter().map(|&n| n.into()).collect()),
         ),
+        (
+            "shard_balance",
+            Json::Num((stats.shard_balance * 1e3).round() / 1e3),
+        ),
         ("verified", verified.into()),
         (
             "restart",
@@ -389,7 +433,7 @@ fn run() -> Result<(), String> {
                         (warm.stats.suite_compiles_smoke + warm.stats.suite_compiles_paper).into(),
                     ),
                     ("wall_ms", us(warm.wall_ms)),
-                    ("p50_us", us(percentile(&warm.latencies, 50.0))),
+                    ("latency_us", latency_us(&warm.latency)),
                     ("client_hits", warm.client_hits.into()),
                     ("verified", warm.verified.into()),
                 ])

@@ -4,6 +4,8 @@
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
+use oov_proto::Json;
+
 use crate::proto::{Request, Response, SimRequest, SimResult, StatsSnapshot};
 
 /// One connection to a running `oov-serve` daemon.
@@ -69,6 +71,22 @@ impl Client {
             Response::Stats(s) => Ok(s),
             Response::Error { message } => Err(message),
             other => Err(format!("expected stats, got {other:?}")),
+        }
+    }
+
+    /// Fetches the server's full metrics-registry snapshot: an object
+    /// with `counters`, `gauges` and `histograms` sections (the
+    /// histograms decode with `oov_obs::Histogram::from_json`).
+    ///
+    /// # Errors
+    ///
+    /// Transport failure or an unexpected reply.
+    pub fn metrics(&mut self) -> Result<Json, String> {
+        self.send(&Request::Metrics)?;
+        match self.recv()? {
+            Response::Metrics { snapshot } => Ok(snapshot),
+            Response::Error { message } => Err(message),
+            other => Err(format!("expected metrics, got {other:?}")),
         }
     }
 

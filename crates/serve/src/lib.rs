@@ -15,7 +15,7 @@
 //! ```text
 //!  client ──TCP──▶ acceptor ──▶ connection thread (1 per client)
 //!                                   │ parse line → Request
-//!                                   │ route by config fingerprint
+//!                                   │ route by request fingerprint
 //!                                   ▼
 //!                    ┌─────────┬─────────┬─────────┐
 //!                    │ shard 0 │ shard 1 │  ... N  │   worker threads
@@ -26,11 +26,20 @@
 //! ```
 //!
 //! * **Sharding.** Each request is routed to one of N worker shards by
-//!   its machine-config fingerprint
-//!   ([`MachineConfig::fingerprint`](oov_isa::MachineConfig::fingerprint)),
-//!   so all requests for one configuration land on the same shard and
-//!   its result cache needs no cross-shard coordination (each shard
-//!   owns a plain `HashMap`).
+//!   its full request fingerprint ([`SimRequest::fingerprint`]), so
+//!   identical requests always land on the same shard and its result
+//!   cache needs no cross-shard coordination (each shard owns a plain
+//!   `HashMap`). Routing by the machine config alone would starve
+//!   shards whenever the config pool is smaller than the shard count
+//!   times a few; hashing the whole request keeps the shards balanced
+//!   (the `stats` snapshot reports a `shard_balance` figure so skew is
+//!   visible from any client).
+//! * **Observability.** Every hot surface reports into an
+//!   [`oov_obs::Registry`]: per-request-type latency histograms,
+//!   per-shard service-time histograms, queue-depth and in-flight
+//!   gauges, and the result-cache hit/miss/eviction counters. The
+//!   `metrics` request returns the whole snapshot as JSON; `client
+//!   metrics` renders it as a table.
 //! * **Suite memoisation.** `Suite::compile(scale)` runs at most once
 //!   per scale for the life of the process, behind a lazily-populated
 //!   [`cache::SuiteCache`]; the compile counters are exported over the

@@ -158,6 +158,9 @@ pub enum Request {
     Ping,
     /// Server counter snapshot.
     Stats,
+    /// Full metrics-registry snapshot (counters, gauges, latency
+    /// histograms).
+    Metrics,
     /// Graceful shutdown of the whole server.
     Shutdown,
     /// One simulation.
@@ -173,6 +176,7 @@ impl Request {
         match self {
             Request::Ping => Json::obj(vec![("type", "ping".into())]).to_string(),
             Request::Stats => Json::obj(vec![("type", "stats".into())]).to_string(),
+            Request::Metrics => Json::obj(vec![("type", "metrics".into())]).to_string(),
             Request::Shutdown => Json::obj(vec![("type", "shutdown".into())]).to_string(),
             Request::Sim(req) => {
                 let mut pairs = vec![("type".to_string(), Json::Str("sim".into()))];
@@ -207,6 +211,7 @@ impl Request {
         match kind {
             "ping" => Ok(Request::Ping),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             "sim" => SimRequest::from_json(&v).map(Request::Sim),
             "sweep" => {
@@ -277,7 +282,7 @@ impl SimResult {
 }
 
 /// A snapshot of the server's counters, exported over the wire.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct StatsSnapshot {
     /// Simulation requests handled (cache hits included).
     pub requests: u64,
@@ -296,6 +301,10 @@ pub struct StatsSnapshot {
     pub suite_compiles_paper: u64,
     /// Requests executed per shard, indexed by shard.
     pub per_shard_requests: Vec<u64>,
+    /// Shard balance: the least-loaded shard's request count over the
+    /// mean (1.0 = perfectly even, 0.0 = a shard is starved; 0.0 also
+    /// before any request arrives).
+    pub shard_balance: f64,
 }
 
 impl StatsSnapshot {
@@ -313,6 +322,10 @@ impl StatsSnapshot {
             (
                 "per_shard_requests",
                 Json::Arr(self.per_shard_requests.iter().map(|&n| n.into()).collect()),
+            ),
+            (
+                "shard_balance",
+                Json::Num((self.shard_balance * 1e3).round() / 1e3),
             ),
         ])
     }
@@ -341,6 +354,12 @@ impl StatsSnapshot {
                         .ok_or_else(|| "stats snapshot: bad shard counter".to_string())
                 })
                 .collect::<Result<Vec<_>, _>>()?,
+            shard_balance: v
+                .get("shard_balance")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| {
+                    "stats snapshot: bad or missing field `shard_balance`".to_string()
+                })?,
         })
     }
 }
@@ -373,6 +392,13 @@ pub enum Response {
     },
     /// Reply to [`Request::Stats`].
     Stats(StatsSnapshot),
+    /// Reply to [`Request::Metrics`]: the registry snapshot, an object
+    /// with `counters`, `gauges` and `histograms` sections (see
+    /// `oov_obs::Registry::snapshot` for the schema).
+    Metrics {
+        /// The registry snapshot, passed through as JSON.
+        snapshot: Json,
+    },
 }
 
 impl Response {
@@ -406,6 +432,9 @@ impl Response {
                 } else {
                     unreachable!("snapshot encodes to an object")
                 }
+            }
+            Response::Metrics { snapshot } => {
+                tagged("metrics", vec![("snapshot".to_string(), snapshot.clone())])
             }
         }
     }
@@ -447,6 +476,12 @@ impl Response {
                     .ok_or_else(|| "sweep done: bad or missing field `count`".to_string())?,
             }),
             "stats" => StatsSnapshot::from_json(&v).map(Response::Stats),
+            "metrics" => Ok(Response::Metrics {
+                snapshot: v
+                    .get("snapshot")
+                    .ok_or_else(|| "metrics response: missing field `snapshot`".to_string())?
+                    .clone(),
+            }),
             other => Err(format!("response: unknown type `{other}`")),
         }
     }

@@ -4,13 +4,21 @@
 //!
 //! * one **acceptor** thread owning the listening socket;
 //! * one **connection** thread per client, which parses requests and
-//!   routes each simulation point to a shard by the machine-config
-//!   fingerprint — so identical configurations always meet the same
-//!   shard's result cache;
+//!   routes each simulation point to a shard by the full request
+//!   fingerprint — so identical requests always meet the same shard's
+//!   result cache, while distinct points spread evenly even when the
+//!   sweep varies only the program (routing by machine config alone
+//!   starved shards whenever the config pool was small);
 //! * N **worker shards**, each a thread owning a private
 //!   result-cache `HashMap` (no locks on the hot path; the only shared
 //!   state is the suite cache and a few atomic counters) and fed
 //!   through an `mpsc` queue.
+//!
+//! Every hot surface reports into a shared [`oov_obs::Registry`]:
+//! per-request-type latency histograms, per-shard service-time
+//! histograms and queue-depth gauges, the result-cache counters, and
+//! an in-flight gauge. The `metrics` wire request returns the whole
+//! snapshot as JSON.
 //!
 //! Replies travel back over a per-request `mpsc` channel; a sweep's
 //! connection thread holds a reorder buffer so rows stream to the
@@ -23,10 +31,10 @@ use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use oov_bench::machine_run_in;
 use oov_core::SimArena;
@@ -45,46 +53,78 @@ struct Job {
     reply: mpsc::Sender<(usize, SimResult)>,
 }
 
-/// Shared server state: caches, counters, shutdown flag.
+/// Shared server state: caches, the metrics registry (with pre-fetched
+/// handles for the hot counters), and the shutdown flag.
 struct Engine {
     suites: SuiteCache,
-    result_hits: AtomicU64,
-    result_misses: AtomicU64,
-    result_evictions: AtomicU64,
-    per_shard: Vec<AtomicU64>,
+    metrics: oov_obs::Registry,
+    result_hits: Arc<oov_obs::Counter>,
+    result_misses: Arc<oov_obs::Counter>,
+    result_evictions: Arc<oov_obs::Counter>,
+    /// `shard.<n>.requests` — jobs executed (or answered from cache).
+    per_shard: Vec<Arc<oov_obs::Counter>>,
+    /// `shard.<n>.queue_depth` — jobs dispatched but not yet picked up.
+    queue_depth: Vec<Arc<oov_obs::Gauge>>,
+    /// `shard.<n>.service_ns` — per-job service time (cache hits and
+    /// simulated misses alike), in nanoseconds.
+    service_time: Vec<Arc<oov_obs::Histogram>>,
+    /// `server.inflight_requests` — requests currently being answered
+    /// across all connections.
+    inflight: Arc<oov_obs::Gauge>,
     shutdown: AtomicBool,
 }
 
 impl Engine {
     fn new(n_shards: usize) -> Self {
+        let metrics = oov_obs::Registry::new();
         Engine {
             suites: SuiteCache::new(),
-            result_hits: AtomicU64::new(0),
-            result_misses: AtomicU64::new(0),
-            result_evictions: AtomicU64::new(0),
-            per_shard: (0..n_shards).map(|_| AtomicU64::new(0)).collect(),
+            result_hits: metrics.counter("cache.result_hits"),
+            result_misses: metrics.counter("cache.result_misses"),
+            result_evictions: metrics.counter("cache.result_evictions"),
+            per_shard: (0..n_shards)
+                .map(|s| metrics.counter(&format!("shard.{s}.requests")))
+                .collect(),
+            queue_depth: (0..n_shards)
+                .map(|s| metrics.gauge(&format!("shard.{s}.queue_depth")))
+                .collect(),
+            service_time: (0..n_shards)
+                .map(|s| metrics.histogram(&format!("shard.{s}.service_ns")))
+                .collect(),
+            inflight: metrics.gauge("server.inflight_requests"),
+            metrics,
             shutdown: AtomicBool::new(false),
         }
     }
 
     fn snapshot(&self) -> StatsSnapshot {
-        let per_shard_requests: Vec<u64> = self
-            .per_shard
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed))
-            .collect();
+        let per_shard_requests: Vec<u64> = self.per_shard.iter().map(|c| c.get()).collect();
+        let requests: u64 = per_shard_requests.iter().sum();
+        let shard_balance = if requests == 0 {
+            0.0
+        } else {
+            let min = per_shard_requests.iter().copied().min().unwrap_or(0);
+            let mean = requests as f64 / per_shard_requests.len() as f64;
+            min as f64 / mean
+        };
         let (suite_compiles_smoke, suite_compiles_paper) = self.suites.compiles();
         StatsSnapshot {
-            requests: per_shard_requests.iter().sum(),
-            result_hits: self.result_hits.load(Ordering::Relaxed),
-            result_misses: self.result_misses.load(Ordering::Relaxed),
-            result_evictions: self.result_evictions.load(Ordering::Relaxed),
+            requests,
+            result_hits: self.result_hits.get(),
+            result_misses: self.result_misses.get(),
+            result_evictions: self.result_evictions.get(),
             suite_requests: self.suites.requests(),
             suite_compiles_smoke,
             suite_compiles_paper,
             per_shard_requests,
+            shard_balance,
         }
     }
+}
+
+/// Nanoseconds since `start`, saturating (a histogram sample is u64).
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Result-cache configuration for [`Server::start_with`]: persistence
@@ -268,7 +308,7 @@ impl Server {
 
     /// As [`Server::start`], optionally seeding the shard result
     /// caches from a dump and/or dumping them at shutdown. Entries
-    /// are re-routed by machine fingerprint at load, so a dump taken
+    /// are re-routed by request fingerprint at load, so a dump taken
     /// with one shard count loads correctly into any other.
     ///
     /// A missing or unloadable `load` file (including a dump from a
@@ -294,7 +334,9 @@ impl Server {
             match persist::load(path) {
                 Ok(entries) => {
                     for mut entry in entries {
-                        let shard = (entry.machine_fp % n_shards as u64) as usize;
+                        // Same routing as `dispatch`: the full request
+                        // fingerprint, so live lookups find the seeds.
+                        let shard = (entry.key % n_shards as u64) as usize;
                         entry.result.shard = shard;
                         seeds[shard].push(entry);
                     }
@@ -418,10 +460,12 @@ impl ServerHandle {
 
 /// Shard main loop: execute (or answer from cache) one request at a
 /// time. The cache is private to the shard — the fingerprint router
-/// guarantees no other shard ever sees the same configuration — and
-/// is returned when the job channel closes, so shutdown can persist
-/// it without any locking on the hot path. With a `max_entries` cap,
-/// the cache evicts its least-recently-used entry on overflow.
+/// guarantees no other shard ever sees the same request — and is
+/// returned when the job channel closes, so shutdown can persist it
+/// without any locking on the hot path. With a `max_entries` cap, the
+/// cache evicts its least-recently-used entry on overflow. Each job's
+/// service time (hit or simulated miss) lands in the shard's
+/// `service_ns` histogram.
 fn worker(
     shard: usize,
     seed: Vec<CacheLine>,
@@ -438,20 +482,22 @@ fn worker(
         // Seeding through the same entry point applies the cap to an
         // oversized dump too (later lines win, matching file order).
         if cache.insert(e.key, e.machine_fp, e.result) {
-            engine.result_evictions.fetch_add(1, Ordering::Relaxed);
+            engine.result_evictions.inc();
         }
     }
     while let Ok(job) = rx.recv() {
-        engine.per_shard[shard].fetch_add(1, Ordering::Relaxed);
+        engine.queue_depth[shard].dec();
+        engine.per_shard[shard].inc();
+        let started = Instant::now();
         let fp = job.req.fingerprint();
         let result = if let Some(hit) = cache.get(fp) {
-            engine.result_hits.fetch_add(1, Ordering::Relaxed);
+            engine.result_hits.inc();
             SimResult {
                 cached: true,
                 ..hit.clone()
             }
         } else {
-            engine.result_misses.fetch_add(1, Ordering::Relaxed);
+            engine.result_misses.inc();
             let suite = engine.suites.get(job.req.scale);
             let out = machine_run_in(
                 suite.get(job.req.program),
@@ -468,10 +514,11 @@ fn worker(
                 shard,
             };
             if cache.insert(fp, job.req.machine.fingerprint(), r.clone()) {
-                engine.result_evictions.fetch_add(1, Ordering::Relaxed);
+                engine.result_evictions.inc();
             }
             r
         };
+        engine.service_time[shard].record(elapsed_ns(started));
         // A dropped reply receiver just means the client went away.
         let _ = job.reply.send((job.tag, result));
     }
@@ -479,20 +526,31 @@ fn worker(
 }
 
 /// Routes every point to its shard and returns the shared reply
-/// receiver. Points whose shard queue is gone (only possible during
-/// shutdown) are dropped; the caller times out on the missing tags.
+/// receiver. Routing hashes the **full request** fingerprint, not just
+/// the machine config: same request → same shard (so its result cache
+/// works), but distinct points spread across shards even when they
+/// share a configuration. Points whose shard queue is gone (only
+/// possible during shutdown) are dropped; the caller times out on the
+/// missing tags.
 fn dispatch(
     shards: &[mpsc::Sender<Job>],
+    engine: &Engine,
     points: &[SimRequest],
 ) -> mpsc::Receiver<(usize, SimResult)> {
     let (tx, rx) = mpsc::channel();
     for (tag, req) in points.iter().enumerate() {
-        let shard = (req.machine.fingerprint() % shards.len() as u64) as usize;
-        let _ = shards[shard].send(Job {
+        let shard = (req.fingerprint() % shards.len() as u64) as usize;
+        // Raise the depth before the send so the worker's matching
+        // `dec` can never observe the gauge below zero.
+        engine.queue_depth[shard].inc();
+        let sent = shards[shard].send(Job {
             req: *req,
             tag,
             reply: tx.clone(),
         });
+        if sent.is_err() {
+            engine.queue_depth[shard].dec();
+        }
     }
     rx
 }
@@ -538,66 +596,114 @@ fn handle_connection(
         if text.is_empty() {
             continue;
         }
-        match Request::decode(text) {
-            Err(message) => write_response(&mut writer, &Response::Error { message })?,
-            Ok(Request::Ping) => write_response(&mut writer, &Response::Pong)?,
-            Ok(Request::Stats) => {
-                write_response(&mut writer, &Response::Stats(engine.snapshot()))?;
+        let req = match Request::decode(text) {
+            Err(message) => {
+                write_response(&mut writer, &Response::Error { message })?;
+                continue;
             }
-            Ok(Request::Shutdown) => {
-                engine.shutdown.store(true, Ordering::Release);
-                write_response(&mut writer, &Response::ShuttingDown)?;
-                // Wake the acceptor so it observes the flag.
-                let _ = TcpStream::connect(listen_addr);
-                return Ok(());
-            }
-            Ok(Request::Sim(req)) => {
-                let rx = dispatch(shards, std::slice::from_ref(&req));
-                let resp = match rx.recv() {
-                    Ok((_, result)) => Response::Result(result),
-                    Err(_) => Response::Error {
-                        message: "server is shutting down".into(),
-                    },
-                };
-                write_response(&mut writer, &resp)?;
-            }
-            Ok(Request::Sweep(points)) => {
-                let n = points.len();
-                let rx = dispatch(shards, &points);
-                let mut buf: Vec<Option<SimResult>> = vec![None; n];
-                let mut next = 0;
-                let mut received = 0;
-                while received < n {
-                    let Ok((tag, result)) = rx.recv() else { break };
-                    buf[tag] = Some(result);
-                    received += 1;
-                    // Stream the completed prefix in request order.
-                    while next < n {
-                        let Some(result) = buf[next].take() else {
-                            break;
-                        };
-                        write_response(
-                            &mut writer,
-                            &Response::SweepRow {
-                                index: next,
-                                result,
-                            },
-                        )?;
-                        next += 1;
-                    }
-                }
-                if next < n {
-                    write_response(
-                        &mut writer,
-                        &Response::Error {
-                            message: format!("sweep aborted after {next}/{n} rows (shutdown)"),
-                        },
-                    )?;
-                }
-                write_response(&mut writer, &Response::SweepDone { count: next })?;
-            }
+            Ok(req) => req,
+        };
+        // Time every request end-to-end (decode done → response
+        // flushed) into a per-type latency histogram, with an
+        // in-flight gauge spanning the same window.
+        let kind = match &req {
+            Request::Ping => "ping",
+            Request::Stats => "stats",
+            Request::Metrics => "metrics",
+            Request::Shutdown => "shutdown",
+            Request::Sim(_) => "sim",
+            Request::Sweep(_) => "sweep",
+        };
+        let latency = engine
+            .metrics
+            .histogram(&format!("request.{kind}.latency_ns"));
+        let started = Instant::now();
+        engine.inflight.inc();
+        let answered = answer(req, &mut writer, shards, engine, listen_addr);
+        engine.inflight.dec();
+        latency.record(elapsed_ns(started));
+        if !answered? {
+            return Ok(());
         }
     }
+}
+
+/// Answers one decoded request. Returns `Ok(false)` when the
+/// connection should close (a `shutdown` request).
+fn answer(
+    req: Request,
+    writer: &mut TcpStream,
+    shards: &[mpsc::Sender<Job>],
+    engine: &Engine,
+    listen_addr: SocketAddr,
+) -> io::Result<bool> {
+    match req {
+        Request::Ping => write_response(writer, &Response::Pong)?,
+        Request::Stats => {
+            write_response(writer, &Response::Stats(engine.snapshot()))?;
+        }
+        Request::Metrics => {
+            write_response(
+                writer,
+                &Response::Metrics {
+                    snapshot: engine.metrics.snapshot(),
+                },
+            )?;
+        }
+        Request::Shutdown => {
+            engine.shutdown.store(true, Ordering::Release);
+            write_response(writer, &Response::ShuttingDown)?;
+            // Wake the acceptor so it observes the flag.
+            let _ = TcpStream::connect(listen_addr);
+            return Ok(false);
+        }
+        Request::Sim(req) => {
+            let rx = dispatch(shards, engine, std::slice::from_ref(&req));
+            let resp = match rx.recv() {
+                Ok((_, result)) => Response::Result(result),
+                Err(_) => Response::Error {
+                    message: "server is shutting down".into(),
+                },
+            };
+            write_response(writer, &resp)?;
+        }
+        Request::Sweep(points) => {
+            let n = points.len();
+            let rx = dispatch(shards, engine, &points);
+            let mut buf: Vec<Option<SimResult>> = vec![None; n];
+            let mut next = 0;
+            let mut received = 0;
+            while received < n {
+                let Ok((tag, result)) = rx.recv() else { break };
+                buf[tag] = Some(result);
+                received += 1;
+                // Stream the completed prefix in request order.
+                while next < n {
+                    let Some(result) = buf[next].take() else {
+                        break;
+                    };
+                    write_response(
+                        writer,
+                        &Response::SweepRow {
+                            index: next,
+                            result,
+                        },
+                    )?;
+                    next += 1;
+                }
+            }
+            if next < n {
+                write_response(
+                    writer,
+                    &Response::Error {
+                        message: format!("sweep aborted after {next}/{n} rows (shutdown)"),
+                    },
+                )?;
+            }
+            write_response(writer, &Response::SweepDone { count: next })?;
+        }
+    }
+    Ok(true)
 }
 
 #[cfg(test)]

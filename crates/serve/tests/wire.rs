@@ -7,6 +7,7 @@
 use oov_core::{OooSim, Stepper};
 use oov_isa::{CommitMode, LoadElimMode, MachineConfig, OooConfig, RefConfig};
 use oov_kernels::{Program, Scale};
+use oov_proto::Json;
 use oov_ref::RefSim;
 use oov_serve::{
     Client, PersistOptions, Request, Response, Server, SimRequest, SimResult, StatsSnapshot,
@@ -49,7 +50,12 @@ fn sample_requests() -> Vec<SimRequest> {
 
 #[test]
 fn every_request_variant_round_trips() {
-    let mut variants = vec![Request::Ping, Request::Stats, Request::Shutdown];
+    let mut variants = vec![
+        Request::Ping,
+        Request::Stats,
+        Request::Metrics,
+        Request::Shutdown,
+    ];
     for req in sample_requests() {
         variants.push(Request::Sim(req));
     }
@@ -98,7 +104,20 @@ fn every_response_variant_round_trips() {
             suite_compiles_smoke: 1,
             suite_compiles_paper: 0,
             per_shard_requests: vec![3, 0, 7],
+            // 0.25 is exact in the 3-decimal wire rounding.
+            shard_balance: 0.25,
         }),
+        Response::Metrics {
+            snapshot: {
+                let reg = oov_obs::Registry::new();
+                reg.counter("cache.result_hits").add(3);
+                reg.gauge("server.inflight_requests").set(1);
+                let h = reg.histogram("request.sim.latency_ns");
+                h.record(1_234);
+                h.record(987_654);
+                reg.snapshot()
+            },
+        },
     ];
     for v in variants {
         let line = v.encode();
@@ -263,6 +282,96 @@ fn concurrent_clients_get_bit_identical_results() {
     assert_eq!(stats.requests, stats.result_hits + stats.result_misses);
 
     // Client-driven shutdown terminates the server cleanly.
+    Client::connect(addr)
+        .expect("connect")
+        .shutdown()
+        .expect("shutdown");
+    server.join();
+}
+
+/// The `metrics` request against a spawned server: the registry
+/// snapshot round-trips the wire, its counters agree with the `stats`
+/// snapshot, and the latency histograms decode and cover every
+/// request.
+#[test]
+fn metrics_snapshot_matches_server_activity() {
+    let server = Server::start("127.0.0.1:0", 2).expect("server start");
+    let addr = server.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    client.ping().expect("ping");
+    let reqs = [
+        SimRequest::ooo_default(Program::Trfd, Scale::Smoke),
+        SimRequest::ooo_default(Program::Dyfesm, Scale::Smoke),
+        SimRequest::ooo_default(Program::Trfd, Scale::Smoke), // cache hit
+    ];
+    for r in &reqs {
+        client.sim(r).expect("sim");
+    }
+    let stats = client.stats().expect("stats");
+    let snap = client.metrics().expect("metrics");
+
+    let section = |name: &str| -> Vec<(String, Json)> {
+        match snap.get(name) {
+            Some(Json::Obj(kv)) => kv.clone(),
+            other => panic!("metrics snapshot: bad `{name}` section: {other:?}"),
+        }
+    };
+    let counters = section("counters");
+    let counter = |name: &str| {
+        counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_u64())
+            .unwrap_or_else(|| panic!("missing counter {name}"))
+    };
+    assert_eq!(counter("cache.result_hits"), stats.result_hits);
+    assert_eq!(counter("cache.result_misses"), stats.result_misses);
+    assert_eq!(counter("cache.result_evictions"), stats.result_evictions);
+    assert_eq!(stats.result_hits, 1, "third request repeats the first");
+    assert_eq!(stats.result_misses, 2);
+    let shard_sum: u64 = (0..2)
+        .map(|s| counter(&format!("shard.{s}.requests")))
+        .sum();
+    assert_eq!(
+        shard_sum, stats.requests,
+        "per-shard counters cover all jobs"
+    );
+
+    let gauges = section("gauges");
+    let gauge = |name: &str| {
+        gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_f64())
+            .unwrap_or_else(|| panic!("missing gauge {name}"))
+    };
+    // The metrics request itself is the only one in flight when the
+    // snapshot is taken, and every dispatched job has been drained.
+    assert_eq!(gauge("server.inflight_requests"), 1.0);
+    assert_eq!(
+        gauge("shard.0.queue_depth") + gauge("shard.1.queue_depth"),
+        0.0
+    );
+
+    let hists = section("histograms");
+    let hist = |name: &str| {
+        let j = hists
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("missing histogram {name}"));
+        oov_obs::Histogram::from_json(j).expect("histogram decodes")
+    };
+    let sim_lat = hist("request.sim.latency_ns");
+    assert_eq!(sim_lat.count(), reqs.len() as u64);
+    assert!(sim_lat.max() > 0, "sim requests take measurable time");
+    assert!(sim_lat.percentile(50.0) <= sim_lat.percentile(99.0));
+    assert!(sim_lat.percentile(99.0) <= sim_lat.max());
+    let service: u64 = (0..2)
+        .map(|s| hist(&format!("shard.{s}.service_ns")).count())
+        .sum();
+    assert_eq!(service, stats.requests, "every job's service time lands");
+
     Client::connect(addr)
         .expect("connect")
         .shutdown()

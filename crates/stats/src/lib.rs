@@ -29,12 +29,14 @@ mod counters;
 mod occupancy;
 mod render;
 mod stage;
+mod stall;
 mod state;
 
 pub use counters::SimStats;
 pub use occupancy::{OccupancyTracker, VectorUnit};
 pub use render::{BarChart, Table};
 pub use stage::StageCycles;
+pub use stall::{StallKind, StallTable};
 pub use state::{StateBreakdown, UnitState};
 
 /// Speedup of a candidate over a baseline given their cycle counts.

@@ -15,6 +15,7 @@
 //! | [`core`] | `oov-core` | the OOOVA: rename, queues, ROB, disambiguation, load elimination |
 //! | [`stats`] | `oov-stats` | cycle-state breakdowns, counters, tables, charts |
 //! | [`proto`] | `oov-proto` | dep-free JSON + fingerprints for bench artifacts and the wire protocol |
+//! | [`obs`] | `oov-obs` | counters, gauges, mergeable histograms behind a named registry |
 //!
 //! The simulation server (`oov-serve`, with its `serve`/`client`/
 //! `loadgen` binaries) sits on top of the harness crate `oov-bench`;
@@ -43,6 +44,7 @@ pub use oov_exec as exec;
 pub use oov_isa as isa;
 pub use oov_kernels as kernels;
 pub use oov_mem as mem;
+pub use oov_obs as obs;
 pub use oov_proto as proto;
 pub use oov_ref as refsim;
 pub use oov_stats as stats;
