@@ -224,7 +224,7 @@ impl TraceSink {
                 events.push((r.commit, id, 3, format!("R\t{id}\t{id}\t1")));
             }
         }
-        events.sort_by(|a, b| (a.0, a.1, a.2).cmp(&(b.0, b.1, b.2)));
+        events.sort_by_key(|e| (e.0, e.1, e.2));
         let mut out = String::from("Kanata\t0004\n");
         let mut cycle = events.first().map(|e| e.0).unwrap_or(0);
         out.push_str(&format!("C=\t{cycle}\n"));

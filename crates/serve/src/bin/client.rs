@@ -29,6 +29,9 @@
 //! * `--scale <smoke|paper>`          default `paper`
 //! * `--stepper <event|naive>`        default `event`
 //! * `--fault-at <idx>`               inject a precise trap (`sim` only)
+//! * `--deadline-ms <ms>`             server-enforced deadline: a job
+//!   still queued when it expires answers `deadline exceeded` instead
+//!   of simulating
 
 use oov_core::Stepper;
 use oov_isa::{CommitMode, LoadElimMode, MachineConfig, OooConfig, RefConfig};
@@ -51,6 +54,7 @@ struct Args {
     scale: Scale,
     stepper: Stepper,
     fault_at: Option<usize>,
+    deadline_ms: Option<u64>,
     with_ref: bool,
 }
 
@@ -68,6 +72,7 @@ fn parse_args() -> Result<Args, String> {
         scale: Scale::Paper,
         stepper: Stepper::EventDriven,
         fault_at: None,
+        deadline_ms: None,
         with_ref: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -139,6 +144,13 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--fault-at: {e}"))?,
                 );
             }
+            "--deadline-ms" => {
+                args.deadline_ms = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?,
+                );
+            }
             "--ref" => args.with_ref = true,
             cmd if !cmd.starts_with("--") && args.command.is_empty() => {
                 args.command = cmd.to_string();
@@ -189,6 +201,21 @@ fn run() -> Result<(), String> {
                 "shard balance:        {:.3} (min shard / mean; 1.0 = even)",
                 s.shard_balance
             );
+            println!(
+                "health:               {} panics, {} respawns, {} sheds, {} deadline drops",
+                s.panics, s.respawns, s.sheds, s.deadline_drops
+            );
+            let dead: Vec<usize> = s
+                .shards_alive
+                .iter()
+                .enumerate()
+                .filter_map(|(ix, &alive)| (!alive).then_some(ix))
+                .collect();
+            if dead.is_empty() {
+                println!("shards alive:         all {}", s.shards_alive.len());
+            } else {
+                println!("shards alive:         DEAD: {dead:?}");
+            }
         }
         "metrics" => {
             let snap = client.metrics()?;
@@ -251,7 +278,9 @@ fn run() -> Result<(), String> {
                 stepper: args.stepper,
                 fault_at: args.fault_at,
             };
-            let r = client.sim(&req)?;
+            let r = client
+                .sim_opts(&req, args.deadline_ms)
+                .map_err(|e| e.to_string())?;
             println!(
                 "{}: {} (shard {}, {})",
                 program,
@@ -298,7 +327,16 @@ fn run() -> Result<(), String> {
                 }
             }
             let mut results = Vec::with_capacity(points.len());
-            let count = client.sweep(&points, |_, r| results.push(r))?;
+            let outcome = client.sweep(&points, args.deadline_ms, |_, r| results.push(r))?;
+            if !outcome.errors.is_empty() {
+                let (index, message) = &outcome.errors[0];
+                return Err(format!(
+                    "sweep: {} of {} rows failed (first: row {index}: {message})",
+                    outcome.errors.len(),
+                    points.len()
+                ));
+            }
+            let count = outcome.completed;
             if count != points.len() {
                 return Err(format!("sweep returned {count}/{} rows", points.len()));
             }

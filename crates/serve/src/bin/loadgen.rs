@@ -37,16 +37,31 @@
 //!   the identical workload again — asserting the warm server misses
 //!   zero times and compiles no suite. Proves the dump/load round
 //!   trip end to end.
+//! * `--chaos`              chaos run (implies `--spawn`): the server
+//!   injects deterministic worker panics, shard kills, delays and
+//!   connection drops; alongside the normal clients, mischief threads
+//!   drive malformed frames, slowloris partial lines and mid-sweep
+//!   disconnects, and shutdown is requested from several connections
+//!   at once. Every client retries with backoff, a watchdog asserts
+//!   zero hung clients, and the daemon must still answer
+//!   `ping`/`stats` after the storm. Combine with `--verify` to also
+//!   prove every answered request is bit-identical.
+//! * `--chaos-seed <n>`     seed for the server's fault plan, default 1
 //! * `--out <path>`         artifact path, default `BENCH_serve.json`
 //!   at the repository root
 
-use std::time::Instant;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use oov_isa::{CommitMode, LoadElimMode, MachineConfig, OooConfig, RefConfig};
 use oov_kernels::{Program, Scale};
 use oov_obs::Histogram;
 use oov_proto::Json;
-use oov_serve::{Client, PersistOptions, Server, SimRequest, StatsSnapshot};
+use oov_serve::{
+    ChaosConfig, Client, Request, RetryPolicy, ServeConfig, Server, SimRequest, StatsSnapshot,
+};
 
 /// SplitMix64 step — deterministic per-client request ordering.
 fn splitmix(state: &mut u64) -> u64 {
@@ -109,6 +124,8 @@ struct Args {
     verify: bool,
     cache_file: Option<String>,
     cache_entries: Option<usize>,
+    chaos: bool,
+    chaos_seed: u64,
     out: String,
 }
 
@@ -123,6 +140,8 @@ fn parse_args() -> Result<Args, String> {
         verify: false,
         cache_file: None,
         cache_entries: None,
+        chaos: false,
+        chaos_seed: 1,
         out: concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").into(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -158,6 +177,15 @@ fn parse_args() -> Result<Args, String> {
                 args.spawn = true;
             }
             "--cache-entries" => args.cache_entries = Some(number(&mut i)?),
+            "--chaos" => {
+                args.chaos = true;
+                args.spawn = true;
+            }
+            "--chaos-seed" => {
+                args.chaos_seed = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--chaos-seed: {e}"))?;
+            }
             "--out" => args.out = value(&mut i)?,
             other => return Err(format!("unknown flag {other}")),
         }
@@ -168,6 +196,13 @@ fn parse_args() -> Result<Args, String> {
             "--cache-entries cannot be combined with --cache-file: the restart \
              check asserts a zero-miss warm run, which an evicting cache cannot \
              guarantee"
+                .into(),
+        );
+    }
+    if args.chaos && args.cache_file.is_some() {
+        return Err(
+            "--chaos cannot be combined with --cache-file: injected shard kills \
+             lose cache lines, which the zero-miss warm run cannot survive"
                 .into(),
         );
     }
@@ -182,16 +217,122 @@ struct Phase {
     wall_ms: f64,
     client_hits: usize,
     verified: usize,
+    /// Retries performed across all clients (0 without faults).
+    retries: u64,
+    /// Requests that still failed after exhausting retries.
+    failed: u64,
     stats: StatsSnapshot,
     /// The server's own `request.sim.latency_ns` histogram, for the
     /// client-vs-server comparison line (absent if the fetch fails).
     server_sim_latency: Option<Histogram>,
 }
 
+/// Every client hang-proofs its run with this budget; a chaos run
+/// that exceeds it is a bug (a wedged client), not slowness.
+const WATCHDOG_BUDGET: Duration = Duration::from_secs(180);
+
+/// Chaos mischief: garbage and truncated frames must answer errors
+/// (or close the connection) without wedging anything.
+fn mischief_malformed(addr: &str, rounds: usize) {
+    for _ in 0..rounds {
+        let Ok(mut s) = TcpStream::connect(addr) else {
+            continue;
+        };
+        s.set_read_timeout(Some(Duration::from_secs(5))).ok();
+        let _ = s.write_all(
+            b"this is not json\n{\"cmd\":\"bogus\"}\n{\"cmd\":\"sim\"}\n{\"cmd\":\"sweep\",\"points\":[]}\n",
+        );
+        let mut r = BufReader::new(s);
+        let mut line = String::new();
+        for _ in 0..4 {
+            line.clear();
+            if r.read_line(&mut line).unwrap_or(0) == 0 {
+                break;
+            }
+        }
+    }
+}
+
+/// Chaos mischief: slowloris. One connection drips half a request and
+/// abandons it (the server must time the partial line out, not hold it
+/// forever); another drips a *complete* ping byte-by-byte and must
+/// still be answered.
+fn mischief_slowloris(addr: &str) {
+    if let Ok(mut s) = TcpStream::connect(addr) {
+        for b in br#"{"cmd":"pi"# {
+            if s.write_all(&[*b]).is_err() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        // Dropped here with no newline: the partial line times out.
+    }
+    if let Ok(mut s) = TcpStream::connect(addr) {
+        s.set_read_timeout(Some(Duration::from_secs(10))).ok();
+        let mut sent = true;
+        for b in b"{\"cmd\":\"ping\"}\n" {
+            if s.write_all(&[*b]).is_err() {
+                sent = false;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        if sent {
+            let mut line = String::new();
+            let _ = BufReader::new(s).read_line(&mut line);
+        }
+    }
+}
+
+/// Chaos mischief: start a sweep, read one row, vanish. The server
+/// must not leak the remaining rows' worth of anything.
+fn mischief_midsweep(addr: &str, pool: &[SimRequest], rounds: usize) {
+    for _ in 0..rounds {
+        let Ok(mut s) = TcpStream::connect(addr) else {
+            continue;
+        };
+        let req = Request::Sweep {
+            points: pool.iter().take(8).copied().collect(),
+            deadline_ms: None,
+        };
+        if writeln!(s, "{}", req.encode()).is_err() {
+            continue;
+        }
+        s.set_read_timeout(Some(Duration::from_secs(5))).ok();
+        let mut line = String::new();
+        let _ = BufReader::new(s).read_line(&mut line);
+        // Dropped mid-stream.
+    }
+}
+
+/// Fetches stats + the server-side sim latency histogram, retrying
+/// over fresh connections (a chaos server may drop the probe too).
+fn probe_server(addr: &str) -> Result<(StatsSnapshot, Option<Histogram>), String> {
+    let mut last = String::new();
+    for _ in 0..5 {
+        let attempt = Client::connect(addr).and_then(|mut probe| {
+            let stats = probe.stats()?;
+            let hist = probe.metrics().ok().and_then(|snap| {
+                snap.get("histograms")
+                    .and_then(|h| h.get("request.sim.latency_ns"))
+                    .and_then(|j| Histogram::from_json(j).ok())
+            });
+            Ok((stats, hist))
+        });
+        match attempt {
+            Ok(v) => return Ok(v),
+            Err(e) => last = e,
+        }
+    }
+    Err(format!("stats probe failed after retries: {last}"))
+}
+
 /// Drives the full client workload against `addr` and snapshots the
 /// server counters afterwards. Deterministic: the per-client PRNG
 /// seeds depend only on the client index, so two phases issue the
-/// identical request sequence.
+/// identical request sequence. Every request goes through
+/// [`Client::sim_retry`]; with `--chaos`, mischief threads run
+/// alongside and a watchdog guarantees the phase cannot hang.
 fn drive(
     addr: &str,
     args: &Args,
@@ -204,22 +345,66 @@ fn drive(
         args.requests,
         pool.len()
     );
+    let policy = RetryPolicy {
+        // Chaos needs headroom: a request can be eaten by a dropped
+        // connection, then shed, then land on a respawning shard.
+        max_retries: if args.chaos { 8 } else { 4 },
+        ..RetryPolicy::default()
+    };
     let t0 = Instant::now();
     let latency = Histogram::new();
+    let retries = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let done = AtomicBool::new(false);
     let per_client: Vec<(usize, usize)> = std::thread::scope(|s| {
+        // Watchdog: if the clients (or mischief threads) wedge, fail
+        // the whole run loudly instead of hanging CI.
+        s.spawn(|| {
+            let deadline = Instant::now() + WATCHDOG_BUDGET;
+            while !done.load(Ordering::Acquire) {
+                if Instant::now() > deadline {
+                    eprintln!(
+                        "loadgen: WATCHDOG: clients still running after \
+                         {WATCHDOG_BUDGET:?}; a client is hung"
+                    );
+                    std::process::exit(3);
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        });
+        let mischief: Vec<_> = if args.chaos {
+            vec![
+                s.spawn(move || mischief_malformed(addr, 5)),
+                s.spawn(move || mischief_slowloris(addr)),
+                s.spawn(move || mischief_midsweep(addr, pool, 3)),
+            ]
+        } else {
+            Vec::new()
+        };
         let handles: Vec<_> = (0..args.clients)
             .map(|client_ix| {
-                let latency = &latency;
+                let (latency, retries, failed, policy) = (&latency, &retries, &failed, &policy);
                 s.spawn(move || {
                     let mut client = Client::connect(addr).expect("loadgen connect");
                     let mut rng = 0x5eed_0000u64 + client_ix as u64;
+                    let mut jitter = 0x1357_9bdf ^ (client_ix as u64 + 1);
                     let mut hits = 0;
                     let mut verified = 0;
                     for _ in 0..args.requests {
                         let ix = (splitmix(&mut rng) % pool.len() as u64) as usize;
                         let req = &pool[ix];
                         let t = Instant::now();
-                        let result = client.sim(req).expect("sim request failed");
+                        let result = match client.sim_retry(req, None, policy, &mut jitter) {
+                            Ok((result, tries)) => {
+                                retries.fetch_add(u64::from(tries), Ordering::Relaxed);
+                                result
+                            }
+                            Err(e) => {
+                                failed.fetch_add(1, Ordering::Relaxed);
+                                assert!(args.chaos, "sim request failed without chaos: {e}");
+                                continue;
+                            }
+                        };
                         latency.record(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
                         hits += usize::from(result.cached);
                         if let Some(want) = &expected[ix] {
@@ -235,22 +420,23 @@ fn drive(
                 })
             })
             .collect();
-        handles
+        let results = handles
             .into_iter()
             .map(|h| h.join().expect("loadgen client panicked"))
-            .collect()
+            .collect();
+        for m in mischief {
+            m.join().expect("mischief thread panicked");
+        }
+        done.store(true, Ordering::Release);
+        results
     });
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-    let mut probe = Client::connect(addr)?;
-    let stats = probe.stats()?;
-    let server_sim_latency = probe.metrics().ok().and_then(|snap| {
-        snap.get("histograms")
-            .and_then(|h| h.get("request.sim.latency_ns"))
-            .and_then(|j| Histogram::from_json(j).ok())
-    });
+    let (stats, server_sim_latency) = probe_server(addr)?;
     Ok(Phase {
         client_hits: per_client.iter().map(|(h, _)| h).sum(),
         verified: per_client.iter().map(|(_, v)| v).sum(),
+        retries: retries.into_inner(),
+        failed: failed.into_inner(),
         stats,
         latency,
         wall_ms,
@@ -284,15 +470,29 @@ fn run() -> Result<(), String> {
         vec![None; pool.len()]
     };
 
-    let persist = |load: bool, dump: bool| PersistOptions {
-        load: (load && args.cache_file.is_some()).then(|| args.cache_file.clone().unwrap().into()),
-        dump: (dump && args.cache_file.is_some()).then(|| args.cache_file.clone().unwrap().into()),
-        max_entries: args.cache_entries,
+    let serve_cfg = |load: bool, dump: bool| ServeConfig {
+        persist: oov_serve::PersistOptions {
+            load: (load && args.cache_file.is_some())
+                .then(|| args.cache_file.clone().unwrap().into()),
+            dump: (dump && args.cache_file.is_some())
+                .then(|| args.cache_file.clone().unwrap().into()),
+            max_entries: args.cache_entries,
+        },
+        chaos: args.chaos.then(|| ChaosConfig::light(args.chaos_seed)),
+        ..ServeConfig::default()
     };
     let server = if args.spawn {
-        let handle = Server::start_with("127.0.0.1:0", args.shards, persist(false, true))
+        let handle = Server::start_cfg("127.0.0.1:0", args.shards, serve_cfg(false, true))
             .map_err(|e| format!("spawn server: {e}"))?;
-        println!("spawned in-process server on {}", handle.addr());
+        println!(
+            "spawned in-process server on {}{}",
+            handle.addr(),
+            if args.chaos {
+                " (CHAOS MODE: injecting faults on purpose)"
+            } else {
+                ""
+            }
+        );
         Some(handle)
     } else {
         None
@@ -302,8 +502,45 @@ fn run() -> Result<(), String> {
         .map_or(args.addr.clone(), |h| h.addr().to_string());
 
     let phase = drive(&addr, &args, &pool, &expected)?;
+    if args.chaos {
+        // The daemon must still be fully serving after the storm.
+        let mut probe = Client::connect(addr.as_str())?;
+        probe.ping()?;
+        let after = probe.stats()?;
+        let dead = after.shards_alive.iter().filter(|&&a| !a).count();
+        if dead > 0 {
+            return Err(format!("{dead} shards dead after the chaos run"));
+        }
+        println!(
+            "chaos: daemon still serving; {} panics, {} respawns, {} sheds \
+             survived ({} client retries, {} requests abandoned)",
+            after.panics, after.respawns, after.sheds, phase.retries, phase.failed
+        );
+    }
     if let Some(handle) = server {
-        Client::connect(addr.as_str())?.shutdown()?;
+        if args.chaos {
+            // Shutdown must be idempotent under racing requests: fire
+            // it from several connections at once (any of them may
+            // also be eaten by an injected connection drop).
+            std::thread::scope(|s| {
+                for _ in 0..3 {
+                    let addr = addr.as_str();
+                    s.spawn(move || {
+                        let _ = Client::connect(addr).and_then(|mut c| c.shutdown());
+                    });
+                }
+            });
+            // Make sure one shutdown actually landed (the concurrent
+            // ones are best-effort under chaos drops).
+            for _ in 0..10 {
+                match Client::connect(addr.as_str()).and_then(|mut c| c.shutdown()) {
+                    Ok(()) => break,
+                    Err(_) => std::thread::sleep(Duration::from_millis(50)),
+                }
+            }
+        } else {
+            Client::connect(addr.as_str())?.shutdown()?;
+        }
         handle.join();
     }
 
@@ -311,7 +548,7 @@ fn run() -> Result<(), String> {
     // the identical workload without a single simulation or suite
     // compile.
     let restart = if args.cache_file.is_some() {
-        let handle = Server::start_with("127.0.0.1:0", args.shards, persist(true, false))
+        let handle = Server::start_cfg("127.0.0.1:0", args.shards, serve_cfg(true, false))
             .map_err(|e| format!("respawn server: {e}"))?;
         let warm_addr = handle.addr().to_string();
         println!("restarted server on {warm_addr} with the dumped cache...");
@@ -341,6 +578,8 @@ fn run() -> Result<(), String> {
         wall_ms,
         client_hits,
         verified,
+        retries,
+        failed,
         stats,
         server_sim_latency,
     } = phase;
@@ -377,6 +616,11 @@ fn run() -> Result<(), String> {
         "shards: {:?} requests (balance {:.3}; 1.0 = even)",
         stats.per_shard_requests, stats.shard_balance
     );
+    println!(
+        "health: {} panics, {} respawns, {} sheds, {} deadline drops; \
+         {retries} client retries, {failed} abandoned",
+        stats.panics, stats.respawns, stats.sheds, stats.deadline_drops
+    );
 
     let doc = Json::obj(vec![
         ("bench", "oov_serve".into()),
@@ -390,9 +634,7 @@ fn run() -> Result<(), String> {
         ("latency_us", latency_us(&latency)),
         (
             "server_sim_latency_us",
-            server_sim_latency
-                .as_ref()
-                .map_or(Json::Null, |h| latency_us(h)),
+            server_sim_latency.as_ref().map_or(Json::Null, latency_us),
         ),
         (
             "cache",
@@ -420,6 +662,18 @@ fn run() -> Result<(), String> {
             "shard_balance",
             Json::Num((stats.shard_balance * 1e3).round() / 1e3),
         ),
+        (
+            "health",
+            Json::obj(vec![
+                ("panics", stats.panics.into()),
+                ("respawns", stats.respawns.into()),
+                ("sheds", stats.sheds.into()),
+                ("deadline_drops", stats.deadline_drops.into()),
+                ("retries", retries.into()),
+                ("failed", failed.into()),
+            ]),
+        ),
+        ("chaos", args.chaos.into()),
         ("verified", verified.into()),
         (
             "restart",

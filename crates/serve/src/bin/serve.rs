@@ -17,18 +17,34 @@
 //! * `--cache-entries <n>` bound each shard's result cache to `n`
 //!   entries with LRU eviction (default: unbounded), so persistence
 //!   dumps and long-running daemons cannot grow without limit
+//! * `--max-queue-depth <n>` per-shard admission cap: a request
+//!   routed to a shard whose queue is at least `n` deep is rejected
+//!   with a retriable `overloaded` response instead of queueing
+//!   without limit (default: unbounded)
+//! * `--drain-ms <ms>`     graceful-drain budget at shutdown: in-flight
+//!   sweeps may keep streaming this long before remaining rows are
+//!   aborted (default 2000)
+//! * `--chaos`             deterministic fault injection: worker
+//!   panics (soft and shard-killing), service delays and connection
+//!   drops, for exercising the recovery paths (never use in
+//!   production)
+//! * `--chaos-seed <n>`    seed for the `--chaos` fault plan,
+//!   default 1 (the plan is a pure function of the seed, so a failing
+//!   run reproduces from its seed alone)
 //!
 //! The process runs until a client sends a `shutdown` request (e.g.
 //! `client --addr ... shutdown`) or it is killed.
 
-use oov_serve::{PersistOptions, Server};
+use oov_serve::{ChaosConfig, ServeConfig, Server};
 
 fn main() {
     let mut addr = "127.0.0.1:7540".to_string();
     let mut shards = std::thread::available_parallelism()
         .map(|n| n.get().min(8))
         .unwrap_or(4);
-    let mut persist = PersistOptions::default();
+    let mut cfg = ServeConfig::default();
+    let mut chaos = false;
+    let mut chaos_seed: u64 = 1;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     let value = |i: &mut usize, argv: &[String]| {
@@ -41,10 +57,10 @@ fn main() {
     while i < argv.len() {
         match argv[i].as_str() {
             "--addr" => addr = value(&mut i, &argv),
-            "--cache-load" => persist.load = Some(value(&mut i, &argv).into()),
-            "--cache-dump" => persist.dump = Some(value(&mut i, &argv).into()),
+            "--cache-load" => cfg.persist.load = Some(value(&mut i, &argv).into()),
+            "--cache-dump" => cfg.persist.dump = Some(value(&mut i, &argv).into()),
             "--cache-entries" => {
-                persist.max_entries = value(&mut i, &argv)
+                cfg.persist.max_entries = value(&mut i, &argv)
                     .parse()
                     .ok()
                     .filter(|&n: &usize| n > 0)
@@ -52,6 +68,29 @@ fn main() {
                         eprintln!("error: --cache-entries needs a positive integer");
                         std::process::exit(2);
                     });
+            }
+            "--max-queue-depth" => {
+                cfg.max_queue_depth = value(&mut i, &argv)
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .or_else(|| {
+                        eprintln!("error: --max-queue-depth needs a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--drain-ms" => {
+                cfg.drain_ms = value(&mut i, &argv).parse().unwrap_or_else(|_| {
+                    eprintln!("error: --drain-ms needs a non-negative integer");
+                    std::process::exit(2);
+                });
+            }
+            "--chaos" => chaos = true,
+            "--chaos-seed" => {
+                chaos_seed = value(&mut i, &argv).parse().unwrap_or_else(|_| {
+                    eprintln!("error: --chaos-seed needs a non-negative integer");
+                    std::process::exit(2);
+                });
             }
             "--shards" => {
                 shards = value(&mut i, &argv)
@@ -70,7 +109,11 @@ fn main() {
         }
         i += 1;
     }
-    let handle = match Server::start_with(&addr, shards, persist) {
+    if chaos {
+        cfg.chaos = Some(ChaosConfig::light(chaos_seed));
+        eprintln!("oov-serve: CHAOS MODE (seed {chaos_seed}) — injecting faults on purpose");
+    }
+    let handle = match Server::start_cfg(&addr, shards, cfg) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("error: failed to start server on {addr}: {e}");

@@ -1,33 +1,185 @@
 //! A blocking wire-protocol client, shared by the `client` and
 //! `loadgen` binaries and the integration tests.
+//!
+//! Beyond the plain request/response helpers, the client carries the
+//! fault-tolerance half of the protocol: a read timeout on every
+//! receive (a wedged or slow server surfaces as a
+//! [`SimError::Transport`] instead of a hung thread), typed failure
+//! responses ([`SimError::Overloaded`] carries the server's
+//! `retry_after_ms` hint), [`Client::reconnect`] after a dropped
+//! connection, and [`RetryPolicy`] — bounded exponential backoff with
+//! equal jitter — driving [`Client::sim_retry`].
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use oov_proto::Json;
 
 use crate::proto::{Request, Response, SimRequest, SimResult, StatsSnapshot};
 
+/// Default per-response read timeout. Generous: a cold `paper`-scale
+/// suite compile can hold the first simulation for a while.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// How a simulation request failed, separating retry strategies: a
+/// transport error needs a reconnect, an overload wants the hinted
+/// backoff, a deadline or server error can retry immediately.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The connection failed (send, receive, timeout, or server-side
+    /// close). The stream is suspect: reconnect before retrying.
+    Transport(String),
+    /// The server shed the request; retry after the hinted backoff.
+    Overloaded {
+        /// Server-suggested wait before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request's `deadline_ms` expired before the job ran.
+    Deadline,
+    /// The server answered a structured error (e.g. the job panicked).
+    Server(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Transport(m) => write!(f, "transport: {m}"),
+            SimError::Overloaded { retry_after_ms } => {
+                write!(f, "overloaded (retry after {retry_after_ms} ms)")
+            }
+            SimError::Deadline => write!(f, "deadline exceeded"),
+            SimError::Server(m) => write!(f, "server: {m}"),
+        }
+    }
+}
+
+/// Bounded exponential backoff with equal jitter, for retrying failed
+/// simulation requests ([`Client::sim_retry`]).
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (so `max_retries + 1` attempts
+    /// total).
+    pub max_retries: u32,
+    /// Backoff before the first retry, in milliseconds; doubles per
+    /// attempt.
+    pub base_ms: u64,
+    /// Ceiling on any single backoff, in milliseconds.
+    pub cap_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base_ms: 5,
+            cap_ms: 200,
+        }
+    }
+}
+
+/// One xorshift step — enough jitter to decorrelate client retries.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+impl RetryPolicy {
+    /// The wait before retry number `attempt` (0-based): exponential
+    /// `base_ms << attempt` capped at `cap_ms`, with **equal jitter**
+    /// (half fixed, half uniform-random) so a thundering herd of
+    /// shed clients spreads out. A server `retry_after_ms` hint
+    /// replaces the exponential term but still jitters.
+    #[must_use]
+    pub fn backoff_ms(&self, attempt: u32, hint: Option<u64>, rng: &mut u64) -> u64 {
+        let raw = match hint {
+            Some(h) => h.max(1),
+            None => self
+                .base_ms
+                .saturating_mul(1u64 << attempt.min(16))
+                .clamp(1, self.cap_ms),
+        };
+        raw / 2 + xorshift(rng) % (raw / 2 + 1)
+    }
+}
+
+/// What a sweep delivered: how many rows arrived at all, and which of
+/// them were error rows (index + message) rather than results.
+#[derive(Debug, Default, Clone)]
+pub struct SweepOutcome {
+    /// Rows the server answered with a result (passed to `on_row`).
+    pub completed: usize,
+    /// Rows the server answered with an error (shed, panicked,
+    /// deadline-expired or aborted at shutdown), in request order.
+    pub errors: Vec<(usize, String)>,
+}
+
 /// One connection to a running `oov-serve` daemon.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Remembered for [`Client::reconnect`].
+    peer: SocketAddr,
+    read_timeout: Duration,
 }
 
 impl Client {
-    /// Connects to a server.
+    /// Connects to a server with the default read timeout.
     ///
     /// # Errors
     ///
     /// Returns the connect failure as text.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, String> {
+        Self::connect_timeout(addr, DEFAULT_READ_TIMEOUT)
+    }
+
+    /// Connects with an explicit per-response read timeout: a receive
+    /// that exceeds it fails as a transport error instead of blocking
+    /// forever on a wedged server.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect failure as text.
+    pub fn connect_timeout<A: ToSocketAddrs>(
+        addr: A,
+        read_timeout: Duration,
+    ) -> Result<Client, String> {
         let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        let peer = stream.peer_addr().map_err(|e| format!("connect: {e}"))?;
+        Self::from_stream(stream, peer, read_timeout)
+    }
+
+    fn from_stream(
+        stream: TcpStream,
+        peer: SocketAddr,
+        read_timeout: Duration,
+    ) -> Result<Client, String> {
         stream.set_nodelay(true).ok();
+        stream
+            .set_read_timeout(Some(read_timeout))
+            .map_err(|e| format!("connect: {e}"))?;
         let reader = BufReader::new(stream.try_clone().map_err(|e| format!("connect: {e}"))?);
         Ok(Client {
             reader,
             writer: stream,
+            peer,
+            read_timeout,
         })
+    }
+
+    /// Drops the current stream and dials the same peer again —
+    /// the recovery move after a [`SimError::Transport`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect failure as text.
+    pub fn reconnect(&mut self) -> Result<(), String> {
+        *self = Self::connect_timeout(self.peer, self.read_timeout)?;
+        Ok(())
     }
 
     fn send(&mut self, req: &Request) -> Result<(), String> {
@@ -37,14 +189,21 @@ impl Client {
 
     fn recv(&mut self) -> Result<Response, String> {
         let mut line = String::new();
-        let n = self
-            .reader
-            .read_line(&mut line)
-            .map_err(|e| format!("recv: {e}"))?;
-        if n == 0 {
-            return Err("recv: server closed the connection".into());
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Err("recv: server closed the connection".into()),
+            Ok(_) => Response::decode(line.trim()),
+            // `set_read_timeout` bounds each read, so a silent server
+            // fails here rather than hanging the client thread. (A
+            // timeout surfaces as WouldBlock or TimedOut depending on
+            // platform; both mean "no full line in time".)
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                Err(format!(
+                    "recv: timed out after {:?} waiting for a response",
+                    self.read_timeout
+                ))
+            }
+            Err(e) => Err(format!("recv: {e}")),
         }
-        Response::decode(line.trim())
     }
 
     /// Round-trips a ping.
@@ -107,34 +266,123 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Transport failure, a server-side error, or an unexpected reply.
+    /// Transport failure, a server-side error, or an unexpected reply
+    /// (all flattened to text; use [`Client::sim_opts`] for typed
+    /// failures).
     pub fn sim(&mut self, req: &SimRequest) -> Result<SimResult, String> {
-        self.send(&Request::Sim(*req))?;
-        match self.recv()? {
-            Response::Result(r) => Ok(r),
-            Response::Error { message } => Err(message),
-            other => Err(format!("expected result, got {other:?}")),
-        }
+        self.sim_opts(req, None).map_err(|e| e.to_string())
     }
 
-    /// Runs a sweep, invoking `on_row` for every row as it streams in
-    /// (rows arrive in request order). Returns the row count the
-    /// server confirmed.
+    /// Runs one simulation with an optional server-enforced deadline,
+    /// returning typed failures so callers can pick a retry strategy.
     ///
     /// # Errors
     ///
-    /// Transport failure, a server-side error, or an unexpected reply.
+    /// [`SimError`] for transport failures, shed load, expired
+    /// deadlines and server-side errors.
+    pub fn sim_opts(
+        &mut self,
+        req: &SimRequest,
+        deadline_ms: Option<u64>,
+    ) -> Result<SimResult, SimError> {
+        self.send(&Request::Sim {
+            req: *req,
+            deadline_ms,
+        })
+        .map_err(SimError::Transport)?;
+        match self.recv().map_err(SimError::Transport)? {
+            Response::Result(r) => Ok(r),
+            Response::Overloaded { retry_after_ms } => Err(SimError::Overloaded { retry_after_ms }),
+            Response::DeadlineExceeded => Err(SimError::Deadline),
+            Response::Error { message } => Err(SimError::Server(message)),
+            other => Err(SimError::Server(format!("expected result, got {other:?}"))),
+        }
+    }
+
+    /// Runs one simulation with retries under `policy`: transport
+    /// errors reconnect first, overloads honour the server's
+    /// `retry_after_ms` hint, everything backs off with jitter.
+    /// Returns the result plus the number of retries it took.
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's failure, as text, once retries are
+    /// exhausted.
+    pub fn sim_retry(
+        &mut self,
+        req: &SimRequest,
+        deadline_ms: Option<u64>,
+        policy: &RetryPolicy,
+        rng: &mut u64,
+    ) -> Result<(SimResult, u32), String> {
+        let mut attempt = 0u32;
+        loop {
+            let err = match self.sim_opts(req, deadline_ms) {
+                Ok(r) => return Ok((r, attempt)),
+                Err(e) => e,
+            };
+            if attempt >= policy.max_retries {
+                return Err(format!("{err} (after {attempt} retries)"));
+            }
+            let hint = match &err {
+                SimError::Overloaded { retry_after_ms } => Some(*retry_after_ms),
+                _ => None,
+            };
+            if matches!(err, SimError::Transport(_)) {
+                // The old stream may have unread bytes or be
+                // half-closed; a fresh connection is the only safe
+                // state to retry from. A failed reconnect is itself
+                // retriable (the server may be mid-respawn).
+                let _ = self.reconnect();
+            }
+            std::thread::sleep(Duration::from_millis(policy.backoff_ms(attempt, hint, rng)));
+            attempt += 1;
+        }
+    }
+
+    /// Runs a sweep, invoking `on_row` for every successful row as it
+    /// streams in (rows arrive in request order); per-row failures are
+    /// collected in the returned [`SweepOutcome`] instead of aborting
+    /// the sweep.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure, a sweep-level server error, or an
+    /// unexpected reply. On a sweep-level error the stream is drained
+    /// to `sweep_done` first, so the connection remains usable.
     pub fn sweep(
         &mut self,
         points: &[SimRequest],
+        deadline_ms: Option<u64>,
         mut on_row: impl FnMut(usize, SimResult),
-    ) -> Result<usize, String> {
-        self.send(&Request::Sweep(points.to_vec()))?;
+    ) -> Result<SweepOutcome, String> {
+        self.send(&Request::Sweep {
+            points: points.to_vec(),
+            deadline_ms,
+        })?;
+        let mut outcome = SweepOutcome::default();
+        let mut aborted: Option<String> = None;
         loop {
             match self.recv()? {
-                Response::SweepRow { index, result } => on_row(index, result),
-                Response::SweepDone { count } => return Ok(count),
-                Response::Error { message } => return Err(message),
+                Response::SweepRow { index, result } => {
+                    outcome.completed += 1;
+                    on_row(index, result);
+                }
+                Response::SweepRowError { index, message } => {
+                    outcome.errors.push((index, message));
+                }
+                Response::SweepDone { .. } => {
+                    return match aborted {
+                        Some(message) => Err(message),
+                        None => Ok(outcome),
+                    };
+                }
+                // A sweep-level error (e.g. decode refusal) may arrive
+                // with no `sweep_done` behind it; one that interrupts
+                // rows mid-stream is drained so the next request on
+                // this connection doesn't read stale frames.
+                Response::Error { message } if outcome.completed == 0 => return Err(message),
+                Response::Error { message } => aborted = Some(message),
                 other => return Err(format!("expected sweep row, got {other:?}")),
             }
         }

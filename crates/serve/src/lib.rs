@@ -53,6 +53,17 @@
 //!   harness uses — so a served result is bit-identical to a direct
 //!   in-process simulation (the integration tests and `loadgen
 //!   --verify` assert this).
+//! * **Fault tolerance.** Every job runs inside `catch_unwind` (a
+//!   panicking request answers a structured error; the shard keeps
+//!   serving), a per-shard supervisor respawns dead worker threads,
+//!   admission control sheds load with a retriable
+//!   `Response::Overloaded` once a shard queue passes its cap,
+//!   requests may carry a server-enforced `deadline_ms`, and shutdown
+//!   drains in-flight sweeps up to a `--drain-ms` budget. The
+//!   [`chaos`] module injects all of these failures deterministically
+//!   (`serve --chaos` / `loadgen --chaos`); [`Client`] ships read
+//!   timeouts and a jittered exponential-backoff
+//!   [`client::RetryPolicy`].
 //!
 //! # Binaries
 //!
@@ -67,12 +78,14 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod chaos;
 pub mod client;
 pub mod persist;
 pub mod proto;
 pub mod server;
 
-pub use client::Client;
+pub use chaos::ChaosConfig;
+pub use client::{Client, RetryPolicy, SimError, SweepOutcome};
 pub use persist::CacheLine;
 pub use proto::{Request, Response, SimRequest, SimResult, StatsSnapshot};
-pub use server::{PersistOptions, Server, ServerHandle};
+pub use server::{PersistOptions, ServeConfig, Server, ServerHandle};

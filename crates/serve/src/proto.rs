@@ -23,6 +23,11 @@ use oov_kernels::{Program, Scale};
 use oov_proto::Json;
 use oov_stats::SimStats;
 
+/// Hard cap on the number of points in one `sweep` request, enforced
+/// at decode time — before the server sizes its reorder buffer — so a
+/// single network-supplied length cannot inflate server memory.
+pub const MAX_SWEEP_POINTS: usize = 4096;
+
 fn stepper_name(s: Stepper) -> &'static str {
     match s {
         Stepper::Naive => "naive",
@@ -164,9 +169,25 @@ pub enum Request {
     /// Graceful shutdown of the whole server.
     Shutdown,
     /// One simulation.
-    Sim(SimRequest),
+    Sim {
+        /// The simulation point.
+        req: SimRequest,
+        /// Server-side deadline, measured from request arrival. A job
+        /// still queued when it expires is answered
+        /// [`Response::DeadlineExceeded`] instead of being simulated.
+        /// Not part of the request fingerprint: the same point with
+        /// different deadlines shares one cache entry.
+        deadline_ms: Option<u64>,
+    },
     /// A batch of simulations; rows stream back in order.
-    Sweep(Vec<SimRequest>),
+    Sweep {
+        /// The points, in the order rows must stream back.
+        points: Vec<SimRequest>,
+        /// Per-request deadline shared by every point (see
+        /// [`Request::Sim::deadline_ms`]); expired rows are answered
+        /// [`Response::SweepRowError`].
+        deadline_ms: Option<u64>,
+    },
 }
 
 impl Request {
@@ -178,21 +199,32 @@ impl Request {
             Request::Stats => Json::obj(vec![("type", "stats".into())]).to_string(),
             Request::Metrics => Json::obj(vec![("type", "metrics".into())]).to_string(),
             Request::Shutdown => Json::obj(vec![("type", "shutdown".into())]).to_string(),
-            Request::Sim(req) => {
+            Request::Sim { req, deadline_ms } => {
                 let mut pairs = vec![("type".to_string(), Json::Str("sim".into()))];
                 if let Json::Obj(body) = req.to_json() {
                     pairs.extend(body);
                 }
+                if let Some(ms) = deadline_ms {
+                    pairs.push(("deadline_ms".to_string(), (*ms).into()));
+                }
                 Json::Obj(pairs).to_string()
             }
-            Request::Sweep(points) => Json::obj(vec![
-                ("type", "sweep".into()),
-                (
-                    "points",
-                    Json::Arr(points.iter().map(SimRequest::to_json).collect()),
-                ),
-            ])
-            .to_string(),
+            Request::Sweep {
+                points,
+                deadline_ms,
+            } => {
+                let mut pairs = vec![
+                    ("type".to_string(), Json::Str("sweep".into())),
+                    (
+                        "points".to_string(),
+                        Json::Arr(points.iter().map(SimRequest::to_json).collect()),
+                    ),
+                ];
+                if let Some(ms) = deadline_ms {
+                    pairs.push(("deadline_ms".to_string(), (*ms).into()));
+                }
+                Json::Obj(pairs).to_string()
+            }
         }
     }
 
@@ -208,12 +240,18 @@ impl Request {
             .get("type")
             .and_then(Json::as_str)
             .ok_or_else(|| "request: bad or missing field `type`".to_string())?;
+        let deadline_ms = match v.get("deadline_ms") {
+            None | Some(Json::Null) => None,
+            Some(ms) => Some(ms.as_u64().ok_or_else(|| {
+                "request: `deadline_ms` is not a non-negative integer".to_string()
+            })?),
+        };
         match kind {
             "ping" => Ok(Request::Ping),
             "stats" => Ok(Request::Stats),
             "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
-            "sim" => SimRequest::from_json(&v).map(Request::Sim),
+            "sim" => SimRequest::from_json(&v).map(|req| Request::Sim { req, deadline_ms }),
             "sweep" => {
                 let points = v
                     .get("points")
@@ -222,11 +260,20 @@ impl Request {
                 if points.is_empty() {
                     return Err("sweep request: empty point list".into());
                 }
+                if points.len() > MAX_SWEEP_POINTS {
+                    return Err(format!(
+                        "sweep request: {} points exceeds the cap of {MAX_SWEEP_POINTS}",
+                        points.len()
+                    ));
+                }
                 points
                     .iter()
                     .map(SimRequest::from_json)
                     .collect::<Result<Vec<_>, _>>()
-                    .map(Request::Sweep)
+                    .map(|points| Request::Sweep {
+                        points,
+                        deadline_ms,
+                    })
             }
             other => Err(format!("request: unknown type `{other}`")),
         }
@@ -305,6 +352,19 @@ pub struct StatsSnapshot {
     /// mean (1.0 = perfectly even, 0.0 = a shard is starved; 0.0 also
     /// before any request arrives).
     pub shard_balance: f64,
+    /// Worker panics survived: jobs whose execution unwound and was
+    /// answered as an error (plus shard threads that died outright).
+    pub panics: u64,
+    /// Shard threads respawned by the supervisor after dying.
+    pub respawns: u64,
+    /// Jobs rejected by per-shard admission control
+    /// ([`Response::Overloaded`]).
+    pub sheds: u64,
+    /// Jobs answered `deadline exceeded` instead of being simulated.
+    pub deadline_drops: u64,
+    /// Per-shard liveness, indexed by shard: `false` while a shard
+    /// thread is dead and awaiting respawn.
+    pub shards_alive: Vec<bool>,
 }
 
 impl StatsSnapshot {
@@ -326,6 +386,14 @@ impl StatsSnapshot {
             (
                 "shard_balance",
                 Json::Num((self.shard_balance * 1e3).round() / 1e3),
+            ),
+            ("panics", self.panics.into()),
+            ("respawns", self.respawns.into()),
+            ("sheds", self.sheds.into()),
+            ("deadline_drops", self.deadline_drops.into()),
+            (
+                "shards_alive",
+                Json::Arr(self.shards_alive.iter().map(|&b| b.into()).collect()),
             ),
         ])
     }
@@ -360,6 +428,20 @@ impl StatsSnapshot {
                 .ok_or_else(|| {
                     "stats snapshot: bad or missing field `shard_balance`".to_string()
                 })?,
+            panics: field("panics")?,
+            respawns: field("respawns")?,
+            sheds: field("sheds")?,
+            deadline_drops: field("deadline_drops")?,
+            shards_alive: v
+                .get("shards_alive")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| "stats snapshot: missing `shards_alive`".to_string())?
+                .iter()
+                .map(|b| {
+                    b.as_bool()
+                        .ok_or_else(|| "stats snapshot: bad shard liveness".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?,
         })
     }
 }
@@ -371,6 +453,26 @@ pub enum Response {
     Pong,
     /// The request failed; the connection stays open.
     Error {
+        /// Human-readable cause.
+        message: String,
+    },
+    /// The target shard's queue is over its admission cap; the request
+    /// was **not** executed. Retriable: back off at least
+    /// `retry_after_ms` and resend.
+    Overloaded {
+        /// Suggested minimum backoff before retrying, derived from the
+        /// rejecting shard's queue depth.
+        retry_after_ms: u64,
+    },
+    /// The request's `deadline_ms` expired before a shard picked the
+    /// job up; it was answered without being simulated.
+    DeadlineExceeded,
+    /// One failed row of a [`Request::Sweep`] (panicked job, expired
+    /// deadline, shed point, or a worker lost mid-job), streamed in
+    /// request order like [`Response::SweepRow`].
+    SweepRowError {
+        /// Position of the failed row in the sweep's point list.
+        index: usize,
         /// Human-readable cause.
         message: String,
     },
@@ -416,6 +518,18 @@ impl Response {
                 "error",
                 vec![("message".to_string(), message.clone().into())],
             ),
+            Response::Overloaded { retry_after_ms } => tagged(
+                "overloaded",
+                vec![("retry_after_ms".to_string(), (*retry_after_ms).into())],
+            ),
+            Response::DeadlineExceeded => tagged("deadline_exceeded", vec![]),
+            Response::SweepRowError { index, message } => tagged(
+                "sweep_row_error",
+                vec![
+                    ("index".to_string(), (*index).into()),
+                    ("message".to_string(), message.clone().into()),
+                ],
+            ),
             Response::ShuttingDown => tagged("shutting_down", vec![]),
             Response::Result(r) => tagged("result", r.body()),
             Response::SweepRow { index, result } => {
@@ -455,6 +569,24 @@ impl Response {
             "pong" => Ok(Response::Pong),
             "shutting_down" => Ok(Response::ShuttingDown),
             "error" => Ok(Response::Error {
+                message: v
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown error")
+                    .to_string(),
+            }),
+            "overloaded" => Ok(Response::Overloaded {
+                retry_after_ms: v
+                    .get("retry_after_ms")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| "overloaded: bad or missing `retry_after_ms`".to_string())?,
+            }),
+            "deadline_exceeded" => Ok(Response::DeadlineExceeded),
+            "sweep_row_error" => Ok(Response::SweepRowError {
+                index: v
+                    .get("index")
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| "sweep row error: bad or missing field `index`".to_string())?,
                 message: v
                     .get("message")
                     .and_then(Json::as_str)
@@ -539,7 +671,11 @@ mod tests {
             fault_at: Some(5),
             ..SimRequest::ooo_default(Program::Trfd, Scale::Smoke)
         };
-        let line = Request::Sim(req).encode();
+        let line = Request::Sim {
+            req,
+            deadline_ms: None,
+        }
+        .encode();
         let err = Request::decode(&line).unwrap_err();
         assert!(err.contains("late-commit"), "{err}");
     }
@@ -551,7 +687,14 @@ mod tests {
             fault_at: Some(5),
             ..SimRequest::ooo_default(Program::Trfd, Scale::Smoke)
         };
-        let err = Request::decode(&Request::Sim(req).encode()).unwrap_err();
+        let err = Request::decode(
+            &Request::Sim {
+                req,
+                deadline_ms: None,
+            }
+            .encode(),
+        )
+        .unwrap_err();
         assert!(err.contains("no precise traps"), "{err}");
     }
 
@@ -561,7 +704,17 @@ mod tests {
             machine: MachineConfig::Ooo(OooConfig::default().with_load_elim(LoadElimMode::SleVle)),
             ..SimRequest::ooo_default(Program::Dyfesm, Scale::Smoke)
         };
-        let line = Request::Sim(req).encode();
-        assert_eq!(Request::decode(&line).unwrap(), Request::Sim(req));
+        let line = Request::Sim {
+            req,
+            deadline_ms: Some(250),
+        }
+        .encode();
+        assert_eq!(
+            Request::decode(&line).unwrap(),
+            Request::Sim {
+                req,
+                deadline_ms: Some(250),
+            }
+        );
     }
 }

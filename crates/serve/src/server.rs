@@ -1,4 +1,4 @@
-//! The daemon: acceptor, connection threads, and worker shards.
+//! The daemon: acceptor, connection threads, supervised worker shards.
 //!
 //! Threading model (see the crate docs for the picture):
 //!
@@ -12,27 +12,51 @@
 //! * N **worker shards**, each a thread owning a private
 //!   result-cache `HashMap` (no locks on the hot path; the only shared
 //!   state is the suite cache and a few atomic counters) and fed
-//!   through an `mpsc` queue.
+//!   through an `mpsc` queue — plus one **supervisor** thread per
+//!   shard that respawns the worker if it ever dies.
 //!
-//! Every hot surface reports into a shared [`oov_obs::Registry`]:
-//! per-request-type latency histograms, per-shard service-time
-//! histograms and queue-depth gauges, the result-cache counters, and
-//! an in-flight gauge. The `metrics` wire request returns the whole
-//! snapshot as JSON.
+//! # Failure handling
+//!
+//! Every job executes inside `catch_unwind`: a request that panics the
+//! simulator is answered as a structured [`Response::Error`] and the
+//! shard keeps serving (`shard.<n>.panics`). If a shard thread dies
+//! anyway, its supervisor respawns it — re-seeded from the persistence
+//! seed — bumping `shard.<n>.respawns` and flipping the
+//! `shard.<n>.alive` gauge while the shard is down; the job queue
+//! itself survives the crash (the receiver is owned by the
+//! supervisor), so only the job executing at the moment of death is
+//! lost. Admission control bounds each shard's queue: past
+//! `max_queue_depth` a point is rejected with a retriable
+//! [`Response::Overloaded`] instead of queueing without limit.
+//! Requests may carry a `deadline_ms`; a job still queued when it
+//! expires is answered [`Response::DeadlineExceeded`] without being
+//! simulated. Oversized sweeps are rejected at decode time
+//! ([`crate::proto::MAX_SWEEP_POINTS`]), and a connection that feeds
+//! partial lines is cut once the line outgrows [`MAX_LINE_BYTES`] or
+//! stalls past [`PARTIAL_LINE_TIMEOUT`] — a slowloris peer costs one
+//! parked thread, never memory.
+//!
+//! # Shutdown
+//!
+//! `shutdown` (or [`ServerHandle::stop`]) stops accepting and starts a
+//! **drain**: in-flight sweeps keep streaming rows until they finish
+//! or the `drain_ms` budget expires, at which point the remaining rows
+//! are answered as errors and workers fast-fail whatever is still
+//! queued — the old abort-immediately behaviour, now only the
+//! budget-exhausted fallback. Connection reads use a short timeout so
+//! every idle thread observes the shutdown flag promptly.
 //!
 //! Replies travel back over a per-request `mpsc` channel; a sweep's
 //! connection thread holds a reorder buffer so rows stream to the
 //! client in request order no matter how the shards interleave.
-//! Connection reads use a short timeout so every thread observes the
-//! shutdown flag promptly; [`ServerHandle::stop`] (or a client's
-//! `shutdown` request) terminates the whole process tree cleanly.
 
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -40,21 +64,69 @@ use oov_bench::machine_run_in;
 use oov_core::SimArena;
 
 use crate::cache::SuiteCache;
+use crate::chaos::{ChaosConfig, JobFault};
 use crate::persist::{self, CacheLine};
 use crate::proto::{Request, Response, SimRequest, SimResult, StatsSnapshot};
 
 /// How often parked connection threads re-check the shutdown flag.
 const READ_POLL: Duration = Duration::from_millis(250);
 
+/// Longest accepted request line. A peer that streams bytes without a
+/// newline is cut here instead of growing the line buffer forever.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// How long a *partial* request line may sit without progress before
+/// the connection is closed (slowloris protection). Complete silence
+/// between requests is fine; half a request is not.
+pub const PARTIAL_LINE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Default graceful-drain budget granted to in-flight work at
+/// shutdown (`--drain-ms`).
+pub const DEFAULT_DRAIN_MS: u64 = 2000;
+
+/// Wire request kinds, indexed by [`kind_index`] — the per-kind
+/// latency histograms are pre-fetched in this order so the hot path
+/// never formats a metric name.
+const REQUEST_KINDS: [&str; 6] = ["ping", "stats", "metrics", "shutdown", "sim", "sweep"];
+
+fn kind_index(req: &Request) -> usize {
+    match req {
+        Request::Ping => 0,
+        Request::Stats => 1,
+        Request::Metrics => 2,
+        Request::Shutdown => 3,
+        Request::Sim { .. } => 4,
+        Request::Sweep { .. } => 5,
+    }
+}
+
 /// One simulation point in flight to a shard.
 struct Job {
     req: SimRequest,
     tag: usize,
-    reply: mpsc::Sender<(usize, SimResult)>,
+    /// Absolute deadline derived from the request's `deadline_ms` at
+    /// arrival; a job past it is answered without simulating.
+    deadline: Option<Instant>,
+    reply: mpsc::Sender<(usize, JobReply)>,
+}
+
+/// Receiving end of a dispatched batch's reply channel.
+type ReplyRx = mpsc::Receiver<(usize, JobReply)>;
+
+/// A worker's answer to one job. The result is boxed so the common
+/// control variants stay pointer-sized on the reply channel.
+enum JobReply {
+    Done(Box<SimResult>),
+    /// The job's execution panicked (real or injected); the shard
+    /// survives and keeps serving.
+    Failed(String),
+    /// The job's deadline expired before execution.
+    Deadline,
 }
 
 /// Shared server state: caches, the metrics registry (with pre-fetched
-/// handles for the hot counters), and the shutdown flag.
+/// handles for every hot counter and histogram), fault-tolerance
+/// config, and the shutdown/drain state.
 struct Engine {
     suites: SuiteCache,
     metrics: oov_obs::Registry,
@@ -63,19 +135,46 @@ struct Engine {
     result_evictions: Arc<oov_obs::Counter>,
     /// `shard.<n>.requests` — jobs executed (or answered from cache).
     per_shard: Vec<Arc<oov_obs::Counter>>,
-    /// `shard.<n>.queue_depth` — jobs dispatched but not yet picked up.
+    /// `shard.<n>.queue_depth` — jobs dispatched but not yet picked
+    /// up; doubles as the admission-control level.
     queue_depth: Vec<Arc<oov_obs::Gauge>>,
     /// `shard.<n>.service_ns` — per-job service time (cache hits and
     /// simulated misses alike), in nanoseconds.
     service_time: Vec<Arc<oov_obs::Histogram>>,
+    /// `shard.<n>.panics` — caught job panics plus shard-thread
+    /// deaths.
+    panics: Vec<Arc<oov_obs::Counter>>,
+    /// `shard.<n>.respawns` — times the supervisor restarted a dead
+    /// shard thread.
+    respawns: Vec<Arc<oov_obs::Counter>>,
+    /// `shard.<n>.sheds` — jobs rejected by admission control.
+    sheds: Vec<Arc<oov_obs::Counter>>,
+    /// `shard.<n>.alive` — 1 while the shard thread is running, 0
+    /// between a death and its respawn.
+    alive: Vec<Arc<oov_obs::Gauge>>,
+    /// `server.deadline_drops` — jobs answered `deadline exceeded`.
+    deadline_drops: Arc<oov_obs::Counter>,
+    /// `request.<kind>.latency_ns`, indexed by [`kind_index`].
+    request_latency: Vec<Arc<oov_obs::Histogram>>,
     /// `server.inflight_requests` — requests currently being answered
     /// across all connections.
     inflight: Arc<oov_obs::Gauge>,
+    /// Monotonic connection ids, feeding the chaos drop plan.
+    conn_seq: AtomicU64,
+    /// Per-shard admission cap, compared against the queue-depth
+    /// gauges (`i64::MAX` = unbounded).
+    max_queue_depth: i64,
+    /// Drain budget granted to in-flight work at shutdown.
+    drain_ms: u64,
+    chaos: Option<ChaosConfig>,
     shutdown: AtomicBool,
+    /// Set exactly once, when shutdown begins: the instant the drain
+    /// budget expires.
+    drain_deadline: Mutex<Option<Instant>>,
 }
 
 impl Engine {
-    fn new(n_shards: usize) -> Self {
+    fn new(n_shards: usize, cfg: &ServeConfig) -> Self {
         let metrics = oov_obs::Registry::new();
         Engine {
             suites: SuiteCache::new(),
@@ -91,10 +190,81 @@ impl Engine {
             service_time: (0..n_shards)
                 .map(|s| metrics.histogram(&format!("shard.{s}.service_ns")))
                 .collect(),
+            panics: (0..n_shards)
+                .map(|s| metrics.counter(&format!("shard.{s}.panics")))
+                .collect(),
+            respawns: (0..n_shards)
+                .map(|s| metrics.counter(&format!("shard.{s}.respawns")))
+                .collect(),
+            sheds: (0..n_shards)
+                .map(|s| metrics.counter(&format!("shard.{s}.sheds")))
+                .collect(),
+            alive: (0..n_shards)
+                .map(|s| {
+                    let g = metrics.gauge(&format!("shard.{s}.alive"));
+                    g.set(1);
+                    g
+                })
+                .collect(),
+            deadline_drops: metrics.counter("server.deadline_drops"),
+            request_latency: REQUEST_KINDS
+                .iter()
+                .map(|kind| metrics.histogram(&format!("request.{kind}.latency_ns")))
+                .collect(),
             inflight: metrics.gauge("server.inflight_requests"),
+            conn_seq: AtomicU64::new(0),
+            max_queue_depth: cfg
+                .max_queue_depth
+                .map_or(i64::MAX, |n| i64::try_from(n.max(1)).unwrap_or(i64::MAX)),
+            drain_ms: cfg.drain_ms,
+            chaos: cfg.chaos,
             metrics,
             shutdown: AtomicBool::new(false),
+            drain_deadline: Mutex::new(None),
         }
+    }
+
+    /// Flags shutdown and starts the drain clock (first caller wins,
+    /// so concurrent `shutdown` requests share one deadline).
+    fn begin_shutdown(&self) {
+        let mut deadline = self
+            .drain_deadline
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        if deadline.is_none() {
+            *deadline = Some(Instant::now() + Duration::from_millis(self.drain_ms));
+        }
+        drop(deadline);
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Time left in the drain budget: `None` before shutdown, a
+    /// (possibly zero) duration after it.
+    fn drain_remaining(&self) -> Option<Duration> {
+        if !self.is_shutting_down() {
+            return None;
+        }
+        let deadline = self
+            .drain_deadline
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        // `begin_shutdown` always sets the deadline before the flag,
+        // but `ServerHandle` may be mid-store; treat "flag up, no
+        // deadline yet" as a fresh full budget.
+        Some(match *deadline {
+            Some(d) => d.saturating_duration_since(Instant::now()),
+            None => Duration::from_millis(self.drain_ms),
+        })
+    }
+
+    /// True once shutdown began *and* the drain budget is spent —
+    /// workers fast-fail queued jobs from here on.
+    fn drain_expired(&self) -> bool {
+        matches!(self.drain_remaining(), Some(d) if d.is_zero())
     }
 
     fn snapshot(&self) -> StatsSnapshot {
@@ -118,6 +288,11 @@ impl Engine {
             suite_compiles_paper,
             per_shard_requests,
             shard_balance,
+            panics: self.panics.iter().map(|c| c.get()).sum(),
+            respawns: self.respawns.iter().map(|c| c.get()).sum(),
+            sheds: self.sheds.iter().map(|c| c.get()).sum(),
+            deadline_drops: self.deadline_drops.get(),
+            shards_alive: self.alive.iter().map(|g| g.get() != 0).collect(),
         }
     }
 }
@@ -141,6 +316,37 @@ pub struct PersistOptions {
     /// persistence dumps and long loadgen runs cannot grow without
     /// limit.
     pub max_entries: Option<usize>,
+}
+
+/// Full server configuration for [`Server::start_cfg`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Result-cache persistence and size bound.
+    pub persist: PersistOptions,
+    /// Per-shard admission cap: a point routed to a shard whose queue
+    /// is at least this deep is rejected with
+    /// [`Response::Overloaded`] instead of queueing. `None` keeps the
+    /// queues unbounded (the admission check still runs but never
+    /// trips).
+    pub max_queue_depth: Option<usize>,
+    /// Graceful-drain budget at shutdown, in milliseconds: in-flight
+    /// sweeps may keep streaming this long before remaining rows are
+    /// aborted.
+    pub drain_ms: u64,
+    /// Deterministic fault injection (`--chaos`); `None` in
+    /// production.
+    pub chaos: Option<ChaosConfig>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            persist: PersistOptions::default(),
+            max_queue_depth: None,
+            drain_ms: DEFAULT_DRAIN_MS,
+            chaos: None,
+        }
+    }
 }
 
 /// Sentinel slot index for "no neighbour".
@@ -292,8 +498,8 @@ pub struct Server;
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts the
-    /// acceptor plus `n_shards` worker shards, with no cache
-    /// persistence.
+    /// acceptor plus `n_shards` supervised worker shards, with no
+    /// cache persistence and default fault-tolerance settings.
     ///
     /// # Errors
     ///
@@ -303,18 +509,13 @@ impl Server {
     ///
     /// Panics if `n_shards` is zero.
     pub fn start(addr: &str, n_shards: usize) -> io::Result<ServerHandle> {
-        Self::start_with(addr, n_shards, PersistOptions::default())
+        Self::start_cfg(addr, n_shards, ServeConfig::default())
     }
 
     /// As [`Server::start`], optionally seeding the shard result
     /// caches from a dump and/or dumping them at shutdown. Entries
     /// are re-routed by request fingerprint at load, so a dump taken
     /// with one shard count loads correctly into any other.
-    ///
-    /// A missing or unloadable `load` file (including a dump from a
-    /// build with an older `SimStats` schema) starts the server
-    /// **cold** with a warning instead of refusing to start — losing
-    /// a cache must never take the service down.
     ///
     /// # Errors
     ///
@@ -328,9 +529,38 @@ impl Server {
         n_shards: usize,
         persist_opts: PersistOptions,
     ) -> io::Result<ServerHandle> {
+        Self::start_cfg(
+            addr,
+            n_shards,
+            ServeConfig {
+                persist: persist_opts,
+                ..ServeConfig::default()
+            },
+        )
+    }
+
+    /// The full-configuration entry point: persistence, admission
+    /// caps, drain budget and chaos injection.
+    ///
+    /// A missing or unloadable `persist.load` file (including a dump
+    /// from a build with an older `SimStats` schema) starts the server
+    /// **cold** with a warning instead of refusing to start — losing
+    /// a cache must never take the service down.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and thread-spawn failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_shards` is zero.
+    pub fn start_cfg(addr: &str, n_shards: usize, cfg: ServeConfig) -> io::Result<ServerHandle> {
         assert!(n_shards > 0, "need at least one shard");
+        if cfg.chaos.is_some() {
+            install_quiet_shard_panic_hook();
+        }
         let mut seeds: Vec<Vec<CacheLine>> = (0..n_shards).map(|_| Vec::new()).collect();
-        if let Some(path) = &persist_opts.load {
+        if let Some(path) = &cfg.persist.load {
             match persist::load(path) {
                 Ok(entries) => {
                     for mut entry in entries {
@@ -348,19 +578,25 @@ impl Server {
         }
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        let engine = Arc::new(Engine::new(n_shards));
+        let engine = Arc::new(Engine::new(n_shards, &cfg));
 
         let mut senders = Vec::with_capacity(n_shards);
-        let mut workers = Vec::with_capacity(n_shards);
-        let max_entries = persist_opts.max_entries;
+        let mut supervisors = Vec::with_capacity(n_shards);
+        let max_entries = cfg.persist.max_entries;
         for (shard, seed) in seeds.into_iter().enumerate() {
             let (tx, rx) = mpsc::channel::<Job>();
             senders.push(tx);
+            // The supervisor owns the receiver (behind a mutex the
+            // worker holds while alive), so queued jobs survive a
+            // worker crash and the respawned incarnation resumes the
+            // same queue.
+            let rx = Arc::new(Mutex::new(rx));
+            let seed = Arc::new(seed);
             let engine = Arc::clone(&engine);
-            workers.push(
+            supervisors.push(
                 std::thread::Builder::new()
-                    .name(format!("oov-shard-{shard}"))
-                    .spawn(move || worker(shard, seed, max_entries, &rx, &engine))?,
+                    .name(format!("oov-sup-{shard}"))
+                    .spawn(move || supervise(shard, &seed, max_entries, &rx, &engine))?,
             );
         }
 
@@ -369,7 +605,7 @@ impl Server {
             .name("oov-acceptor".to_string())
             .spawn(move || {
                 for conn in listener.incoming() {
-                    if acceptor_engine.shutdown.load(Ordering::Acquire) {
+                    if acceptor_engine.is_shutting_down() {
                         break;
                     }
                     let Ok(stream) = conn else { continue };
@@ -388,9 +624,9 @@ impl Server {
         Ok(ServerHandle {
             local_addr,
             acceptor,
-            workers,
+            workers: supervisors,
             engine,
-            dump: persist_opts.dump,
+            dump: cfg.persist.dump,
         })
     }
 }
@@ -417,9 +653,10 @@ impl ServerHandle {
         self.engine.snapshot()
     }
 
-    /// Requests shutdown and joins every server thread.
+    /// Requests shutdown (starting the drain clock) and joins every
+    /// server thread.
     pub fn stop(self) {
-        self.engine.shutdown.store(true, Ordering::Release);
+        self.engine.begin_shutdown();
         // Wake the acceptor out of `incoming()`.
         let _ = TcpStream::connect(self.local_addr);
         self.join();
@@ -428,7 +665,9 @@ impl ServerHandle {
     /// Joins every server thread; returns once the server has shut
     /// down (via [`ServerHandle::stop`] or a client's `shutdown`
     /// request). If the server was started with a dump path, every
-    /// shard's result cache is written there before returning.
+    /// shard's result cache is written there before returning; a
+    /// shard whose supervisor died is warned about by id and counted
+    /// in the dump summary as lost.
     pub fn join(self) {
         let _ = self.acceptor.join();
         // Connection threads exit within `READ_POLL` of the flag; the
@@ -437,9 +676,17 @@ impl ServerHandle {
         // sender can outlive the join below.
         drop(self.engine);
         let mut entries: Vec<CacheLine> = Vec::new();
-        for w in self.workers {
-            if let Ok(shard_entries) = w.join() {
-                entries.extend(shard_entries);
+        let mut shards_lost = 0usize;
+        for (shard, w) in self.workers.into_iter().enumerate() {
+            match w.join() {
+                Ok(shard_entries) => entries.extend(shard_entries),
+                Err(_) => {
+                    shards_lost += 1;
+                    eprintln!(
+                        "oov-serve: shard {shard} supervisor died; \
+                         its result cache is lost"
+                    );
+                }
             }
         }
         if let Some(path) = &self.dump {
@@ -449,9 +696,90 @@ impl ServerHandle {
                 eprintln!("oov-serve: cache dump failed: {e}");
             } else {
                 eprintln!(
-                    "oov-serve: dumped {} cached results to {}",
+                    "oov-serve: dumped {} cached results to {} ({shards_lost} shards lost)",
                     entries.len(),
                     path.display()
+                );
+            }
+        } else if shards_lost > 0 {
+            eprintln!("oov-serve: {shards_lost} shard caches lost at shutdown");
+        }
+    }
+}
+
+/// Under chaos, injected panics on shard threads are routine; chain a
+/// panic hook that keeps them off stderr (they are still counted and
+/// answered as structured errors). Process-global and installed once:
+/// after any chaos server has run in this process, shard-thread panic
+/// *printing* stays off, but every panic is still caught, counted in
+/// `shard.<n>.panics`, and reported to the client.
+fn install_quiet_shard_panic_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let quiet = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("oov-shard-"));
+            if !quiet {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
+}
+
+/// Shard supervisor: spawns the worker thread and respawns it —
+/// re-seeded from the persistence seed — whenever it dies. Returns the
+/// final incarnation's cache lines once the job channel closes (clean
+/// shutdown). The job queue lives in `rx`, owned here, so a crash
+/// loses only the job that was executing.
+fn supervise(
+    shard: usize,
+    seed: &Arc<Vec<CacheLine>>,
+    max_entries: Option<usize>,
+    rx: &Arc<Mutex<mpsc::Receiver<Job>>>,
+    engine: &Arc<Engine>,
+) -> Vec<CacheLine> {
+    loop {
+        let worker_seed = Arc::clone(seed);
+        let worker_rx = Arc::clone(rx);
+        let worker_engine = Arc::clone(engine);
+        let spawned = std::thread::Builder::new()
+            .name(format!("oov-shard-{shard}"))
+            .spawn(move || worker(shard, &worker_seed, max_entries, &worker_rx, &worker_engine));
+        let handle = match spawned {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("oov-serve: shard {shard}: worker spawn failed: {e}");
+                engine.alive[shard].set(0);
+                return Vec::new();
+            }
+        };
+        engine.alive[shard].set(1);
+        match handle.join() {
+            Ok(lines) => return lines,
+            Err(_) => {
+                // The worker died outside the job-level catch_unwind.
+                engine.alive[shard].set(0);
+                engine.panics[shard].inc();
+                if engine.is_shutting_down() {
+                    eprintln!("oov-serve: shard {shard} died during shutdown; its cache is lost");
+                    return Vec::new();
+                }
+                engine.respawns[shard].inc();
+                eprintln!(
+                    "oov-serve: shard {shard} died; respawning \
+                     (accumulated cache lost, re-seeding {} persisted lines)",
+                    seed.len()
                 );
             }
         }
@@ -466,46 +794,113 @@ impl ServerHandle {
 /// cache evicts its least-recently-used entry on overflow. Each job's
 /// service time (hit or simulated miss) lands in the shard's
 /// `service_ns` histogram.
+///
+/// Job execution runs inside `catch_unwind`: a panicking request is
+/// answered [`JobReply::Failed`] and the loop continues. Chaos faults
+/// are injected here ([`ChaosConfig::job_fault`]): soft panics inside
+/// the catch region, hard panics outside it (killing this thread so
+/// the supervisor respawns it), and service delays before the job.
 fn worker(
     shard: usize,
-    seed: Vec<CacheLine>,
+    seed: &[CacheLine],
     max_entries: Option<usize>,
-    rx: &mpsc::Receiver<Job>,
+    rx: &Mutex<mpsc::Receiver<Job>>,
     engine: &Engine,
 ) -> Vec<CacheLine> {
+    // A previous incarnation may have died holding the lock; the
+    // queue itself is still intact, so clear the poison and resume.
+    let rx = rx.lock().unwrap_or_else(|p| p.into_inner());
     let mut cache = ShardCache::new(max_entries);
     // One simulation arena per shard: every cache miss this worker
     // executes reuses the same allocation footprint, so a miss pays
     // simulation only — no per-request simulator construction.
     let mut arena = SimArena::new();
-    for e in seed {
+    for e in seed.iter().cloned() {
         // Seeding through the same entry point applies the cap to an
         // oversized dump too (later lines win, matching file order).
         if cache.insert(e.key, e.machine_fp, e.result) {
             engine.result_evictions.inc();
         }
     }
+    // Jobs dequeued by *this incarnation* — the chaos plan's sequence
+    // number, restarting (deterministically) after a respawn.
+    let mut jobs_seen: u64 = 0;
     while let Ok(job) = rx.recv() {
         engine.queue_depth[shard].dec();
         engine.per_shard[shard].inc();
-        let started = Instant::now();
-        let fp = job.req.fingerprint();
-        let result = if let Some(hit) = cache.get(fp) {
-            engine.result_hits.inc();
-            SimResult {
-                cached: true,
-                ..hit.clone()
+        let fault = match &engine.chaos {
+            Some(plan) => {
+                let f = plan.job_fault(shard, jobs_seen);
+                jobs_seen += 1;
+                f
             }
-        } else {
-            engine.result_misses.inc();
-            let suite = engine.suites.get(job.req.scale);
-            let out = machine_run_in(
-                suite.get(job.req.program),
-                &job.req.machine,
-                job.req.stepper,
-                job.req.fault_at,
-                &mut arena,
-            );
+            None => JobFault::None,
+        };
+        if fault == JobFault::HardPanic {
+            // Outside the catch region on purpose: this kills the
+            // worker thread so the supervisor's respawn path runs.
+            // The job's reply sender drops unanswered; the connection
+            // thread reports the job as lost.
+            panic!("chaos: hard panic on shard {shard}");
+        }
+        if let JobFault::Delay(d) = fault {
+            std::thread::sleep(d);
+        }
+        let started = Instant::now();
+        let reply = run_job(shard, &job, fault, &mut cache, &mut arena, engine);
+        engine.service_time[shard].record(elapsed_ns(started));
+        // A dropped reply receiver just means the client went away.
+        let _ = job.reply.send((job.tag, reply));
+    }
+    cache.into_lines()
+}
+
+/// Answers one job: deadline and drain checks, cache lookup, then
+/// simulation inside `catch_unwind`.
+fn run_job(
+    shard: usize,
+    job: &Job,
+    fault: JobFault,
+    cache: &mut ShardCache,
+    arena: &mut SimArena,
+    engine: &Engine,
+) -> JobReply {
+    if let Some(deadline) = job.deadline {
+        if Instant::now() > deadline {
+            engine.deadline_drops.inc();
+            return JobReply::Deadline;
+        }
+    }
+    if engine.drain_expired() {
+        // The drain budget ran out with this job still queued: answer
+        // fast instead of simulating into a closing server.
+        return JobReply::Failed("server is shutting down".into());
+    }
+    let fp = job.req.fingerprint();
+    if let Some(hit) = cache.get(fp) {
+        engine.result_hits.inc();
+        return JobReply::Done(Box::new(SimResult {
+            cached: true,
+            ..hit.clone()
+        }));
+    }
+    engine.result_misses.inc();
+    let req = job.req;
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        if fault == JobFault::Panic {
+            panic!("chaos: injected worker panic");
+        }
+        let suite = engine.suites.get(req.scale);
+        machine_run_in(
+            suite.get(req.program),
+            &req.machine,
+            req.stepper,
+            req.fault_at,
+            arena,
+        )
+    }));
+    match outcome {
+        Ok(out) => {
             let r = SimResult {
                 stats: out.stats,
                 ideal_cycles: out.ideal_cycles,
@@ -513,46 +908,73 @@ fn worker(
                 cached: false,
                 shard,
             };
-            if cache.insert(fp, job.req.machine.fingerprint(), r.clone()) {
+            if cache.insert(fp, req.machine.fingerprint(), r.clone()) {
                 engine.result_evictions.inc();
             }
-            r
-        };
-        engine.service_time[shard].record(elapsed_ns(started));
-        // A dropped reply receiver just means the client went away.
-        let _ = job.reply.send((job.tag, result));
+            JobReply::Done(Box::new(r))
+        }
+        Err(payload) => {
+            engine.panics[shard].inc();
+            // The arena may hold a half-built simulator; rebuild it
+            // rather than reuse possibly-inconsistent storage.
+            *arena = SimArena::new();
+            JobReply::Failed(format!(
+                "job panicked on shard {shard}: {}",
+                panic_message(payload.as_ref())
+            ))
+        }
     }
-    cache.into_lines()
+}
+
+/// Why a point was rejected at dispatch.
+enum Shed {
+    /// Admission control: the target shard's queue is over the cap.
+    Overloaded { retry_after_ms: u64 },
+    /// The shard's job channel is gone (only during shutdown).
+    Closed,
 }
 
 /// Routes every point to its shard and returns the shared reply
-/// receiver. Routing hashes the **full request** fingerprint, not just
-/// the machine config: same request → same shard (so its result cache
-/// works), but distinct points spread across shards even when they
-/// share a configuration. Points whose shard queue is gone (only
-/// possible during shutdown) are dropped; the caller times out on the
-/// missing tags.
+/// receiver plus the points that were **not** dispatched: shed by
+/// admission control (queue over `max_queue_depth`) or refused because
+/// the shard channel closed under shutdown. Routing hashes the full
+/// request fingerprint, so identical requests meet the same shard's
+/// cache while distinct points spread evenly.
 fn dispatch(
     shards: &[mpsc::Sender<Job>],
     engine: &Engine,
     points: &[SimRequest],
-) -> mpsc::Receiver<(usize, SimResult)> {
+    deadline: Option<Instant>,
+) -> (ReplyRx, Vec<(usize, Shed)>) {
     let (tx, rx) = mpsc::channel();
+    let mut shed = Vec::new();
     for (tag, req) in points.iter().enumerate() {
         let shard = (req.fingerprint() % shards.len() as u64) as usize;
+        let depth = engine.queue_depth[shard].get();
+        if depth >= engine.max_queue_depth {
+            engine.sheds[shard].inc();
+            // Suggest a backoff proportional to the backlog: deeper
+            // queue, longer wait (bounded so clients retry within a
+            // human-scale window).
+            let retry_after_ms = (u64::try_from(depth).unwrap_or(0) / 4).clamp(5, 250);
+            shed.push((tag, Shed::Overloaded { retry_after_ms }));
+            continue;
+        }
         // Raise the depth before the send so the worker's matching
         // `dec` can never observe the gauge below zero.
         engine.queue_depth[shard].inc();
         let sent = shards[shard].send(Job {
             req: *req,
             tag,
+            deadline,
             reply: tx.clone(),
         });
         if sent.is_err() {
             engine.queue_depth[shard].dec();
+            shed.push((tag, Shed::Closed));
         }
     }
-    rx
+    (rx, shed)
 }
 
 fn write_response(writer: &mut TcpStream, resp: &Response) -> io::Result<()> {
@@ -561,7 +983,8 @@ fn write_response(writer: &mut TcpStream, resp: &Response) -> io::Result<()> {
 }
 
 /// Per-connection loop: parse a line, answer it, repeat until EOF,
-/// transport error, or server shutdown.
+/// transport error, oversized or stalled partial line, or server
+/// shutdown.
 fn handle_connection(
     stream: TcpStream,
     shards: &[mpsc::Sender<Job>],
@@ -572,6 +995,8 @@ fn handle_connection(
     // One small response per request: Nagle + the peer's delayed ACK
     // would add ~40 ms to every round trip.
     stream.set_nodelay(true)?;
+    let conn_id = engine.conn_seq.fetch_add(1, Ordering::Relaxed);
+    let mut requests_read: u64 = 0;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     let mut line = String::new();
@@ -579,14 +1004,40 @@ fn handle_connection(
         line.clear();
         // Poll for a full line; `read_line` keeps partial data in
         // `line` across timeouts, so retrying without clearing is
-        // lossless.
+        // lossless. A partial line that outgrows `MAX_LINE_BYTES` or
+        // stalls past `PARTIAL_LINE_TIMEOUT` closes the connection —
+        // a slowloris peer cannot hold memory or block shutdown.
+        let mut partial_since: Option<Instant> = None;
         loop {
             match reader.read_line(&mut line) {
                 Ok(0) => return Ok(()), // EOF
                 Ok(_) => break,
                 Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                    if engine.shutdown.load(Ordering::Acquire) {
+                    if engine.is_shutting_down() {
                         return Ok(());
+                    }
+                    if line.len() > MAX_LINE_BYTES {
+                        let _ = write_response(
+                            &mut writer,
+                            &Response::Error {
+                                message: format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                            },
+                        );
+                        return Ok(());
+                    }
+                    if line.is_empty() {
+                        partial_since = None;
+                    } else {
+                        let since = *partial_since.get_or_insert_with(Instant::now);
+                        if since.elapsed() > PARTIAL_LINE_TIMEOUT {
+                            let _ = write_response(
+                                &mut writer,
+                                &Response::Error {
+                                    message: "partial request line timed out".into(),
+                                },
+                            );
+                            return Ok(());
+                        }
                     }
                 }
                 Err(e) => return Err(e),
@@ -595,6 +1046,16 @@ fn handle_connection(
         let text = line.trim();
         if text.is_empty() {
             continue;
+        }
+        // Chaos: drop the connection right after reading a request —
+        // the client sees an unanswered send and must retry elsewhere.
+        let dropped = engine
+            .chaos
+            .as_ref()
+            .is_some_and(|plan| plan.drop_connection(conn_id, requests_read));
+        requests_read += 1;
+        if dropped {
+            return Ok(());
         }
         let req = match Request::decode(text) {
             Err(message) => {
@@ -605,18 +1066,10 @@ fn handle_connection(
         };
         // Time every request end-to-end (decode done → response
         // flushed) into a per-type latency histogram, with an
-        // in-flight gauge spanning the same window.
-        let kind = match &req {
-            Request::Ping => "ping",
-            Request::Stats => "stats",
-            Request::Metrics => "metrics",
-            Request::Shutdown => "shutdown",
-            Request::Sim(_) => "sim",
-            Request::Sweep(_) => "sweep",
-        };
-        let latency = engine
-            .metrics
-            .histogram(&format!("request.{kind}.latency_ns"));
+        // in-flight gauge spanning the same window. The histogram
+        // handles are pre-fetched per kind — no name formatting or
+        // registry lookup on this path.
+        let latency = &engine.request_latency[kind_index(&req)];
         let started = Instant::now();
         engine.inflight.inc();
         let answered = answer(req, &mut writer, shards, engine, listen_addr);
@@ -625,6 +1078,27 @@ fn handle_connection(
         if !answered? {
             return Ok(());
         }
+    }
+}
+
+/// Maps one shed cause to the response for a single `sim` request.
+fn shed_response(cause: &Shed) -> Response {
+    match cause {
+        Shed::Overloaded { retry_after_ms } => Response::Overloaded {
+            retry_after_ms: *retry_after_ms,
+        },
+        Shed::Closed => Response::Error {
+            message: "server is shutting down".into(),
+        },
+    }
+}
+
+/// Maps one job reply to the response for a single `sim` request.
+fn sim_response(reply: JobReply) -> Response {
+    match reply {
+        JobReply::Done(result) => Response::Result(*result),
+        JobReply::Failed(message) => Response::Error { message },
+        JobReply::Deadline => Response::DeadlineExceeded,
     }
 }
 
@@ -651,59 +1125,123 @@ fn answer(
             )?;
         }
         Request::Shutdown => {
-            engine.shutdown.store(true, Ordering::Release);
+            engine.begin_shutdown();
             write_response(writer, &Response::ShuttingDown)?;
             // Wake the acceptor so it observes the flag.
             let _ = TcpStream::connect(listen_addr);
             return Ok(false);
         }
-        Request::Sim(req) => {
-            let rx = dispatch(shards, engine, std::slice::from_ref(&req));
-            let resp = match rx.recv() {
-                Ok((_, result)) => Response::Result(result),
-                Err(_) => Response::Error {
-                    message: "server is shutting down".into(),
-                },
+        Request::Sim { req, deadline_ms } => {
+            let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+            let (rx, shed) = dispatch(shards, engine, std::slice::from_ref(&req), deadline);
+            let resp = if let Some((_, cause)) = shed.first() {
+                shed_response(cause)
+            } else {
+                match rx.recv() {
+                    Ok((_, reply)) => sim_response(reply),
+                    // The worker died mid-job (its reply sender
+                    // dropped unanswered). Retriable: the respawned
+                    // shard will simulate it fresh.
+                    Err(_) => Response::Error {
+                        message: "job lost (worker died); retry".into(),
+                    },
+                }
             };
             write_response(writer, &resp)?;
         }
-        Request::Sweep(points) => {
+        Request::Sweep {
+            points,
+            deadline_ms,
+        } => {
             let n = points.len();
-            let rx = dispatch(shards, engine, &points);
-            let mut buf: Vec<Option<SimResult>> = vec![None; n];
+            let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+            let (rx, shed) = dispatch(shards, engine, &points, deadline);
+            // Reorder buffer: rows stream to the client in request
+            // order. Shed points are pre-filled as error rows.
+            let mut buf: Vec<Option<Result<SimResult, String>>> = vec![None; n];
+            let mut filled = 0;
+            for (tag, cause) in shed {
+                buf[tag] = Some(Err(match cause {
+                    Shed::Overloaded { retry_after_ms } => {
+                        format!("overloaded; retry after {retry_after_ms} ms")
+                    }
+                    Shed::Closed => "server is shutting down".into(),
+                }));
+                filled += 1;
+            }
             let mut next = 0;
-            let mut received = 0;
-            while received < n {
-                let Ok((tag, result)) = rx.recv() else { break };
-                buf[tag] = Some(result);
-                received += 1;
-                // Stream the completed prefix in request order.
-                while next < n {
-                    let Some(result) = buf[next].take() else {
-                        break;
-                    };
-                    write_response(
-                        writer,
-                        &Response::SweepRow {
-                            index: next,
-                            result,
-                        },
-                    )?;
-                    next += 1;
+            while filled < n {
+                // Under shutdown, in-flight sweeps get the remaining
+                // drain budget; past it, unanswered rows abort below.
+                let wait = match engine.drain_remaining() {
+                    Some(remaining) if remaining.is_zero() => break,
+                    Some(remaining) => remaining.min(READ_POLL),
+                    None => READ_POLL,
+                };
+                match rx.recv_timeout(wait) {
+                    Ok((tag, reply)) => {
+                        buf[tag] = Some(match reply {
+                            JobReply::Done(result) => Ok(*result),
+                            JobReply::Failed(message) => Err(message),
+                            JobReply::Deadline => Err("deadline exceeded".into()),
+                        });
+                        filled += 1;
+                        // Stream the completed prefix in request order.
+                        next = stream_rows(writer, &mut buf, next)?;
+                    }
+                    // Keep waiting; the next loop re-checks the drain.
+                    Err(mpsc::RecvTimeoutError::Timeout) => {}
+                    // Every outstanding job's reply sender is gone
+                    // (worker died with no other jobs queued): the
+                    // missing rows are lost, not late.
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
                 }
             }
-            if next < n {
-                write_response(
-                    writer,
-                    &Response::Error {
-                        message: format!("sweep aborted after {next}/{n} rows (shutdown)"),
-                    },
-                )?;
+            // Whatever never arrived — lost jobs or a spent drain
+            // budget — is answered as an explicit error row, so the
+            // client always sees exactly `n` rows before `sweep_done`.
+            for slot in buf.iter_mut() {
+                if slot.is_none() {
+                    *slot = Some(Err("sweep aborted (shutdown or lost worker)".into()));
+                }
             }
-            write_response(writer, &Response::SweepDone { count: next })?;
+            stream_rows(writer, &mut buf, next)?;
+            write_response(writer, &Response::SweepDone { count: n })?;
         }
     }
     Ok(true)
+}
+
+/// Streams the filled prefix of the reorder buffer starting at `next`;
+/// returns the new `next`.
+fn stream_rows(
+    writer: &mut TcpStream,
+    buf: &mut [Option<Result<SimResult, String>>],
+    mut next: usize,
+) -> io::Result<usize> {
+    while next < buf.len() {
+        let Some(row) = buf[next].take() else {
+            break;
+        };
+        match row {
+            Ok(result) => write_response(
+                writer,
+                &Response::SweepRow {
+                    index: next,
+                    result,
+                },
+            )?,
+            Err(message) => write_response(
+                writer,
+                &Response::SweepRowError {
+                    index: next,
+                    message,
+                },
+            )?,
+        }
+        next += 1;
+    }
+    Ok(next)
 }
 
 #[cfg(test)]
@@ -777,5 +1315,30 @@ mod tests {
         assert!(one.insert(2, 2, result(2)));
         assert!(one.get(1).is_none());
         assert_eq!(one.get(2).unwrap().stats.cycles, 2);
+    }
+
+    #[test]
+    fn drain_budget_expires_after_shutdown() {
+        let engine = Engine::new(
+            1,
+            &ServeConfig {
+                drain_ms: 0,
+                ..ServeConfig::default()
+            },
+        );
+        assert!(
+            engine.drain_remaining().is_none(),
+            "no drain before shutdown"
+        );
+        assert!(!engine.drain_expired());
+        engine.begin_shutdown();
+        assert!(engine.is_shutting_down());
+        assert!(engine.drain_expired(), "zero budget expires immediately");
+
+        let engine = Engine::new(1, &ServeConfig::default());
+        engine.begin_shutdown();
+        let remaining = engine.drain_remaining().expect("drain running");
+        assert!(!remaining.is_zero(), "default budget grants time");
+        assert!(!engine.drain_expired());
     }
 }

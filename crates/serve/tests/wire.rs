@@ -57,9 +57,23 @@ fn every_request_variant_round_trips() {
         Request::Shutdown,
     ];
     for req in sample_requests() {
-        variants.push(Request::Sim(req));
+        variants.push(Request::Sim {
+            req,
+            deadline_ms: None,
+        });
     }
-    variants.push(Request::Sweep(sample_requests()));
+    variants.push(Request::Sim {
+        req: SimRequest::ooo_default(Program::Trfd, Scale::Smoke),
+        deadline_ms: Some(250),
+    });
+    variants.push(Request::Sweep {
+        points: sample_requests(),
+        deadline_ms: None,
+    });
+    variants.push(Request::Sweep {
+        points: sample_requests(),
+        deadline_ms: Some(10_000),
+    });
     for v in variants {
         let line = v.encode();
         assert!(!line.contains('\n'), "encoding must be one line: {line}");
@@ -94,7 +108,13 @@ fn every_response_variant_round_trips() {
         },
         Response::Result(result.clone()),
         Response::SweepRow { index: 4, result },
+        Response::SweepRowError {
+            index: 7,
+            message: "job panicked on shard 1: chaos".into(),
+        },
         Response::SweepDone { count: 12 },
+        Response::Overloaded { retry_after_ms: 40 },
+        Response::DeadlineExceeded,
         Response::Stats(StatsSnapshot {
             requests: 10,
             result_hits: 4,
@@ -106,6 +126,11 @@ fn every_response_variant_round_trips() {
             per_shard_requests: vec![3, 0, 7],
             // 0.25 is exact in the 3-decimal wire rounding.
             shard_balance: 0.25,
+            panics: 2,
+            respawns: 1,
+            sheds: 5,
+            deadline_drops: 3,
+            shards_alive: vec![true, false, true],
         }),
         Response::Metrics {
             snapshot: {
@@ -127,6 +152,28 @@ fn every_response_variant_round_trips() {
 }
 
 #[test]
+fn oversized_sweeps_are_rejected_at_decode_time() {
+    use oov_serve::proto::MAX_SWEEP_POINTS;
+    let at_cap = Request::Sweep {
+        points: vec![SimRequest::ooo_default(Program::Trfd, Scale::Smoke); MAX_SWEEP_POINTS],
+        deadline_ms: None,
+    };
+    assert!(
+        Request::decode(&at_cap.encode()).is_ok(),
+        "cap is inclusive"
+    );
+    let over = Request::Sweep {
+        points: vec![SimRequest::ooo_default(Program::Trfd, Scale::Smoke); MAX_SWEEP_POINTS + 1],
+        deadline_ms: None,
+    };
+    let err = Request::decode(&over.encode()).unwrap_err();
+    assert!(
+        err.contains("cap") && err.contains(&MAX_SWEEP_POINTS.to_string()),
+        "error must name the cap: {err}"
+    );
+}
+
+#[test]
 fn malformed_requests_are_rejected() {
     for bad in [
         "",
@@ -138,6 +185,11 @@ fn malformed_requests_are_rejected() {
         r#"{"type": "sim", "program": "trfd", "scale": "galactic"}"#,
         r#"{"type": "sweep", "points": []}"#,
         r#"{"type": "sweep", "points": [{"program": "trfd"}]}"#,
+        // `deadline_ms` must be a non-negative integer when present.
+        r#"{"type": "sim", "program": "trfd", "scale": "smoke", "stepper": "event",
+            "machine": {"machine": "ref", "cfg": {}}, "deadline_ms": -5}"#,
+        r#"{"type": "sim", "program": "trfd", "scale": "smoke", "stepper": "event",
+            "machine": {"machine": "ref", "cfg": {}}, "deadline_ms": "soon"}"#,
         // Structurally valid JSON whose config violates machine bounds.
         r#"{"type": "sim", "program": "trfd", "scale": "smoke", "stepper": "event",
             "machine": {"machine": "ooo", "cfg": {"phys_v_regs": 4}}}"#,
@@ -218,10 +270,11 @@ fn concurrent_clients_get_bit_identical_results() {
                     }))
                     .collect();
                 let mut seen = Vec::new();
-                let count = client
-                    .sweep(&sweep, |index, result| seen.push((index, result)))
+                let outcome = client
+                    .sweep(&sweep, None, |index, result| seen.push((index, result)))
                     .expect("sweep");
-                assert_eq!(count, sweep.len());
+                assert_eq!(outcome.errors, Vec::new(), "no row may fail");
+                assert_eq!(outcome.completed, sweep.len());
                 let indices: Vec<usize> = seen.iter().map(|(i, _)| *i).collect();
                 assert_eq!(
                     indices,

@@ -165,7 +165,7 @@ impl StallTable {
             .map(|&k| (k, self.get(k)))
             .filter(|&(_, c)| c > 0)
             .collect();
-        rows.sort_by(|a, b| b.1.cmp(&a.1));
+        rows.sort_by_key(|row| std::cmp::Reverse(row.1));
         for (kind, cycles) in rows {
             t.row_owned(vec![
                 kind.name().to_string(),
