@@ -24,7 +24,7 @@ pub mod experiments;
 
 use std::sync::Arc;
 
-use oov_core::{OooSim, SimArena, Stepper};
+use oov_core::{OooSim, RunAborted, RunBudget, SimArena, Stepper};
 use oov_exec::BaseImage;
 use oov_isa::{MachineConfig, OooConfig, RefConfig};
 use oov_kernels::{Program, Scale};
@@ -179,14 +179,35 @@ pub fn machine_run_in(
     fault_at: Option<usize>,
     arena: &mut SimArena,
 ) -> RunOutcome {
+    machine_run_budgeted(prog, cfg, stepper, fault_at, arena, RunBudget::unlimited())
+        .unwrap_or_else(|a| unreachable!("unlimited budget aborted: {a}"))
+}
+
+/// As [`machine_run_in`], with a cooperative [`RunBudget`]: the OOOVA
+/// engine polls the budget's fuel/cycle/deadline/cancel limits and
+/// aborts with `Err(RunAborted)` when one fires — the serve path for
+/// mid-simulation deadline expiry and shutdown cancellation. The
+/// arena gets its storage back even on an abort. The reference
+/// machine's analytic run is effectively instantaneous and ignores the
+/// budget, like it ignores `stepper` and `fault_at`.
+pub fn machine_run_budgeted(
+    prog: &CompiledProgram,
+    cfg: &MachineConfig,
+    stepper: Stepper,
+    fault_at: Option<usize>,
+    arena: &mut SimArena,
+    budget: RunBudget,
+) -> Result<RunOutcome, RunAborted> {
     match cfg {
-        MachineConfig::Ref(c) => RunOutcome {
+        MachineConfig::Ref(c) => Ok(RunOutcome {
             stats: ref_run(prog, *c),
             ideal_cycles: prog.trace.ideal_cycles(),
             faults_taken: 0,
-        },
+        }),
         MachineConfig::Ooo(c) => {
-            let mut sim = OooSim::new_in(*c, &prog.trace, arena).with_stepper(stepper);
+            let mut sim = OooSim::new_in(*c, &prog.trace, arena)
+                .with_stepper(stepper)
+                .with_budget(budget);
             // Fault injection requires the late-commit model
             // (`with_fault_at` asserts it); anywhere else the fault
             // request is ignored, per this function's contract.
@@ -195,12 +216,12 @@ pub fn machine_run_in(
                     sim = sim.with_fault_at(idx);
                 }
             }
-            let r = sim.run_into(arena);
-            RunOutcome {
+            let r = sim.try_run_into(arena)?;
+            Ok(RunOutcome {
                 stats: r.stats,
                 ideal_cycles: r.ideal_cycles,
                 faults_taken: r.faults_taken,
-            }
+            })
         }
     }
 }

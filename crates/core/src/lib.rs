@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod btb;
+pub mod budget;
 mod queue;
 mod rename;
 mod rob;
@@ -49,6 +50,7 @@ mod trace;
 mod verify;
 
 pub use btb::{Btb, ReturnStack};
+pub use budget::{AbortReason, RunAborted, RunBudget};
 pub use rename::{PhysReg, RenameTable, RenameUnit};
 pub use rob::{DstInfo, EntryState, MemStage, QueueKind, Rob, RobEntry};
 pub use sim::{arena_constructions, OooSim, RunResult, SimArena, Stepper};
@@ -521,5 +523,102 @@ mod tests {
             OooConfig::default(),
         );
         assert_eq!(r.stats.breakdown.total(), r.stats.cycles);
+    }
+
+    /// A dependent-chain trace long enough that budget limits fire
+    /// mid-run under every stepper.
+    fn chain_trace(n: usize) -> Trace {
+        let mut insts = vec![vload(0, 0x1000, 64)];
+        for _ in 0..n {
+            insts.push(vadd(1, 0, 0, 64));
+            insts.push(vadd(0, 1, 1, 64));
+        }
+        trace(insts)
+    }
+
+    #[test]
+    fn budget_cycle_cap_aborts_midway() {
+        let t = chain_trace(64);
+        let full = OooSim::new(OooConfig::default(), &t).run();
+        let cap = full.stats.cycles / 2;
+        for stepper in [Stepper::Naive, Stepper::EventDriven] {
+            let err = OooSim::new(OooConfig::default(), &t)
+                .with_stepper(stepper)
+                .with_budget(RunBudget::unlimited().with_max_cycles(cap))
+                .try_run()
+                .unwrap_err();
+            assert_eq!(err.reason, AbortReason::CycleCapExceeded);
+            assert!(err.cycles >= cap && err.cycles <= full.stats.cycles);
+            assert!(err.committed < t.len() as u64, "{err}");
+        }
+    }
+
+    #[test]
+    fn budget_fuel_and_flags_abort() {
+        let t = chain_trace(64);
+        let err = OooSim::new(OooConfig::default(), &t)
+            .with_budget(RunBudget::unlimited().with_fuel(10))
+            .try_run()
+            .unwrap_err();
+        assert_eq!(err.reason, AbortReason::FuelExhausted);
+
+        // An already-set cancel flag and an already-expired deadline
+        // both abort on the very first step (tick starts saturated).
+        let flag = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let err = OooSim::new(OooConfig::default(), &t)
+            .with_budget(RunBudget::unlimited().with_cancel(flag))
+            .try_run()
+            .unwrap_err();
+        assert_eq!(err.reason, AbortReason::Cancelled);
+        assert_eq!(err.committed, 0);
+
+        let past = std::time::Instant::now() - std::time::Duration::from_millis(1);
+        let err = OooSim::new(OooConfig::default(), &t)
+            .with_budget(RunBudget::unlimited().with_deadline(past))
+            .try_run()
+            .unwrap_err();
+        assert_eq!(err.reason, AbortReason::DeadlineExpired);
+    }
+
+    #[test]
+    fn generous_budget_is_bit_identical_and_unlimited_is_free() {
+        let t = chain_trace(16);
+        for stepper in [Stepper::Naive, Stepper::EventDriven] {
+            let plain = OooSim::new(OooConfig::default(), &t)
+                .with_stepper(stepper)
+                .run();
+            let budgeted = OooSim::new(OooConfig::default(), &t)
+                .with_stepper(stepper)
+                .with_budget(
+                    RunBudget::unlimited()
+                        .with_max_cycles(u64::MAX)
+                        .with_fuel(u64::MAX),
+                )
+                .try_run()
+                .unwrap();
+            assert_eq!(plain.stats, budgeted.stats);
+        }
+        // An all-None budget is dropped at attach time.
+        let sim = OooSim::new(OooConfig::default(), &t).with_budget(RunBudget::unlimited());
+        assert!(sim.budget.is_none());
+    }
+
+    #[test]
+    fn aborted_run_recycles_arena_storage() {
+        let t = chain_trace(64);
+        let mut arena = SimArena::new();
+        let err = OooSim::new_in(OooConfig::default(), &t, &mut arena)
+            .with_budget(RunBudget::unlimited().with_fuel(5))
+            .try_run_into(&mut arena)
+            .unwrap_err();
+        assert_eq!(err.reason, AbortReason::FuelExhausted);
+        // The aborted run's (mid-run, dirty) storage went back to the
+        // arena; a recycled rerun completes with bit-clean state.
+        let full = OooSim::new_in(OooConfig::default(), &t, &mut arena).run_into(&mut arena);
+        assert_eq!(full.stats.committed, t.len() as u64);
+        assert_eq!(
+            full.stats,
+            OooSim::new(OooConfig::default(), &t).run().stats
+        );
     }
 }

@@ -70,6 +70,7 @@ use oov_mem::{AddressBus, ScalarCache, TrafficCounter};
 use oov_stats::{OccupancyTracker, SimStats};
 
 use crate::btb::{Btb, ReturnStack};
+use crate::budget::{AbortReason, RunAborted, RunBudget};
 use crate::queue::SlotQueue;
 use crate::rename::{PhysReg, RenameUnit};
 use crate::rob::{Rob, RobEntry};
@@ -300,6 +301,10 @@ pub struct OooSim<'t> {
     /// perturbs warm-replay reuse). Boxed to keep the disabled case a
     /// single word.
     pub(crate) sink: Option<Box<crate::trace::TraceSink>>,
+    /// Optional cooperative run budget (fuel / cycle cap / deadline /
+    /// cancel flag). `None` — the default — keeps the run loop on the
+    /// exact pre-budget path; see [`crate::budget`].
+    pub(crate) budget: Option<Box<RunBudget>>,
 }
 
 #[cfg(debug_assertions)]
@@ -593,6 +598,7 @@ impl<'t> OooSim<'t> {
             fault_at: None,
             faults_taken: 0,
             sink: None,
+            budget: None,
         }
     }
 
@@ -695,29 +701,126 @@ impl<'t> OooSim<'t> {
         self.faults_taken
     }
 
+    /// Attaches a cooperative [`RunBudget`]. Runs with a budget should
+    /// use [`OooSim::try_run`] / [`OooSim::try_run_into`]; the
+    /// infallible `run` variants panic if a limit fires. An
+    /// all-`None` budget is dropped here, keeping the run loop on the
+    /// exact unbudgeted path.
+    #[must_use]
+    pub fn with_budget(mut self, budget: RunBudget) -> Self {
+        self.budget = if budget.is_unlimited() {
+            None
+        } else {
+            Some(Box::new(budget))
+        };
+        self
+    }
+
     /// Runs to completion and returns the results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`RunBudget`] attached with [`OooSim::with_budget`]
+    /// fires — use [`OooSim::try_run`] for budgeted runs.
     #[must_use]
     pub fn run(mut self) -> RunResult {
         self.run_inner()
+            .unwrap_or_else(|a| panic!("unhandled budget abort: {a} (use try_run)"))
     }
 
     /// Runs to completion, then returns the simulator's allocation
     /// footprint to `arena` so the next [`OooSim::new_in`] reuses it —
     /// the warm-sweep path: one storage build per arena lifetime, zero
     /// per-iteration allocation thereafter.
+    ///
+    /// # Panics
+    ///
+    /// As [`OooSim::run`], panics on a budget abort — use
+    /// [`OooSim::try_run_into`] for budgeted runs.
     #[must_use]
     pub fn run_into(mut self, arena: &mut SimArena) -> RunResult {
+        let result = self.run_inner();
+        arena.storage = Some(self.into_storage());
+        result.unwrap_or_else(|a| panic!("unhandled budget abort: {a} (use try_run_into)"))
+    }
+
+    /// As [`OooSim::run`], but a fired [`RunBudget`] limit surfaces as
+    /// `Err(RunAborted)` instead of panicking.
+    pub fn try_run(mut self) -> Result<RunResult, RunAborted> {
+        self.run_inner()
+    }
+
+    /// As [`OooSim::run_into`], but budget-abortable. The storage goes
+    /// back to `arena` **even when the run aborts** — mid-run state is
+    /// safe to recycle because [`SimArena`] fully reinitialises it on
+    /// the next use — so cancelled jobs cost the serve shards no
+    /// allocations either.
+    pub fn try_run_into(mut self, arena: &mut SimArena) -> Result<RunResult, RunAborted> {
         let result = self.run_inner();
         arena.storage = Some(self.into_storage());
         result
     }
 
-    fn run_inner(&mut self) -> RunResult {
+    /// Amortised budget poll — see [`crate::budget`] for the policy.
+    /// `steps` counts engine steps so far; `tick` is the countdown to
+    /// the next expensive (wall-clock / cancel-flag) poll.
+    #[inline]
+    fn budget_exceeded(&self, steps: u64, tick: &mut u32) -> Option<AbortReason> {
+        let b = self.budget.as_deref()?;
+        if let Some(cap) = b.max_cycles {
+            if self.now >= cap {
+                return Some(AbortReason::CycleCapExceeded);
+            }
+        }
+        if let Some(fuel) = b.max_progress_cycles {
+            if steps >= fuel {
+                return Some(AbortReason::FuelExhausted);
+            }
+        }
+        *tick += 1;
+        if *tick >= crate::budget::BUDGET_CHECK_INTERVAL {
+            *tick = 0;
+            if let Some(flag) = &b.cancel {
+                if flag.load(std::sync::atomic::Ordering::Relaxed) {
+                    return Some(AbortReason::Cancelled);
+                }
+            }
+            if let Some(deadline) = b.deadline {
+                if std::time::Instant::now() >= deadline {
+                    return Some(AbortReason::DeadlineExpired);
+                }
+            }
+        }
+        None
+    }
+
+    #[cold]
+    fn aborted(&self, reason: AbortReason) -> RunAborted {
+        RunAborted {
+            reason,
+            committed: self.committed,
+            cycles: self.now,
+        }
+    }
+
+    fn run_inner(&mut self) -> Result<RunResult, RunAborted> {
         let total = self.trace.len() as u64;
         let mut last_commit_cycle = 0;
         let mut last_committed = 0;
+        // Budget bookkeeping; both stay untouched (and the poll is one
+        // never-taken branch) when no budget is attached. `tick`
+        // starts saturated so an already-expired deadline or
+        // already-set cancel flag aborts on the very first step.
+        let mut budget_steps: u64 = 0;
+        let mut budget_tick: u32 = crate::budget::BUDGET_CHECK_INTERVAL;
         let masked = self.stepper == Stepper::EventDriven && self.cfg.stage_masking;
         while self.committed < total {
+            if self.budget.is_some() {
+                if let Some(reason) = self.budget_exceeded(budget_steps, &mut budget_tick) {
+                    return Err(self.aborted(reason));
+                }
+                budget_steps += 1;
+            }
             self.progressed = false;
             let mut stalls_before = (
                 self.stats.rename_stall_cycles,
@@ -790,6 +893,13 @@ impl<'t> OooSim<'t> {
                     s.on_cycle_stall(oov_stats::StallKind::RobFull, skipped * d_rob);
                 }
                 self.now = t;
+                // A skip can jump the clock arbitrarily far, so force
+                // the next poll to include the expensive checks — this
+                // is the "cheap check at cycle-skip boundaries" the
+                // budget promises.
+                if self.budget.is_some() {
+                    budget_tick = crate::budget::BUDGET_CHECK_INTERVAL;
+                }
             } else {
                 panic!(
                     "OOOVA deadlock at cycle {}: no future event, committed {}/{}, rob len {}, head {:?}",
@@ -838,12 +948,12 @@ impl<'t> OooSim<'t> {
         self.stats.store_requests = self.traffic.stores();
         self.stats.spill_requests = self.traffic.spill_loads() + self.traffic.spill_stores();
         self.stats.breakdown = self.occ.take_breakdown(cycles);
-        RunResult {
+        Ok(RunResult {
             stats: self.stats,
             ideal_cycles: self.trace.ideal_cycles(),
             faults_taken: self.faults_taken,
             trace: self.sink.take().map(|b| *b),
-        }
+        })
     }
 
     // ----- cycle drivers ----------------------------------------------

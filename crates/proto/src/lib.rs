@@ -9,7 +9,11 @@
 //!   emitter the engine bench used for `BENCH_oov.json`;
 //! * [`Fnv1a`] — the 64-bit FNV-1a hash, used for stable config and
 //!   request fingerprints (stable across processes and platforms,
-//!   unlike `std::collections::hash_map::DefaultHasher`).
+//!   unlike `std::collections::hash_map::DefaultHasher`);
+//! * [`crc32`] and [`FrameReader`] — CRC-32/IEEE and length-prefixed
+//!   checksummed record framing, the on-disk format of the serve
+//!   write-ahead journal (torn or corrupt tails truncate instead of
+//!   failing recovery).
 //!
 //! # Example
 //!
@@ -25,8 +29,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod crc;
 mod fnv;
+mod frame;
 mod json;
 
+pub use crc::{crc32, Crc32};
 pub use fnv::{fingerprint_bytes, Fnv1a};
+pub use frame::{frame_record, FrameReader, FrameStop, FRAME_HEADER_BYTES, MAX_FRAME_PAYLOAD};
 pub use json::{Json, ParseError};

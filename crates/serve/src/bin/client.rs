@@ -205,6 +205,15 @@ fn run() -> Result<(), String> {
                 "health:               {} panics, {} respawns, {} sheds, {} deadline drops",
                 s.panics, s.respawns, s.sheds, s.deadline_drops
             );
+            println!(
+                "cancellation:         {} jobs aborted mid-simulation",
+                s.cancelled_jobs
+            );
+            println!(
+                "persistence:          {} load entries skipped, {} journal records \
+                 ({} rotations, {} recovered at startup)",
+                s.cache_load_skipped, s.journal_records, s.journal_rotations, s.journal_recovered
+            );
             let dead: Vec<usize> = s
                 .shards_alive
                 .iter()

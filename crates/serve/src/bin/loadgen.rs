@@ -47,6 +47,17 @@
 //!   `ping`/`stats` after the storm. Combine with `--verify` to also
 //!   prove every answered request is bit-identical.
 //! * `--chaos-seed <n>`     seed for the server's fault plan, default 1
+//! * `--journal-file <path>` journal-overhead check (implies
+//!   `--spawn`): after the normal phase, run the identical workload
+//!   against a fresh server with the write-ahead journal enabled at
+//!   `<path>`, and emit a `journal` section with both throughputs and
+//!   their ratio — the artifact `bench_trend --serve-journal` gates
+//!   (journaling must stay within 1.1× of off).
+//! * `--assert-warm`        after the phase, assert the server missed
+//!   zero times and compiled no suite — for driving an *external*,
+//!   already-warm server (e.g. the CI kill-recovery step restarts a
+//!   SIGKILLed `serve --journal` daemon and proves every record
+//!   recovered)
 //! * `--out <path>`         artifact path, default `BENCH_serve.json`
 //!   at the repository root
 
@@ -126,6 +137,8 @@ struct Args {
     cache_entries: Option<usize>,
     chaos: bool,
     chaos_seed: u64,
+    journal_file: Option<String>,
+    assert_warm: bool,
     out: String,
 }
 
@@ -142,6 +155,8 @@ fn parse_args() -> Result<Args, String> {
         cache_entries: None,
         chaos: false,
         chaos_seed: 1,
+        journal_file: None,
+        assert_warm: false,
         out: concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").into(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -186,6 +201,11 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--chaos-seed: {e}"))?;
             }
+            "--journal-file" => {
+                args.journal_file = Some(value(&mut i)?);
+                args.spawn = true;
+            }
+            "--assert-warm" => args.assert_warm = true,
             "--out" => args.out = value(&mut i)?,
             other => return Err(format!("unknown flag {other}")),
         }
@@ -203,6 +223,13 @@ fn parse_args() -> Result<Args, String> {
         return Err(
             "--chaos cannot be combined with --cache-file: injected shard kills \
              lose cache lines, which the zero-miss warm run cannot survive"
+                .into(),
+        );
+    }
+    if args.journal_file.is_some() && (args.chaos || args.cache_file.is_some()) {
+        return Err(
+            "--journal-file is a clean A/B throughput comparison; it cannot be \
+             combined with --chaos or --cache-file"
                 .into(),
         );
     }
@@ -477,6 +504,7 @@ fn run() -> Result<(), String> {
             dump: (dump && args.cache_file.is_some())
                 .then(|| args.cache_file.clone().unwrap().into()),
             max_entries: args.cache_entries,
+            ..oov_serve::PersistOptions::default()
         },
         chaos: args.chaos.then(|| ChaosConfig::light(args.chaos_seed)),
         ..ServeConfig::default()
@@ -502,6 +530,23 @@ fn run() -> Result<(), String> {
         .map_or(args.addr.clone(), |h| h.addr().to_string());
 
     let phase = drive(&addr, &args, &pool, &expected)?;
+    if args.assert_warm {
+        // Driving an already-warm server (e.g. one restarted from its
+        // journal after a SIGKILL): every request must be a cache hit.
+        if phase.stats.result_misses > 0 {
+            return Err(format!(
+                "--assert-warm: server missed {} times (expected 0)",
+                phase.stats.result_misses
+            ));
+        }
+        if phase.stats.suite_compiles_smoke + phase.stats.suite_compiles_paper > 0 {
+            return Err("--assert-warm: server compiled a suite (expected none)".into());
+        }
+        println!(
+            "assert-warm: all {} requests served from cache, 0 suite compiles",
+            phase.stats.requests
+        );
+    }
     if args.chaos {
         // The daemon must still be fully serving after the storm.
         let mut probe = Client::connect(addr.as_str())?;
@@ -573,6 +618,38 @@ fn run() -> Result<(), String> {
         None
     };
 
+    // Journal-overhead check: the identical (deterministic) workload
+    // against a fresh server with the write-ahead journal on. The
+    // journal batches and fsyncs on its own thread, off the job path,
+    // so throughput must stay close to the journal-off phase — the
+    // `bench_trend --serve-journal` gate holds the ratio under 1.1×.
+    let journal_phase = if let Some(jfile) = &args.journal_file {
+        let jpath = std::path::PathBuf::from(jfile);
+        // Both phases start cold; drop any leftover journal state.
+        std::fs::remove_file(&jpath).ok();
+        std::fs::remove_file(oov_serve::journal::snapshot_path(&jpath)).ok();
+        let cfg = ServeConfig {
+            persist: oov_serve::PersistOptions {
+                journal: Some(jpath),
+                ..oov_serve::PersistOptions::default()
+            },
+            ..ServeConfig::default()
+        };
+        let handle = Server::start_cfg("127.0.0.1:0", args.shards, cfg)
+            .map_err(|e| format!("spawn journaling server: {e}"))?;
+        let jaddr = handle.addr().to_string();
+        println!("journal check: fresh server on {jaddr} journaling to {jfile}...");
+        let on = drive(&jaddr, &args, &pool, &expected)?;
+        Client::connect(jaddr.as_str())?.shutdown()?;
+        handle.join();
+        if on.stats.journal_records == 0 {
+            return Err("journal check failed: no records were journaled".into());
+        }
+        Some(on)
+    } else {
+        None
+    };
+
     let Phase {
         latency,
         wall_ms,
@@ -617,10 +694,31 @@ fn run() -> Result<(), String> {
         stats.per_shard_requests, stats.shard_balance
     );
     println!(
-        "health: {} panics, {} respawns, {} sheds, {} deadline drops; \
-         {retries} client retries, {failed} abandoned",
-        stats.panics, stats.respawns, stats.sheds, stats.deadline_drops
+        "health: {} panics, {} respawns, {} sheds, {} deadline drops, \
+         {} cancelled mid-run; {retries} client retries, {failed} abandoned",
+        stats.panics, stats.respawns, stats.sheds, stats.deadline_drops, stats.cancelled_jobs
     );
+    let journal_section = journal_phase.map_or(Json::Null, |on| {
+        let on_throughput = on.latency.count() as f64 / (on.wall_ms / 1e3);
+        let ratio = if on_throughput > 0.0 {
+            throughput / on_throughput
+        } else {
+            f64::INFINITY
+        };
+        println!(
+            "journal: {on_throughput:.0} req/s journaling vs {throughput:.0} req/s off \
+             (overhead ratio {ratio:.3}); {} records appended, {} rotations",
+            on.stats.journal_records, on.stats.journal_rotations
+        );
+        Json::obj(vec![
+            ("throughput_off_rps", us(throughput)),
+            ("throughput_on_rps", us(on_throughput)),
+            ("overhead_ratio", Json::Num((ratio * 1e3).round() / 1e3)),
+            ("appended_records", on.stats.journal_records.into()),
+            ("rotations", on.stats.journal_rotations.into()),
+            ("wall_ms", us(on.wall_ms)),
+        ])
+    });
 
     let doc = Json::obj(vec![
         ("bench", "oov_serve".into()),
@@ -669,10 +767,13 @@ fn run() -> Result<(), String> {
                 ("respawns", stats.respawns.into()),
                 ("sheds", stats.sheds.into()),
                 ("deadline_drops", stats.deadline_drops.into()),
+                ("cancelled_jobs", stats.cancelled_jobs.into()),
+                ("cache_load_skipped", stats.cache_load_skipped.into()),
                 ("retries", retries.into()),
                 ("failed", failed.into()),
             ]),
         ),
+        ("journal", journal_section),
         ("chaos", args.chaos.into()),
         ("verified", verified.into()),
         (

@@ -17,6 +17,17 @@
 //! * `--cache-entries <n>` bound each shard's result cache to `n`
 //!   entries with LRU eviction (default: unbounded), so persistence
 //!   dumps and long-running daemons cannot grow without limit
+//! * `--journal <path>`    write-ahead journal: every cache insert is
+//!   appended (checksummed, batched, fsynced) so a crash — SIGKILL,
+//!   OOM, power loss — loses at most the final in-flight batch;
+//!   startup replays `<path>.snapshot` plus the journal tail on top
+//!   of any `--cache-load` seed, truncating a torn tail
+//! * `--journal-max-bytes <n>` journal rotation threshold (default
+//!   8 MiB): past it the writer snapshots the full state to
+//!   `<journal>.snapshot` and truncates the journal
+//! * `--max-sim-cycles <n>` hard simulated-cycle cap per job: a run
+//!   that crosses it aborts with a structured error instead of
+//!   simulating a pathological config forever (default: uncapped)
 //! * `--max-queue-depth <n>` per-shard admission cap: a request
 //!   routed to a shard whose queue is at least `n` deep is rejected
 //!   with a retriable `overloaded` response instead of queueing
@@ -66,6 +77,27 @@ fn main() {
                     .filter(|&n: &usize| n > 0)
                     .or_else(|| {
                         eprintln!("error: --cache-entries needs a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--journal" => cfg.persist.journal = Some(value(&mut i, &argv).into()),
+            "--journal-max-bytes" => {
+                cfg.persist.journal_max_bytes = value(&mut i, &argv)
+                    .parse()
+                    .ok()
+                    .filter(|&n: &u64| n > 0)
+                    .or_else(|| {
+                        eprintln!("error: --journal-max-bytes needs a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--max-sim-cycles" => {
+                cfg.max_sim_cycles = value(&mut i, &argv)
+                    .parse()
+                    .ok()
+                    .filter(|&n: &u64| n > 0)
+                    .or_else(|| {
+                        eprintln!("error: --max-sim-cycles needs a positive integer");
                         std::process::exit(2);
                     });
             }

@@ -80,6 +80,7 @@
 pub mod cache;
 pub mod chaos;
 pub mod client;
+pub mod journal;
 pub mod persist;
 pub mod proto;
 pub mod server;

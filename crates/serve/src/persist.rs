@@ -39,6 +39,39 @@ fn fp_to_hex(fp: u64) -> String {
     format!("{fp:#018x}")
 }
 
+/// Encodes one cache entry as a JSON object — the `entries` element of
+/// a dump, and (compact) the payload of one journal record.
+#[must_use]
+pub fn encode_entry(e: &CacheLine) -> Json {
+    Json::obj(vec![
+        ("key", fp_to_hex(e.key).into()),
+        ("machine_fp", fp_to_hex(e.machine_fp).into()),
+        ("result", Json::Obj(e.result.body())),
+    ])
+}
+
+/// Decodes one [`encode_entry`]d object.
+///
+/// # Errors
+///
+/// Returns a message naming the malformed field.
+pub fn decode_entry(e: &Json) -> Result<CacheLine, String> {
+    let fp = |name: &str| {
+        e.get(name)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("cache dump: entry without `{name}`"))
+            .and_then(fp_from_hex)
+    };
+    Ok(CacheLine {
+        key: fp("key")?,
+        machine_fp: fp("machine_fp")?,
+        result: SimResult::from_json(
+            e.get("result")
+                .ok_or_else(|| "cache dump: entry without `result`".to_string())?,
+        )?,
+    })
+}
+
 fn fp_from_hex(s: &str) -> Result<u64, String> {
     let digits = s
         .strip_prefix("0x")
@@ -54,29 +87,23 @@ pub fn encode(entries: &[CacheLine]) -> Json {
         ("version", 1u64.into()),
         (
             "entries",
-            Json::Arr(
-                entries
-                    .iter()
-                    .map(|e| {
-                        Json::obj(vec![
-                            ("key", fp_to_hex(e.key).into()),
-                            ("machine_fp", fp_to_hex(e.machine_fp).into()),
-                            ("result", Json::Obj(e.result.body())),
-                        ])
-                    })
-                    .collect(),
-            ),
+            Json::Arr(entries.iter().map(encode_entry).collect()),
         ),
     ])
 }
 
-/// Decodes an [`encode`]d document.
+/// Decodes an [`encode`]d document, degrading gracefully at the entry
+/// level: a malformed *entry* is skipped (with a warning naming its
+/// index) and counted in the returned tally instead of failing the
+/// whole load — one bit-rotted line must not throw away the thousands
+/// of good results around it.
 ///
 /// # Errors
 ///
-/// Returns a message naming the malformed field; an unknown `version`
-/// is rejected rather than half-read.
-pub fn decode(doc: &Json) -> Result<Vec<CacheLine>, String> {
+/// Document-level problems (wrong type, unknown `version`, missing
+/// `entries`) still fail the load: there is no telling good entries
+/// from bad inside a document we cannot identify.
+pub fn decode(doc: &Json) -> Result<(Vec<CacheLine>, u64), String> {
     match doc.get("type").and_then(Json::as_str) {
         Some("cache_dump") => {}
         _ => return Err("cache dump: not a cache_dump document".into()),
@@ -85,53 +112,68 @@ pub fn decode(doc: &Json) -> Result<Vec<CacheLine>, String> {
         Some(1) => {}
         v => return Err(format!("cache dump: unsupported version {v:?}")),
     }
-    doc.get("entries")
+    let raw = doc
+        .get("entries")
         .and_then(Json::as_arr)
-        .ok_or_else(|| "cache dump: missing `entries`".to_string())?
-        .iter()
-        .map(|e| {
-            let fp = |name: &str| {
-                e.get(name)
-                    .and_then(Json::as_str)
-                    .ok_or_else(|| format!("cache dump: entry without `{name}`"))
-                    .and_then(fp_from_hex)
-            };
-            Ok(CacheLine {
-                key: fp("key")?,
-                machine_fp: fp("machine_fp")?,
-                result: SimResult::from_json(
-                    e.get("result")
-                        .ok_or_else(|| "cache dump: entry without `result`".to_string())?,
-                )?,
-            })
-        })
-        .collect()
+        .ok_or_else(|| "cache dump: missing `entries`".to_string())?;
+    let mut entries = Vec::with_capacity(raw.len());
+    let mut skipped = 0u64;
+    for (ix, e) in raw.iter().enumerate() {
+        match decode_entry(e) {
+            Ok(line) => entries.push(line),
+            Err(why) => {
+                skipped += 1;
+                eprintln!("oov-serve: cache dump: skipping malformed entry {ix}: {why}");
+            }
+        }
+    }
+    Ok((entries, skipped))
 }
 
-/// Writes a dump to `path` (atomically: temp file + rename, so a
-/// crash mid-dump never truncates an existing good dump).
+/// Fsyncs the directory containing `path`, making a just-renamed file
+/// durable (the rename itself lives in the directory's data). Shared
+/// by the dump writer and the journal's compaction path.
+pub(crate) fn fsync_parent_dir(path: &Path) -> std::io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    std::fs::File::open(parent)?.sync_all()
+}
+
+/// Writes a dump to `path`, durably and atomically: temp file +
+/// `fsync` + rename + **fsync of the parent directory** (without the
+/// last step the rename itself can be lost to a crash, resurrecting
+/// the old dump — or nothing). The temp name carries the writer's pid
+/// (`<path>.tmp.<pid>`), so two servers sharing a dump path cannot
+/// clobber each other's in-flight temp file; the loser of the final
+/// rename race still leaves a complete, valid dump.
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors as text.
 pub fn save(path: &Path, entries: &[CacheLine]) -> Result<(), String> {
-    let tmp = path.with_extension("tmp");
+    let mut tmp_name = path.as_os_str().to_os_string();
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp_name);
     let doc = encode(entries);
     (|| -> std::io::Result<()> {
         let mut f = std::fs::File::create(&tmp)?;
         writeln!(f, "{}", doc.pretty())?;
         f.sync_all()?;
-        std::fs::rename(&tmp, path)
+        std::fs::rename(&tmp, path)?;
+        fsync_parent_dir(path)
     })()
     .map_err(|e| format!("{}: {e}", path.display()))
 }
 
-/// Reads a dump written by [`save`].
+/// Reads a dump written by [`save`]; returns the good entries plus
+/// the count of malformed entries skipped (see [`decode`]).
 ///
 /// # Errors
 ///
 /// Propagates filesystem and parse errors as text.
-pub fn load(path: &Path) -> Result<Vec<CacheLine>, String> {
+pub fn load(path: &Path) -> Result<(Vec<CacheLine>, u64), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
     let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
     decode(&doc)
@@ -167,7 +209,7 @@ mod tests {
         let entries = vec![line(u64::MAX, 0xdead_beef_cafe_f00d, 123), line(1, 0, 456)];
         let doc = encode(&entries);
         let reparsed = Json::parse(&doc.to_string()).unwrap();
-        assert_eq!(decode(&reparsed).unwrap(), entries);
+        assert_eq!(decode(&reparsed).unwrap(), (entries, 0));
     }
 
     #[test]
@@ -175,8 +217,35 @@ mod tests {
         let path = std::env::temp_dir().join(format!("oov_cache_{}.json", std::process::id()));
         let entries = vec![line(42, 99, 1000)];
         save(&path, &entries).unwrap();
-        assert_eq!(load(&path).unwrap(), entries);
+        assert_eq!(load(&path).unwrap(), (entries, 0));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_entry_is_skipped_and_counted() {
+        let entries = vec![line(1, 10, 100), line(2, 20, 200), line(3, 30, 300)];
+        let mut doc = encode(&entries);
+        // Corrupt the middle entry's key in place.
+        let Json::Obj(pairs) = &mut doc else {
+            unreachable!()
+        };
+        for (k, v) in pairs.iter_mut() {
+            if k != "entries" {
+                continue;
+            }
+            let Json::Arr(arr) = v else { unreachable!() };
+            let Json::Obj(entry) = &mut arr[1] else {
+                unreachable!()
+            };
+            for (ek, ev) in entry.iter_mut() {
+                if ek == "key" {
+                    *ev = "not-hex".into();
+                }
+            }
+        }
+        let (good, skipped) = decode(&doc).unwrap();
+        assert_eq!(skipped, 1);
+        assert_eq!(good, vec![line(1, 10, 100), line(3, 30, 300)]);
     }
 
     #[test]

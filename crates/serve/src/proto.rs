@@ -362,6 +362,19 @@ pub struct StatsSnapshot {
     pub sheds: u64,
     /// Jobs answered `deadline exceeded` instead of being simulated.
     pub deadline_drops: u64,
+    /// Simulations aborted mid-run by a cooperative budget check: an
+    /// expired `deadline_ms`, the shutdown cancel flag, or the
+    /// per-job cycle cap.
+    pub cancelled_jobs: u64,
+    /// Malformed cache entries skipped (with a warning) while seeding
+    /// from `--cache-load`, the journal snapshot, or the journal tail.
+    pub cache_load_skipped: u64,
+    /// Records appended to the write-ahead journal since startup.
+    pub journal_records: u64,
+    /// Journal compactions (snapshot written, journal truncated).
+    pub journal_rotations: u64,
+    /// Records replayed from the journal tail at startup.
+    pub journal_recovered: u64,
     /// Per-shard liveness, indexed by shard: `false` while a shard
     /// thread is dead and awaiting respawn.
     pub shards_alive: Vec<bool>,
@@ -391,6 +404,11 @@ impl StatsSnapshot {
             ("respawns", self.respawns.into()),
             ("sheds", self.sheds.into()),
             ("deadline_drops", self.deadline_drops.into()),
+            ("cancelled_jobs", self.cancelled_jobs.into()),
+            ("cache_load_skipped", self.cache_load_skipped.into()),
+            ("journal_records", self.journal_records.into()),
+            ("journal_rotations", self.journal_rotations.into()),
+            ("journal_recovered", self.journal_recovered.into()),
             (
                 "shards_alive",
                 Json::Arr(self.shards_alive.iter().map(|&b| b.into()).collect()),
@@ -432,6 +450,11 @@ impl StatsSnapshot {
             respawns: field("respawns")?,
             sheds: field("sheds")?,
             deadline_drops: field("deadline_drops")?,
+            cancelled_jobs: field("cancelled_jobs")?,
+            cache_load_skipped: field("cache_load_skipped")?,
+            journal_records: field("journal_records")?,
+            journal_rotations: field("journal_rotations")?,
+            journal_recovered: field("journal_recovered")?,
             shards_alive: v
                 .get("shards_alive")
                 .and_then(Json::as_arr)

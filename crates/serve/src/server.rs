@@ -56,15 +56,16 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use oov_bench::machine_run_in;
-use oov_core::SimArena;
+use oov_bench::machine_run_budgeted;
+use oov_core::{AbortReason, RunBudget, SimArena};
 
 use crate::cache::SuiteCache;
 use crate::chaos::{ChaosConfig, JobFault};
+use crate::journal::{self, JournalConfig, JournalCounters, JournalWriter};
 use crate::persist::{self, CacheLine};
 use crate::proto::{Request, Response, SimRequest, SimResult, StatsSnapshot};
 
@@ -154,6 +155,22 @@ struct Engine {
     alive: Vec<Arc<oov_obs::Gauge>>,
     /// `server.deadline_drops` — jobs answered `deadline exceeded`.
     deadline_drops: Arc<oov_obs::Counter>,
+    /// `server.cancelled_jobs` — simulations aborted mid-run by their
+    /// budget (deadline, shutdown cancel, or the cycle cap).
+    cancelled_jobs: Arc<oov_obs::Counter>,
+    /// `cache.load_skipped` — malformed entries skipped (with a
+    /// warning) while loading the dump, snapshot and journal.
+    cache_load_skipped: Arc<oov_obs::Counter>,
+    /// `journal.appended_records` — records durably appended to the
+    /// write-ahead journal.
+    journal_appended: Arc<oov_obs::Counter>,
+    /// `journal.appended_bytes` — journal bytes written (pre-rotation).
+    journal_appended_bytes: Arc<oov_obs::Counter>,
+    /// `journal.rotations` — snapshot-and-truncate compactions.
+    journal_rotations: Arc<oov_obs::Counter>,
+    /// `journal.recovered_records` — records replayed from the journal
+    /// at startup.
+    journal_recovered: Arc<oov_obs::Counter>,
     /// `request.<kind>.latency_ns`, indexed by [`kind_index`].
     request_latency: Vec<Arc<oov_obs::Histogram>>,
     /// `server.inflight_requests` — requests currently being answered
@@ -166,6 +183,17 @@ struct Engine {
     max_queue_depth: i64,
     /// Drain budget granted to in-flight work at shutdown.
     drain_ms: u64,
+    /// Hard simulated-cycle cap applied to every job's run budget
+    /// (`--max-sim-cycles`); `None` leaves runs uncapped.
+    max_sim_cycles: Option<u64>,
+    /// Shared cancel flag threaded into every job's [`RunBudget`];
+    /// flipped once the shutdown drain budget expires, so in-flight
+    /// simulations abort cooperatively instead of running to
+    /// completion into a closing server.
+    cancel: Arc<AtomicBool>,
+    /// Append-side of the write-ahead journal; empty when journaling
+    /// is off. Set once at startup, read lock-free on the job path.
+    journal_tx: OnceLock<mpsc::Sender<CacheLine>>,
     chaos: Option<ChaosConfig>,
     shutdown: AtomicBool,
     /// Set exactly once, when shutdown begins: the instant the drain
@@ -207,6 +235,12 @@ impl Engine {
                 })
                 .collect(),
             deadline_drops: metrics.counter("server.deadline_drops"),
+            cancelled_jobs: metrics.counter("server.cancelled_jobs"),
+            cache_load_skipped: metrics.counter("cache.load_skipped"),
+            journal_appended: metrics.counter("journal.appended_records"),
+            journal_appended_bytes: metrics.counter("journal.appended_bytes"),
+            journal_rotations: metrics.counter("journal.rotations"),
+            journal_recovered: metrics.counter("journal.recovered_records"),
             request_latency: REQUEST_KINDS
                 .iter()
                 .map(|kind| metrics.histogram(&format!("request.{kind}.latency_ns")))
@@ -217,6 +251,9 @@ impl Engine {
                 .max_queue_depth
                 .map_or(i64::MAX, |n| i64::try_from(n.max(1)).unwrap_or(i64::MAX)),
             drain_ms: cfg.drain_ms,
+            max_sim_cycles: cfg.max_sim_cycles,
+            cancel: Arc::new(AtomicBool::new(false)),
+            journal_tx: OnceLock::new(),
             chaos: cfg.chaos,
             metrics,
             shutdown: AtomicBool::new(false),
@@ -225,7 +262,11 @@ impl Engine {
     }
 
     /// Flags shutdown and starts the drain clock (first caller wins,
-    /// so concurrent `shutdown` requests share one deadline).
+    /// so concurrent `shutdown` requests share one deadline). The
+    /// first caller also arms the cancel timer: once the drain budget
+    /// expires, the shared cancel flag flips and every in-flight
+    /// simulation aborts at its next budget check instead of running
+    /// to completion into a closing server.
     fn begin_shutdown(&self) {
         let mut deadline = self
             .drain_deadline
@@ -233,6 +274,16 @@ impl Engine {
             .unwrap_or_else(|p| p.into_inner());
         if deadline.is_none() {
             *deadline = Some(Instant::now() + Duration::from_millis(self.drain_ms));
+            let cancel = Arc::clone(&self.cancel);
+            let drain = Duration::from_millis(self.drain_ms);
+            // Detached on purpose: nothing joins it, and it holds only
+            // the flag — it cannot outlive-reference the engine.
+            let _ = std::thread::Builder::new()
+                .name("oov-cancel-timer".to_string())
+                .spawn(move || {
+                    std::thread::sleep(drain);
+                    cancel.store(true, Ordering::Release);
+                });
         }
         drop(deadline);
         self.shutdown.store(true, Ordering::Release);
@@ -292,6 +343,11 @@ impl Engine {
             respawns: self.respawns.iter().map(|c| c.get()).sum(),
             sheds: self.sheds.iter().map(|c| c.get()).sum(),
             deadline_drops: self.deadline_drops.get(),
+            cancelled_jobs: self.cancelled_jobs.get(),
+            cache_load_skipped: self.cache_load_skipped.get(),
+            journal_records: self.journal_appended.get(),
+            journal_rotations: self.journal_rotations.get(),
+            journal_recovered: self.journal_recovered.get(),
             shards_alive: self.alive.iter().map(|g| g.get() != 0).collect(),
         }
     }
@@ -316,6 +372,16 @@ pub struct PersistOptions {
     /// persistence dumps and long loadgen runs cannot grow without
     /// limit.
     pub max_entries: Option<usize>,
+    /// Write-ahead journal path (`--journal`). Every cache insert is
+    /// appended (batched, checksummed, fsynced) so a crash loses at
+    /// most the final in-flight batch; startup replays
+    /// `<journal>.snapshot` plus the journal tail on top of `load`.
+    pub journal: Option<PathBuf>,
+    /// Journal rotation threshold in bytes (`--journal-max-bytes`);
+    /// past it the writer snapshots the full state and truncates the
+    /// journal. `None` uses
+    /// [`journal::DEFAULT_JOURNAL_MAX_BYTES`].
+    pub journal_max_bytes: Option<u64>,
 }
 
 /// Full server configuration for [`Server::start_cfg`].
@@ -333,6 +399,11 @@ pub struct ServeConfig {
     /// sweeps may keep streaming this long before remaining rows are
     /// aborted.
     pub drain_ms: u64,
+    /// Hard simulated-cycle cap per job (`--max-sim-cycles`): a run
+    /// whose cycle clock crosses it aborts with a structured error
+    /// instead of simulating a pathological config forever. `None`
+    /// (the default) leaves runs uncapped.
+    pub max_sim_cycles: Option<u64>,
     /// Deterministic fault injection (`--chaos`); `None` in
     /// production.
     pub chaos: Option<ChaosConfig>,
@@ -344,6 +415,7 @@ impl Default for ServeConfig {
             persist: PersistOptions::default(),
             max_queue_depth: None,
             drain_ms: DEFAULT_DRAIN_MS,
+            max_sim_cycles: None,
             chaos: None,
         }
     }
@@ -559,16 +631,19 @@ impl Server {
         if cfg.chaos.is_some() {
             install_quiet_shard_panic_hook();
         }
-        let mut seeds: Vec<Vec<CacheLine>> = (0..n_shards).map(|_| Vec::new()).collect();
+        // Recover persistent state in layers, each overriding the one
+        // below: the `--cache-load` seed, then the journal's snapshot
+        // (what compaction last parked), then the journal tail (every
+        // insert since). Keyed by request fingerprint, so a key that
+        // appears in several layers resolves to its newest result.
+        let mut state: HashMap<u64, CacheLine> = HashMap::new();
+        let mut load_skipped = 0u64;
         if let Some(path) = &cfg.persist.load {
             match persist::load(path) {
-                Ok(entries) => {
-                    for mut entry in entries {
-                        // Same routing as `dispatch`: the full request
-                        // fingerprint, so live lookups find the seeds.
-                        let shard = (entry.key % n_shards as u64) as usize;
-                        entry.result.shard = shard;
-                        seeds[shard].push(entry);
+                Ok((entries, skipped)) => {
+                    load_skipped += skipped;
+                    for entry in entries {
+                        state.insert(entry.key, entry);
                     }
                 }
                 Err(e) => {
@@ -576,9 +651,73 @@ impl Server {
                 }
             }
         }
+        let mut journal_intact_bytes = 0u64;
+        let mut journal_recovered = 0u64;
+        if let Some(jpath) = &cfg.persist.journal {
+            let snap = journal::snapshot_path(jpath);
+            if snap.exists() {
+                match persist::load(&snap) {
+                    Ok((entries, skipped)) => {
+                        load_skipped += skipped;
+                        for entry in entries {
+                            state.insert(entry.key, entry);
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("oov-serve: journal snapshot load failed ({e}); skipping it");
+                    }
+                }
+            }
+            let rec = journal::recover(jpath);
+            journal_intact_bytes = rec.intact_bytes;
+            journal_recovered = rec.entries.len() as u64;
+            load_skipped += rec.skipped;
+            for entry in rec.entries {
+                state.insert(entry.key, entry);
+            }
+        }
+        let mut seeds: Vec<Vec<CacheLine>> = (0..n_shards).map(|_| Vec::new()).collect();
+        for mut entry in state.values().cloned() {
+            // Same routing as `dispatch`: the full request
+            // fingerprint, so live lookups find the seeds.
+            let shard = (entry.key % n_shards as u64) as usize;
+            entry.result.shard = shard;
+            seeds[shard].push(entry);
+        }
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let engine = Arc::new(Engine::new(n_shards, &cfg));
+        engine.cache_load_skipped.add(load_skipped);
+        engine.journal_recovered.add(journal_recovered);
+        let journal_writer = match &cfg.persist.journal {
+            Some(jpath) => {
+                let jcfg = JournalConfig {
+                    path: jpath.clone(),
+                    max_bytes: cfg
+                        .persist
+                        .journal_max_bytes
+                        .unwrap_or(journal::DEFAULT_JOURNAL_MAX_BYTES),
+                };
+                let counters = JournalCounters {
+                    appended_records: Arc::clone(&engine.journal_appended),
+                    appended_bytes: Arc::clone(&engine.journal_appended_bytes),
+                    rotations: Arc::clone(&engine.journal_rotations),
+                };
+                match JournalWriter::start(jcfg, state, journal_intact_bytes, counters) {
+                    Ok(writer) => {
+                        let _ = engine.journal_tx.set(writer.sender());
+                        Some(writer)
+                    }
+                    Err(e) => {
+                        // Like an unloadable dump: losing durability
+                        // must not take the service down.
+                        eprintln!("oov-serve: {e}; journaling disabled");
+                        None
+                    }
+                }
+            }
+            None => None,
+        };
 
         let mut senders = Vec::with_capacity(n_shards);
         let mut supervisors = Vec::with_capacity(n_shards);
@@ -627,6 +766,7 @@ impl Server {
             workers: supervisors,
             engine,
             dump: cfg.persist.dump,
+            journal: journal_writer,
         })
     }
 }
@@ -638,6 +778,7 @@ pub struct ServerHandle {
     workers: Vec<JoinHandle<Vec<CacheLine>>>,
     engine: Arc<Engine>,
     dump: Option<PathBuf>,
+    journal: Option<JournalWriter>,
 }
 
 impl ServerHandle {
@@ -689,12 +830,14 @@ impl ServerHandle {
                 }
             }
         }
+        let mut dumped = false;
         if let Some(path) = &self.dump {
             // Deterministic file order regardless of shard count.
             entries.sort_by_key(|e| e.key);
             if let Err(e) = persist::save(path, &entries) {
                 eprintln!("oov-serve: cache dump failed: {e}");
             } else {
+                dumped = true;
                 eprintln!(
                     "oov-serve: dumped {} cached results to {} ({shards_lost} shards lost)",
                     entries.len(),
@@ -703,6 +846,15 @@ impl ServerHandle {
             }
         } else if shards_lost > 0 {
             eprintln!("oov-serve: {shards_lost} shard caches lost at shutdown");
+        }
+        if let Some(writer) = self.journal {
+            // Every sender is gone by now (the engine reference above
+            // was the last), so the writer drains and exits. After a
+            // successful dump the journal's contents are redundant —
+            // truncate so the next start replays only the dump. With
+            // no dump (or a failed one) the journal stays: it IS the
+            // durable state.
+            writer.finish(dumped);
         }
     }
 }
@@ -886,21 +1038,35 @@ fn run_job(
     }
     engine.result_misses.inc();
     let req = job.req;
+    // Cooperative budget: the engine polls these limits mid-run, so a
+    // deadline expiring *during* simulation aborts the run instead of
+    // completing it uselessly, shutdown's cancel flag stops in-flight
+    // work once the drain budget is spent, and the optional cycle cap
+    // contains pathological configs. All-`None` budgets are dropped at
+    // attach, so an uncapped job pays nothing.
+    let mut budget = RunBudget::unlimited().with_cancel(Arc::clone(&engine.cancel));
+    if let Some(cap) = engine.max_sim_cycles {
+        budget = budget.with_max_cycles(cap);
+    }
+    if let Some(deadline) = job.deadline {
+        budget = budget.with_deadline(deadline);
+    }
     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
         if fault == JobFault::Panic {
             panic!("chaos: injected worker panic");
         }
         let suite = engine.suites.get(req.scale);
-        machine_run_in(
+        machine_run_budgeted(
             suite.get(req.program),
             &req.machine,
             req.stepper,
             req.fault_at,
             arena,
+            budget,
         )
     }));
     match outcome {
-        Ok(out) => {
+        Ok(Ok(out)) => {
             let r = SimResult {
                 stats: out.stats,
                 ideal_cycles: out.ideal_cycles,
@@ -911,7 +1077,31 @@ fn run_job(
             if cache.insert(fp, req.machine.fingerprint(), r.clone()) {
                 engine.result_evictions.inc();
             }
+            // Write-ahead append: one non-blocking send to the journal
+            // writer; durability happens off the job path.
+            if let Some(tx) = engine.journal_tx.get() {
+                let _ = tx.send(CacheLine {
+                    key: fp,
+                    machine_fp: req.machine.fingerprint(),
+                    result: r.clone(),
+                });
+            }
             JobReply::Done(Box::new(r))
+        }
+        Ok(Err(aborted)) => {
+            engine.cancelled_jobs.inc();
+            match aborted.reason {
+                AbortReason::DeadlineExpired => {
+                    engine.deadline_drops.inc();
+                    JobReply::Deadline
+                }
+                AbortReason::Cancelled => {
+                    JobReply::Failed("cancelled: server is shutting down".into())
+                }
+                AbortReason::CycleCapExceeded | AbortReason::FuelExhausted => {
+                    JobReply::Failed(format!("simulation {aborted}"))
+                }
+            }
         }
         Err(payload) => {
             engine.panics[shard].inc();

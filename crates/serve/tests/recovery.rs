@@ -1,0 +1,259 @@
+//! Durability and cancellation integration tests: a SIGKILLed server
+//! restarts warm from its write-ahead journal, arbitrary journal
+//! corruption recovers exactly the intact-record prefix without ever
+//! panicking or serving a corrupted result, and a `deadline_ms`
+//! expiring *mid-simulation* aborts the run cooperatively instead of
+//! completing it.
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use oov_core::Stepper;
+use oov_isa::{MachineConfig, OooConfig};
+use oov_kernels::{Program, Scale};
+use oov_serve::{journal, Client, PersistOptions, ServeConfig, Server, SimError, SimRequest};
+
+/// A pool of distinct smoke-scale points (distinct fingerprints).
+fn distinct_points(n: usize) -> Vec<SimRequest> {
+    (0..n)
+        .map(|i| SimRequest {
+            machine: MachineConfig::Ooo(OooConfig::default().with_queue_slots(16 + i)),
+            ..SimRequest::ooo_default(Program::ALL[i % Program::ALL.len()], Scale::Smoke)
+        })
+        .collect()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("oov_recovery_{}_{name}", std::process::id()))
+}
+
+/// A real `serve` process (the compiled binary, not an in-process
+/// server) — the only way to test recovery from an actual SIGKILL.
+struct ServeProc {
+    child: Child,
+    addr: String,
+    // Held open so the child's stdout writes never hit a closed pipe.
+    _stdout: BufReader<ChildStdout>,
+}
+
+fn spawn_serve(args: &[&str]) -> ServeProc {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_serve"))
+        .args(["--addr", "127.0.0.1:0"])
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn serve binary");
+    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).expect("read listen banner");
+    // "oov-serve listening on 127.0.0.1:<port> (<n> shards)"
+    let addr = banner
+        .split("listening on ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("unexpected banner: {banner:?}"))
+        .to_string();
+    ServeProc {
+        child,
+        addr,
+        _stdout: stdout,
+    }
+}
+
+#[test]
+fn sigkilled_server_restarts_warm_from_the_journal() {
+    let jpath = tmp("kill.wal");
+    std::fs::remove_file(&jpath).ok();
+    std::fs::remove_file(journal::snapshot_path(&jpath)).ok();
+    let journal_flag = jpath.to_str().expect("utf-8 temp path");
+
+    let mut first = spawn_serve(&["--shards", "2", "--journal", journal_flag]);
+    let points = distinct_points(6);
+    {
+        let mut client = Client::connect(first.addr.as_str()).expect("connect");
+        for p in &points {
+            let r = client.sim(p).expect("fresh simulation");
+            assert!(!r.cached, "first run must be a miss");
+        }
+    }
+    // Every result was answered, so every journal append is at least
+    // queued; wait for the batching writer to make them durable before
+    // pulling the plug.
+    let t0 = Instant::now();
+    while journal::recover(&jpath).entries.len() < points.len() {
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "journal writer never persisted all {} records",
+            points.len()
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    // SIGKILL: no drop handlers, no dump, no clean close — the journal
+    // is all that survives.
+    first.child.kill().expect("SIGKILL");
+    first.child.wait().expect("reap");
+
+    // Restart with a *different* shard count: recovered entries are
+    // re-routed by fingerprint, so the warm cache must still line up.
+    let mut second = spawn_serve(&["--shards", "3", "--journal", journal_flag]);
+    let mut client = Client::connect(second.addr.as_str()).expect("reconnect");
+    for p in &points {
+        let r = client.sim(p).expect("served after recovery");
+        assert!(r.cached, "every fully-appended record must serve warm");
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.result_misses, 0, "no recomputation after recovery");
+    assert_eq!(stats.journal_recovered, points.len() as u64);
+    assert_eq!(
+        stats.suite_compiles_smoke + stats.suite_compiles_paper,
+        0,
+        "a fully-warm restart must not recompile any suite"
+    );
+    client.shutdown().expect("shutdown");
+    second.child.wait().expect("clean exit");
+    std::fs::remove_file(&jpath).ok();
+    std::fs::remove_file(journal::snapshot_path(&jpath)).ok();
+}
+
+#[test]
+fn corrupted_journal_recovers_exactly_the_intact_prefix() {
+    let jpath = tmp("corrupt.wal");
+    std::fs::remove_file(&jpath).ok();
+    std::fs::remove_file(journal::snapshot_path(&jpath)).ok();
+
+    // Build a real journal through a live server.
+    let server = Server::start_cfg(
+        "127.0.0.1:0",
+        2,
+        ServeConfig {
+            persist: PersistOptions {
+                journal: Some(jpath.clone()),
+                ..PersistOptions::default()
+            },
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server start");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let points = distinct_points(8);
+    for p in &points {
+        client.sim(p).expect("simulate");
+    }
+    client.shutdown().expect("shutdown");
+    server.join(); // no dump configured, so the journal is kept
+
+    let pristine = std::fs::read(&jpath).expect("journal exists");
+    let baseline = journal::recover(&jpath);
+    assert_eq!(baseline.entries.len(), points.len());
+    assert_eq!(baseline.truncated_bytes, 0);
+    // End offset of each record, from the frame layout itself.
+    let mut ends = Vec::new();
+    let mut off = 0usize;
+    for e in &baseline.entries {
+        off += oov_proto::FRAME_HEADER_BYTES + journal::encode_record(e).len();
+        ends.push(off);
+    }
+    assert_eq!(off, pristine.len(), "records tile the journal exactly");
+
+    // Deterministic xorshift over flip/truncate positions.
+    let mut rng = 0x000C_4A05_u64;
+    let mut next = |m: usize| {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        (rng % m as u64) as usize
+    };
+    for _ in 0..200 {
+        // A single flipped bit: recovery must keep exactly the records
+        // before the flipped one — its CRC (or frame) breaks, and
+        // truncate-at-first-tear never resyncs past damage.
+        let mut buf = pristine.clone();
+        let byte = next(buf.len());
+        buf[byte] ^= 1 << next(8);
+        std::fs::write(&jpath, &buf).expect("write corrupted journal");
+        let rec = journal::recover(&jpath);
+        let intact = ends.iter().filter(|&&e| e <= byte).count();
+        assert_eq!(rec.entries.len(), intact, "flip at byte {byte}");
+        assert_eq!(rec.entries[..], baseline.entries[..intact]);
+        assert_eq!(rec.skipped, 0, "a bit flip can never pass the CRC");
+
+        // A truncated tail: exactly the fully-contained records.
+        let cut = next(pristine.len() + 1);
+        std::fs::write(&jpath, &pristine[..cut]).expect("write truncated journal");
+        let rec = journal::recover(&jpath);
+        let intact = ends.iter().filter(|&&e| e <= cut).count();
+        assert_eq!(rec.entries.len(), intact, "cut at byte {cut}");
+        assert_eq!(rec.entries[..], baseline.entries[..intact]);
+    }
+    std::fs::remove_file(&jpath).ok();
+}
+
+#[test]
+fn deadline_expiring_mid_simulation_aborts_the_run() {
+    let server = Server::start("127.0.0.1:0", 1).expect("server start");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    // Warm the suite first so the deadlined request below spends its
+    // whole wall-clock life *inside* the simulator, not compiling.
+    client
+        .sim(&SimRequest::ooo_default(Program::Trfd, Scale::Smoke))
+        .expect("warm the suite");
+
+    // Naive stepper + 60k-cycle memory latency: >100 ms of wall clock
+    // even in release builds, so a 25 ms deadline is comfortably alive
+    // when the run starts and expires long before it could finish.
+    let slow = SimRequest {
+        machine: MachineConfig::Ooo(OooConfig::default().with_memory_latency(60_000)),
+        stepper: Stepper::Naive,
+        ..SimRequest::ooo_default(Program::Trfd, Scale::Smoke)
+    };
+    match client.sim_opts(&slow, Some(25)) {
+        Err(SimError::Deadline) => {}
+        other => panic!("expected a mid-run deadline abort, got {other:?}"),
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.deadline_drops, 1);
+    assert_eq!(
+        stats.cancelled_jobs, 1,
+        "the abort must come from the run budget, not the queue check"
+    );
+    assert_eq!(
+        stats.result_misses, 2,
+        "the deadlined job must have *started* simulating"
+    );
+
+    // The same point, un-deadlined, completes.
+    let r = client.sim(&slow).expect("completes without a deadline");
+    assert!(r.stats.cycles > 1_000_000, "the slow config really is slow");
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn cycle_cap_contains_runaway_simulations() {
+    let server = Server::start_cfg(
+        "127.0.0.1:0",
+        1,
+        ServeConfig {
+            max_sim_cycles: Some(100),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server start");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    // Any real smoke run needs thousands of cycles; a 100-cycle cap
+    // fires deterministically.
+    let err = client
+        .sim(&SimRequest::ooo_default(Program::Trfd, Scale::Smoke))
+        .expect_err("must hit the cycle cap");
+    assert!(
+        err.contains("cycle cap exceeded"),
+        "unexpected error: {err}"
+    );
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.cancelled_jobs, 1);
+    client.shutdown().expect("shutdown");
+    server.join();
+}

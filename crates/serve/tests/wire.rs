@@ -130,6 +130,11 @@ fn every_response_variant_round_trips() {
             respawns: 1,
             sheds: 5,
             deadline_drops: 3,
+            cancelled_jobs: 1,
+            cache_load_skipped: 2,
+            journal_records: 9,
+            journal_rotations: 1,
+            journal_recovered: 4,
             shards_alive: vec![true, false, true],
         }),
         Response::Metrics {
